@@ -1,0 +1,79 @@
+// EQ34 — validate the speculative-moves terms of eqs. 3-4: with rejection
+// probability p and n lanes, one speculative round advances the chain by
+// (1 - p^n)/(1 - p) iterations in the wall time of one. We measure the
+// per-phase rejection rates live, run the executor, and compare measured
+// consumed-per-round against the closed form; then print the eq. 2/3/4
+// runtime predictions these rates imply.
+
+#include <iostream>
+
+#include "analysis/table_writer.hpp"
+#include "bench_common.hpp"
+#include "core/runtime_predictor.hpp"
+#include "mcmc/sampler.hpp"
+#include "spec/speculative.hpp"
+
+using namespace mcmcpar;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parseOptions(argc, argv);
+  const bench::CellWorkload w = bench::makeCellWorkload(opt);
+  const mcmc::MoveRegistry registry = mcmc::MoveRegistry::caseStudy();
+
+  std::printf("EQ34: speculative-move speedup vs the (1-p^n)/(1-p) model\n\n");
+
+  // Burn in a chain and measure per-kind rejection rates.
+  model::ModelState state = bench::makeState(w, opt.seed + 1);
+  {
+    mcmc::Sampler burn(state, registry, opt.seed + 2);
+    burn.run(w.iterations / 3);
+    const auto global = burn.diagnostics().aggregate(
+        {"add", "delete", "merge", "split", "replace"});
+    const auto local = burn.diagnostics().aggregate({"move-centre", "resize"});
+    std::printf("measured rejection rates after burn-in: pgr=%.3f plr=%.3f\n\n",
+                global.rejectionRate(), local.rejectionRate());
+  }
+
+  analysis::Table table({"phase", "lanes", "measured iters/round",
+                         "predicted", "error %"});
+  for (const auto phase : {spec::MovePhase::GlobalOnly, spec::MovePhase::LocalOnly}) {
+    const char* name =
+        phase == spec::MovePhase::GlobalOnly ? "global" : "local";
+    for (unsigned lanes : {2u, 4u, 8u}) {
+      spec::SpeculativeExecutor exec(state, registry, lanes,
+                                     opt.seed + 10 + lanes);
+      exec.run(opt.paperScale ? 60000 : 20000, phase);
+      const double measured = exec.stats().meanConsumedPerRound();
+      const double p = exec.diagnostics().aggregate().rejectionRate();
+      const double predicted = spec::expectedConsumedPerRound(p, lanes);
+      table.addRow({name, analysis::Table::integer(lanes),
+                    analysis::Table::num(measured, 3),
+                    analysis::Table::num(predicted, 3),
+                    analysis::Table::num(100.0 * (measured - predicted) /
+                                             predicted, 2)});
+    }
+  }
+  table.print(std::cout);
+
+  // Runtime predictions (eqs. 2-4) with the measured rates at tauG=tauL.
+  core::PredictionInput in;
+  in.iterations = w.iterations;
+  in.qGlobal = registry.qGlobal();
+  in.tauGlobal = in.tauLocal = 4e-5;
+  in.partitions = 4;
+  in.globalRejection = 0.75;
+  in.localRejection = 0.75;
+  in.specLanesGlobal = 4;
+  in.specLanesLocal = 4;
+  std::printf("\nruntime model at qg=%.2f, s=4, tau=4e-5 s, p=0.75, n=t=4:\n",
+              in.qGlobal);
+  std::printf("  sequential (baseline)        : %.3f s\n",
+              core::predictSequentialSeconds(in));
+  std::printf("  eq. 2 periodic               : %.3f s\n",
+              core::predictPeriodicSeconds(in));
+  std::printf("  eq. 3 periodic + spec global : %.3f s\n",
+              core::predictPeriodicSpecGlobalSeconds(in));
+  std::printf("  eq. 4 cluster (s machines x t threads): %.3f s\n",
+              core::predictClusterSeconds(in));
+  return 0;
+}

@@ -1,0 +1,137 @@
+// MC3 — the related-work baseline of §IV: Metropolis-coupled MCMC improves
+// the *rate of convergence* (fewer iterations), while the paper's schemes
+// distribute the *per-iteration workload*. This bench makes the difference
+// measurable: iterations-to-plateau and wall time for plain MCMC, (MC)^3
+// with 4 chains, and periodic partitioning on the same hard scene (clumped
+// artifacts -> multimodal posterior where heated chains help escape).
+
+#include <iostream>
+
+#include "analysis/metrics.hpp"
+#include "analysis/table_writer.hpp"
+#include "bench_common.hpp"
+#include "core/periodic_sampler.hpp"
+#include "mcmc/convergence.hpp"
+#include "mcmc/mc3.hpp"
+#include "mcmc/sampler.hpp"
+#include "par/virtual_clock.hpp"
+
+using namespace mcmcpar;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parseOptions(argc, argv);
+
+  // A clumpy scene: overlapping artifacts create merge/split ambiguity
+  // (the multimodality MC^3 is designed for).
+  img::SceneSpec spec;
+  spec.width = 256;
+  spec.height = 256;
+  spec.radiusMean = 8.0;
+  spec.radiusStd = 0.6;
+  spec.seed = opt.seed + 70;
+  spec.clusters = {
+      img::ClusterSpec{10, 10, 110, 110, 8, 0.5},
+      img::ClusterSpec{130, 10, 110, 110, 6, 0.5},
+      img::ClusterSpec{10, 130, 110, 110, 6, 0.5},
+      img::ClusterSpec{130, 130, 110, 110, 8, 0.5},
+  };
+  const img::Scene scene = img::generateScene(spec);
+
+  model::PriorParams prior;
+  prior.expectedCount = static_cast<double>(scene.truth.size());
+  prior.radiusMean = 8.0;
+  prior.radiusStd = 0.8;
+  prior.radiusMin = 4.0;
+  prior.radiusMax = 13.0;
+
+  const mcmc::MoveRegistry registry = mcmc::MoveRegistry::caseStudy();
+  const std::uint64_t iterations = opt.paperScale ? 200000 : 60000;
+  const std::uint64_t trace = iterations / 200;
+
+  std::vector<model::Circle> truth;
+  for (const auto& t : scene.truth) truth.push_back({t.x, t.y, t.r});
+
+  std::printf("MC3: convergence-rate baseline vs workload distribution\n");
+  std::printf("scene: %dx%d, %zu clumped artifacts, %llu iterations\n\n",
+              spec.width, spec.height, scene.truth.size(),
+              static_cast<unsigned long long>(iterations));
+
+  analysis::Table table({"method", "wall (s)", "itr to plateau", "final logP",
+                         "F1"});
+
+  // Plain sequential.
+  {
+    model::ModelState state(scene.image, prior, model::LikelihoodParams{});
+    rng::Stream s(opt.seed + 71);
+    state.initialiseRandom(scene.truth.size(), s);
+    mcmc::Sampler sampler(state, registry, s);
+    const par::WallTimer timer;
+    sampler.run(iterations, trace);
+    const auto plateau = mcmc::iterationsToPlateau(sampler.diagnostics().trace());
+    const auto q = analysis::scoreCircles(state.config().snapshot(), truth, 6.0);
+    table.addRow({"sequential", analysis::Table::num(timer.seconds(), 3),
+                  plateau ? analysis::Table::integer(
+                                static_cast<long long>(plateau->iteration))
+                          : "-",
+                  analysis::Table::num(state.logPosterior(), 1),
+                  analysis::Table::num(q.f1, 3)});
+  }
+
+  // (MC)^3, 4 chains (cold-chain iterations = `iterations`; 4x total work).
+  {
+    mcmc::Mc3Params params;
+    params.chains = 4;
+    params.heatStep = 0.2;
+    params.swapInterval = 100;
+    mcmc::Mc3Sampler mc3(scene.image, prior, model::LikelihoodParams{},
+                         registry, params, scene.truth.size(), opt.seed + 72);
+    const par::WallTimer timer;
+    mc3.run(iterations, trace);
+    const auto plateau = mcmc::iterationsToPlateau(mc3.coldDiagnostics().trace());
+    const auto q = analysis::scoreCircles(mc3.coldChain().config().snapshot(),
+                                          truth, 6.0);
+    table.addRow(
+        {"(MC)^3 4 chains", analysis::Table::num(timer.seconds(), 3),
+         plateau ? analysis::Table::integer(
+                       static_cast<long long>(plateau->iteration))
+                 : "-",
+         analysis::Table::num(mc3.coldChain().logPosterior(), 1),
+         analysis::Table::num(q.f1, 3)});
+    std::printf("  (MC)^3 swap rate: %.2f (%llu of %llu proposals)\n\n",
+                mc3.stats().swapRate(),
+                static_cast<unsigned long long>(mc3.stats().swapAccepted),
+                static_cast<unsigned long long>(mc3.stats().swapProposed));
+  }
+
+  // Periodic partitioning (same iteration budget, distributed workload).
+  {
+    model::ModelState state(scene.image, prior, model::LikelihoodParams{});
+    rng::Stream s(opt.seed + 73);
+    state.initialiseRandom(scene.truth.size(), s);
+    core::PeriodicParams params;
+    params.totalIterations = iterations;
+    params.globalPhaseIterations = 520;
+    params.executor = core::LocalExecutor::Serial;
+    params.virtualThreads = 4;
+    params.traceInterval = trace;
+    core::PeriodicSampler sampler(state, registry, params, opt.seed + 74);
+    const core::PeriodicReport report = sampler.run();
+    const auto plateau = mcmc::iterationsToPlateau(report.diagnostics.trace());
+    const auto q = analysis::scoreCircles(state.config().snapshot(), truth, 6.0);
+    table.addRow(
+        {"periodic (virt. 4 thr)",
+         analysis::Table::num(report.virtualSeconds, 3),
+         plateau ? analysis::Table::integer(
+                       static_cast<long long>(plateau->iteration))
+                 : "-",
+         analysis::Table::num(state.logPosterior(), 1),
+         analysis::Table::num(q.f1, 3)});
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\nreading: (MC)^3 buys convergence in *iterations* (at 4x the work\n"
+      "per iteration budget), periodic partitioning buys *wall time per\n"
+      "iteration*; the two are complementary, as §IV notes.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// MICRO — google-benchmark microbenchmarks of the substrates the paper's
+// per-iteration cost model (tauG, tauL) is made of: incremental likelihood
+// deltas, spatial-grid neighbour queries, RNG throughput, disc rasterising,
+// and the split/merge crop transfer that dominates periodic overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "core/split_merge.hpp"
+#include "img/disc_raster.hpp"
+#include "img/synth.hpp"
+#include "mcmc/sampler.hpp"
+#include "model/posterior.hpp"
+#include "rng/distributions.hpp"
+#include "rng/stream.hpp"
+
+using namespace mcmcpar;
+
+namespace {
+
+model::PriorParams microPrior() {
+  model::PriorParams p;
+  p.expectedCount = 60.0;
+  p.radiusMean = 10.0;
+  p.radiusStd = 1.2;
+  p.radiusMin = 4.0;
+  p.radiusMax = 18.0;
+  return p;
+}
+
+model::ModelState microState(int size, int circles, std::uint64_t seed) {
+  static std::map<std::tuple<int, int, std::uint64_t>, img::Scene> cache;
+  auto key = std::make_tuple(size, circles, seed);
+  if (!cache.count(key)) {
+    cache[key] =
+        img::generateScene(img::cellScene(size, size, circles, 10.0, seed));
+  }
+  model::ModelState state(cache[key].image, microPrior(),
+                          model::LikelihoodParams{});
+  rng::Stream s(seed + 1);
+  state.initialiseRandom(static_cast<std::size_t>(circles), s);
+  return state;
+}
+
+void BM_XoshiroThroughput(benchmark::State& state) {
+  rng::Stream s(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.bits());
+  }
+}
+BENCHMARK(BM_XoshiroThroughput);
+
+void BM_NormalDraw(benchmark::State& state) {
+  rng::Stream s(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.normal());
+  }
+}
+BENCHMARK(BM_NormalDraw);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  const rng::AliasTable table({0.08, 0.08, 0.08, 0.08, 0.08, 0.3, 0.3});
+  rng::Stream s(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(s));
+  }
+}
+BENCHMARK(BM_AliasTableSample);
+
+void BM_DiscIteration(benchmark::State& state) {
+  const double r = static_cast<double>(state.range(0));
+  double sum = 0.0;
+  for (auto _ : state) {
+    img::forEachDiscPixel(64.5, 64.5, r, 128, 128,
+                          [&](int x, int y) { sum += x + y; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(3.14159 * r * r));
+}
+BENCHMARK(BM_DiscIteration)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_LikelihoodDeltaAdd(benchmark::State& state) {
+  model::ModelState s = microState(256, 30, 11);
+  rng::Stream stream(12);
+  for (auto _ : state) {
+    const model::Circle c{stream.uniform(20, 236), stream.uniform(20, 236),
+                          10.0};
+    benchmark::DoNotOptimize(s.likelihood().deltaAdd(c));
+  }
+}
+BENCHMARK(BM_LikelihoodDeltaAdd);
+
+void BM_LikelihoodDeltaReplace(benchmark::State& state) {
+  model::ModelState s = microState(256, 30, 13);
+  rng::Stream stream(14);
+  const auto ids = s.config().aliveIds();
+  for (auto _ : state) {
+    const model::CircleId id = ids[stream.below(ids.size())];
+    model::Circle c = s.config().get(id);
+    c.x += stream.normal(0, 2.0);
+    c.y += stream.normal(0, 2.0);
+    benchmark::DoNotOptimize(s.deltaReplace(id, c));
+  }
+}
+BENCHMARK(BM_LikelihoodDeltaReplace);
+
+void BM_FullPosteriorRecompute(benchmark::State& state) {
+  model::ModelState s = microState(256, 30, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.recomputeLogPosterior());
+  }
+}
+BENCHMARK(BM_FullPosteriorRecompute);
+
+void BM_NeighbourQuery(benchmark::State& state) {
+  model::ModelState s = microState(512, static_cast<int>(state.range(0)), 17);
+  rng::Stream stream(18);
+  for (auto _ : state) {
+    std::size_t n = 0;
+    s.config().forEachNeighbour(stream.uniform(0, 512), stream.uniform(0, 512),
+                                24.0,
+                                [&](model::CircleId, const model::Circle&) {
+                                  ++n;
+                                });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_NeighbourQuery)->Arg(50)->Arg(200);
+
+void BM_SequentialIteration(benchmark::State& state) {
+  model::ModelState s = microState(384, 40, 19);
+  const mcmc::MoveRegistry registry = mcmc::MoveRegistry::caseStudy();
+  mcmc::Sampler sampler(s, registry, 20);
+  for (auto _ : state) {
+    sampler.step();
+  }
+  state.SetLabel("one RJ-MCMC iteration (tau of §VI)");
+}
+BENCHMARK(BM_SequentialIteration);
+
+void BM_SubStateBuildMerge(benchmark::State& state) {
+  model::ModelState s = microState(512, 60, 21);
+  const int half = 256;
+  for (auto _ : state) {
+    core::SubState sub =
+        core::buildSubState(s, partition::IRect{0, 0, half, 512}, 0.0);
+    benchmark::DoNotOptimize(core::mergeSubState(s, sub));
+  }
+  state.SetLabel("split+merge of a 256x512 partition (periodic overhead)");
+}
+BENCHMARK(BM_SubStateBuildMerge);
+
+void BM_CropTransfer(benchmark::State& state) {
+  const img::Scene scene =
+      img::generateScene(img::cellScene(512, 512, 60, 10.0, 23));
+  model::PixelLikelihood lik(scene.image, model::LikelihoodParams{});
+  for (auto _ : state) {
+    model::PixelLikelihood crop = lik.crop(0, 0, 256, 512);
+    lik.absorbCrop(crop);
+    benchmark::DoNotOptimize(lik.coveredGain());
+  }
+}
+BENCHMARK(BM_CropTransfer);
+
+}  // namespace

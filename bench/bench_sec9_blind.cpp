@@ -1,0 +1,100 @@
+// SEC9 — reproduce the §IX blind-partitioning experiment on the beads
+// image: split into four equal areas, expand each by 1.1x the expected
+// radius, run MCMC per partition, merge with the fig. 4 heuristics.
+//
+// Paper numbers: corner relative runtimes 0.12 / 0.08 / 0.27 / 0.11;
+// total (4 processors) ~27% of the whole-image runtime ("reduced to 27% of
+// the original"), with no apparent partitioning anomalies.
+
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/anomaly.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table_writer.hpp"
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+
+using namespace mcmcpar;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parseOptions(argc, argv);
+  const int runs = opt.runs > 0 ? opt.runs : 5;
+
+  const img::Scene scene = img::generateScene(img::beadsScene(opt.seed + 60));
+  std::printf("SEC9: blind partitioning (2x2 + 1.1r overlap) on the beads "
+              "scene, %d runs\n\n", runs);
+
+  core::PipelineParams params;
+  params.prior.radiusMean = 8.0;
+  params.prior.radiusStd = 0.6;
+  params.prior.radiusMin = 4.0;
+  params.prior.radiusMax = 13.0;
+  params.iterationsBase = 2000;
+  params.iterationsPerCircle = 600;
+  params.blind.gridX = 2;
+  params.blind.gridY = 2;
+  params.blind.overlapMargin = 1.1 * params.prior.radiusMean;
+  params.blind.mergeRadius = 5.0;
+
+  std::vector<model::Circle> truth;
+  for (const auto& t : scene.truth) truth.push_back({t.x, t.y, t.r});
+
+  analysis::RunningStat wholeRuntime;
+  std::vector<analysis::RunningStat> corner(4);
+  analysis::RunningStat totalRelative, f1, duplicates;
+  partition::BlindMergeStats lastStats;
+
+  for (int run = 0; run < runs; ++run) {
+    params.seed = opt.seed + 977 * (run + 1);
+    const core::PartitionRun whole = core::runWholeImage(scene.image, params);
+    const core::PipelineReport report =
+        core::runBlindPipeline(scene.image, params);
+    wholeRuntime.push(whole.runtimeToConverge);
+    double longest = 0.0;
+    for (std::size_t i = 0; i < report.partitions.size() && i < 4; ++i) {
+      corner[i].push(report.partitions[i].runtimeToConverge /
+                     std::max(whole.runtimeToConverge, 1e-12));
+      longest = std::max(longest, report.partitions[i].runtimeToConverge);
+    }
+    totalRelative.push(longest / std::max(whole.runtimeToConverge, 1e-12));
+    f1.push(analysis::scoreCircles(report.merged, truth, 6.0).f1);
+
+    // Anomaly audit along the blind cut lines.
+    const auto audit = analysis::auditBoundaryAnomalies(
+        report.merged, truth, {scene.image.width() / 2.0},
+        {scene.image.height() / 2.0}, 6.0, 12.0, 5.0);
+    duplicates.push(static_cast<double>(audit.duplicatePairsNearBoundary));
+    lastStats = report.mergeStats;
+  }
+
+  analysis::Table table({"quantity", "measured", "paper"});
+  const char* corners[4] = {"top-left rel runtime", "top-right rel runtime",
+                            "bottom-left rel runtime",
+                            "bottom-right rel runtime"};
+  const double paperCorner[4] = {0.12, 0.08, 0.27, 0.11};
+  for (int i = 0; i < 4; ++i) {
+    table.addRow({corners[i], analysis::Table::num(corner[i].mean(), 3),
+                  analysis::Table::num(paperCorner[i], 2)});
+  }
+  table.addRow({"total rel runtime (4 cpus)",
+                analysis::Table::num(totalRelative.mean(), 3), "0.27"});
+  table.addRow({"boundary duplicate pairs",
+                analysis::Table::num(duplicates.mean(), 2), "0 (none seen)"});
+  table.addRow({"merged F1 vs truth", analysis::Table::num(f1.mean(), 3),
+                "- (no truth)"});
+  table.print(std::cout);
+
+  std::printf("\nmerge heuristics on the last run: %zu auto-accepted, "
+              "%zu merged pairs, %zu disputed accepted, %zu dropped\n",
+              lastStats.autoAccepted, lastStats.mergedPairs,
+              lastStats.disputedAccepted, lastStats.droppedOutsideCore);
+  std::printf(
+      "shape to check: every corner is far below the whole-image runtime\n"
+      "(smaller statespace + fewer artifacts per partition); the whole\n"
+      "procedure costs roughly the slowest corner, well under half the\n"
+      "sequential cost, and clearly better than intelligent partitioning's\n"
+      "0.90 on this dataset (the paper's §IX conclusion).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Run all four processing strategies of the paper on the same image and
+// compare wall time and detection quality:
+//
+//   sequential            - conventional RJ-MCMC (baseline)
+//   periodic              - §V periodic partitioning (statistically pure)
+//   intelligent partition - §VIII pre-processor cuts (data permitting)
+//   blind partition       - §VIII overlapping grid + merge heuristics
+//
+//   ./build/examples/method_comparison
+
+#include <iostream>
+
+#include "analysis/metrics.hpp"
+#include "analysis/table_writer.hpp"
+#include "core/nuclei_finder.hpp"
+#include "img/synth.hpp"
+
+using namespace mcmcpar;
+
+int main() {
+  // A clustered scene so the intelligent partitioner has gaps to cut.
+  img::SceneSpec spec;
+  spec.width = 384;
+  spec.height = 256;
+  spec.radiusMean = 8.0;
+  spec.radiusStd = 0.6;
+  spec.noiseStd = 0.03f;
+  spec.seed = 99;
+  spec.clusters = {
+      img::ClusterSpec{10, 10, 150, 236, 12, 0.1},
+      img::ClusterSpec{210, 10, 164, 110, 8, 0.1},
+      img::ClusterSpec{210, 150, 164, 96, 6, 0.1},
+  };
+  const img::Scene scene = img::generateScene(spec);
+  std::vector<model::Circle> truth;
+  for (const auto& t : scene.truth) truth.push_back({t.x, t.y, t.r});
+  std::printf("scene: %dx%d with %zu artifacts in 3 clusters\n\n", spec.width,
+              spec.height, scene.truth.size());
+
+  const auto run = [&](core::FinderMethod method) {
+    core::FinderOptions options;
+    options.method = method;
+    options.prior.radiusMean = 8.0;
+    options.prior.radiusStd = 0.8;
+    options.prior.radiusMin = 4.0;
+    options.prior.radiusMax = 13.0;
+    options.iterations = 60000;
+    options.pipeline.iterationsBase = 2000;
+    options.pipeline.iterationsPerCircle = 700;
+    options.periodic.globalPhaseIterations = 52;
+    options.periodic.executor = core::LocalExecutor::SplitMergeSerial;
+    options.seed = 17;
+    return core::NucleiFinder(options).find(scene.image);
+  };
+
+  analysis::Table table(
+      {"method", "seconds", "found", "precision", "recall", "F1"});
+  const std::pair<const char*, core::FinderMethod> methods[] = {
+      {"sequential", core::FinderMethod::Sequential},
+      {"periodic", core::FinderMethod::Periodic},
+      {"intelligent", core::FinderMethod::IntelligentPartition},
+      {"blind", core::FinderMethod::BlindPartition},
+  };
+  for (const auto& [name, method] : methods) {
+    const core::FinderResult result = run(method);
+    const auto q = analysis::scoreCircles(result.circles, truth, 6.0);
+    table.addRow({name, analysis::Table::num(result.seconds, 3),
+                  analysis::Table::integer(static_cast<long long>(result.circles.size())),
+                  analysis::Table::num(q.precision, 3),
+                  analysis::Table::num(q.recall, 3),
+                  analysis::Table::num(q.f1, 3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nnote: on this single-core container the partition pipelines win by\n"
+      "doing *less work* (smaller statespaces per partition, eq. 5 priors);\n"
+      "their further parallel speedup is modelled by the bench harness.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: detect bright circular artifacts (stained cell nuclei) in an
+// image with the library's one-stop facade.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [output-prefix]
+//
+// The example generates a synthetic micrograph (ground truth known), runs
+// the conventional sequential RJ-MCMC sampler, scores the result against
+// the truth and writes two images: the input and an overlay with the fitted
+// circles (found = green, truth = dim red).
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/metrics.hpp"
+#include "core/nuclei_finder.hpp"
+#include "img/overlay.hpp"
+#include "img/pnm_io.hpp"
+#include "img/synth.hpp"
+
+using namespace mcmcpar;
+
+int main(int argc, char** argv) {
+  const std::string prefix = argc > 1 ? argv[1] : "quickstart";
+
+  // 1. A 256x256 sample with 20 nuclei of radius ~9 px.
+  img::SceneSpec spec = img::cellScene(256, 256, 20, 9.0, /*seed=*/2024);
+  spec.noiseStd = 0.05f;
+  const img::Scene scene = img::generateScene(spec);
+  std::printf("generated %dx%d scene with %zu nuclei\n", scene.image.width(),
+              scene.image.height(), scene.truth.size());
+
+  // 2. Configure the finder. The prior encodes what we know: nucleus size
+  //    distribution; the expected count is estimated from the image (eq. 5).
+  core::FinderOptions options;
+  options.method = core::FinderMethod::Sequential;
+  options.prior.radiusMean = 9.0;
+  options.prior.radiusStd = 1.0;
+  options.prior.radiusMin = 4.0;
+  options.prior.radiusMax = 15.0;
+  options.iterations = 60000;
+  options.seed = 7;
+
+  const core::NucleiFinder finder(options);
+  const core::FinderResult result = finder.find(scene.image);
+
+  std::printf("found %zu nuclei in %.2f s (log-posterior %.1f)\n",
+              result.circles.size(), result.seconds, result.logPosterior);
+
+  // 3. Score against ground truth.
+  std::vector<model::Circle> truth;
+  for (const auto& t : scene.truth) truth.push_back({t.x, t.y, t.r});
+  const auto quality = analysis::scoreCircles(result.circles, truth, 6.0);
+  std::printf("precision %.3f  recall %.3f  F1 %.3f  centre RMSE %.2f px\n",
+              quality.precision, quality.recall, quality.f1,
+              quality.centreRmse);
+
+  // 4. Acceptance statistics per move type.
+  for (const auto& [name, stats] : result.diagnostics.perMove()) {
+    std::printf("  %-12s proposed %8llu  accepted %6.1f%%\n", name.c_str(),
+                static_cast<unsigned long long>(stats.proposed),
+                100.0 * stats.acceptanceRate());
+  }
+
+  // 5. Write the pictures.
+  img::writePgm(img::toU8(scene.image), prefix + "_input.pgm");
+  img::ImageRgb overlay = img::greyToRgb(scene.image);
+  img::drawCircles(overlay, scene.truth, img::Rgb{96, 0, 0});
+  std::vector<img::SceneCircle> found;
+  for (const auto& c : result.circles) found.push_back({c.x, c.y, c.r});
+  img::drawCircles(overlay, found, img::Rgb{0, 255, 0});
+  img::writePpm(overlay, prefix + "_overlay.ppm");
+  std::printf("wrote %s_input.pgm and %s_overlay.ppm\n", prefix.c_str(),
+              prefix.c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "analysis/anomaly.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace mcmcpar::analysis {
+
+double distanceToLines(double x, double y,
+                       const std::vector<double>& verticalLines,
+                       const std::vector<double>& horizontalLines) noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  for (double vx : verticalLines) best = std::min(best, std::abs(x - vx));
+  for (double hy : horizontalLines) best = std::min(best, std::abs(y - hy));
+  return best;
+}
+
+BoundaryAnomalyReport auditBoundaryAnomalies(
+    const std::vector<model::Circle>& found,
+    const std::vector<model::Circle>& truth,
+    const std::vector<double>& verticalLines,
+    const std::vector<double>& horizontalLines, double matchDistance,
+    double bandWidth, double duplicateDistance) {
+  BoundaryAnomalyReport report;
+  const MatchResult match = matchCircles(found, truth, matchDistance);
+
+  for (std::size_t t : match.unmatchedTruth) {
+    const double d =
+        distanceToLines(truth[t].x, truth[t].y, verticalLines, horizontalLines);
+    (d <= bandWidth ? report.missesNearBoundary : report.missesElsewhere)++;
+  }
+  for (std::size_t f : match.unmatchedFound) {
+    const double d =
+        distanceToLines(found[f].x, found[f].y, verticalLines, horizontalLines);
+    (d <= bandWidth ? report.falsePositivesNearBoundary
+                    : report.falsePositivesElsewhere)++;
+  }
+
+  const double dup2 = duplicateDistance * duplicateDistance;
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    for (std::size_t j = i + 1; j < found.size(); ++j) {
+      if (model::centreDistance2(found[i], found[j]) <= dup2) {
+        ++report.duplicatePairs;
+        const double mx = (found[i].x + found[j].x) / 2.0;
+        const double my = (found[i].y + found[j].y) / 2.0;
+        if (distanceToLines(mx, my, verticalLines, horizontalLines) <=
+            bandWidth) {
+          ++report.duplicatePairsNearBoundary;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mcmcpar::analysis

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/matching.hpp"
+#include "model/circle.hpp"
+
+namespace mcmcpar::analysis {
+
+/// Boundary-anomaly audit for partitioned processing (§IX: "no apparent
+/// anomalies present as a result of the partitioning"). Classifies the
+/// matching errors by their distance to the nearest partition line:
+/// anomalies *caused* by partitioning concentrate within `bandWidth` of a
+/// boundary (duplicated artifacts, misses, biased fits).
+struct BoundaryAnomalyReport {
+  std::size_t missesNearBoundary = 0;
+  std::size_t missesElsewhere = 0;
+  std::size_t falsePositivesNearBoundary = 0;
+  std::size_t falsePositivesElsewhere = 0;
+  /// Pairs of accepted circles closer than a duplicate threshold — the
+  /// signature of an artifact detected once per partition and not merged.
+  std::size_t duplicatePairs = 0;
+  std::size_t duplicatePairsNearBoundary = 0;
+
+  [[nodiscard]] std::size_t totalNearBoundary() const noexcept {
+    return missesNearBoundary + falsePositivesNearBoundary +
+           duplicatePairsNearBoundary;
+  }
+};
+
+/// Distance from a point to the nearest of the given vertical/horizontal
+/// partition lines (infinity when none given).
+[[nodiscard]] double distanceToLines(double x, double y,
+                                     const std::vector<double>& verticalLines,
+                                     const std::vector<double>& horizontalLines) noexcept;
+
+/// Audit `found` vs `truth` with partition lines. `bandWidth` is the
+/// "near boundary" band; `duplicateDistance` the centre distance under
+/// which two found circles count as duplicates.
+[[nodiscard]] BoundaryAnomalyReport auditBoundaryAnomalies(
+    const std::vector<model::Circle>& found,
+    const std::vector<model::Circle>& truth,
+    const std::vector<double>& verticalLines,
+    const std::vector<double>& horizontalLines, double matchDistance,
+    double bandWidth, double duplicateDistance);
+
+}  // namespace mcmcpar::analysis

@@ -1,0 +1,42 @@
+#include "analysis/matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcmcpar::analysis {
+
+MatchResult matchCircles(const std::vector<model::Circle>& found,
+                         const std::vector<model::Circle>& truth,
+                         double maxDistance) {
+  struct Pair {
+    double dist;
+    std::size_t f, t;
+  };
+  std::vector<Pair> pairs;
+  const double max2 = maxDistance * maxDistance;
+  for (std::size_t f = 0; f < found.size(); ++f) {
+    for (std::size_t t = 0; t < truth.size(); ++t) {
+      const double d2 = model::centreDistance2(found[f], truth[t]);
+      if (d2 <= max2) pairs.push_back(Pair{std::sqrt(d2), f, t});
+    }
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const Pair& a, const Pair& b) { return a.dist < b.dist; });
+
+  MatchResult result;
+  std::vector<bool> fUsed(found.size(), false), tUsed(truth.size(), false);
+  for (const Pair& p : pairs) {
+    if (fUsed[p.f] || tUsed[p.t]) continue;
+    fUsed[p.f] = tUsed[p.t] = true;
+    result.matches.push_back(Match{p.f, p.t, p.dist});
+  }
+  for (std::size_t f = 0; f < found.size(); ++f) {
+    if (!fUsed[f]) result.unmatchedFound.push_back(f);
+  }
+  for (std::size_t t = 0; t < truth.size(); ++t) {
+    if (!tUsed[t]) result.unmatchedTruth.push_back(t);
+  }
+  return result;
+}
+
+}  // namespace mcmcpar::analysis

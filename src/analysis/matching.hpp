@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "model/circle.hpp"
+
+namespace mcmcpar::analysis {
+
+/// One matched (found, truth) pair.
+struct Match {
+  std::size_t foundIndex;
+  std::size_t truthIndex;
+  double centreDistance;
+};
+
+/// Matching of detected circles against ground truth.
+struct MatchResult {
+  std::vector<Match> matches;
+  std::vector<std::size_t> unmatchedFound;   ///< false positives
+  std::vector<std::size_t> unmatchedTruth;   ///< misses
+};
+
+/// Greedy closest-pair-first matching with a centre-distance gate: sort all
+/// (found, truth) pairs with distance <= maxDistance ascending and accept a
+/// pair when both sides are still free. Equivalent to optimal assignment
+/// for well-separated artifacts, and deterministic.
+[[nodiscard]] MatchResult matchCircles(const std::vector<model::Circle>& found,
+                                       const std::vector<model::Circle>& truth,
+                                       double maxDistance);
+
+}  // namespace mcmcpar::analysis

@@ -1,0 +1,41 @@
+#include "analysis/metrics.hpp"
+
+#include <cmath>
+
+namespace mcmcpar::analysis {
+
+QualityMetrics scoreMatches(const MatchResult& match,
+                            const std::vector<model::Circle>& found,
+                            const std::vector<model::Circle>& truth) {
+  QualityMetrics q;
+  q.truePositives = match.matches.size();
+  q.falsePositives = match.unmatchedFound.size();
+  q.falseNegatives = match.unmatchedTruth.size();
+
+  const double tp = static_cast<double>(q.truePositives);
+  q.precision = found.empty() ? 0.0 : tp / static_cast<double>(found.size());
+  q.recall = truth.empty() ? 0.0 : tp / static_cast<double>(truth.size());
+  q.f1 = (q.precision + q.recall) > 0.0
+             ? 2.0 * q.precision * q.recall / (q.precision + q.recall)
+             : 0.0;
+
+  double centreSq = 0.0, radiusSq = 0.0;
+  for (const Match& m : match.matches) {
+    centreSq += m.centreDistance * m.centreDistance;
+    const double dr = found[m.foundIndex].r - truth[m.truthIndex].r;
+    radiusSq += dr * dr;
+  }
+  if (!match.matches.empty()) {
+    q.centreRmse = std::sqrt(centreSq / tp);
+    q.radiusRmse = std::sqrt(radiusSq / tp);
+  }
+  return q;
+}
+
+QualityMetrics scoreCircles(const std::vector<model::Circle>& found,
+                            const std::vector<model::Circle>& truth,
+                            double matchDistance) {
+  return scoreMatches(matchCircles(found, truth, matchDistance), found, truth);
+}
+
+}  // namespace mcmcpar::analysis

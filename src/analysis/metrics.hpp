@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/matching.hpp"
+#include "model/circle.hpp"
+
+namespace mcmcpar::analysis {
+
+/// Detection quality of a circle model against ground truth.
+struct QualityMetrics {
+  std::size_t truePositives = 0;
+  std::size_t falsePositives = 0;
+  std::size_t falseNegatives = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double centreRmse = 0.0;  ///< over matched pairs
+  double radiusRmse = 0.0;  ///< over matched pairs
+};
+
+/// Score `found` against `truth`; a detection matches a truth circle when
+/// the centres are within `matchDistance` (default: half the mean truth
+/// radius is a good choice; pass explicitly for reproducibility).
+[[nodiscard]] QualityMetrics scoreCircles(const std::vector<model::Circle>& found,
+                                          const std::vector<model::Circle>& truth,
+                                          double matchDistance);
+
+/// Same, reusing a precomputed matching.
+[[nodiscard]] QualityMetrics scoreMatches(const MatchResult& match,
+                                          const std::vector<model::Circle>& found,
+                                          const std::vector<model::Circle>& truth);
+
+}  // namespace mcmcpar::analysis

@@ -1,0 +1,46 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcmcpar::analysis {
+
+Summary summarise(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = sorted.size() % 2 == 1
+                 ? sorted[sorted.size() / 2]
+                 : (sorted[sorted.size() / 2 - 1] + sorted[sorted.size() / 2]) / 2.0;
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+
+  if (sorted.size() > 1) {
+    double sq = 0.0;
+    for (double v : sorted) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(sorted.size() - 1));
+  }
+  return s;
+}
+
+void RunningStat::push(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace mcmcpar::analysis

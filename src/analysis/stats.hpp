@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mcmcpar::analysis {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+[[nodiscard]] Summary summarise(std::span<const double> values);
+
+/// Welford online accumulator (used by long-running benches to avoid
+/// keeping every sample).
+class RunningStat {
+ public:
+  void push(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace mcmcpar::analysis

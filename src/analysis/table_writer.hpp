@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcmcpar::analysis {
+
+/// Console/CSV table builder for the benchmark harness — all paper tables
+/// and figure series are printed through this so output stays uniform and
+/// greppable.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row (must have header-many cells).
+  void addRow(std::vector<std::string> row);
+
+  /// Helpers for numeric cells.
+  [[nodiscard]] static std::string num(double value, int precision = 4);
+  [[nodiscard]] static std::string sci(double value, int precision = 2);
+  [[nodiscard]] static std::string integer(long long value);
+
+  /// Fixed-width aligned text table.
+  void print(std::ostream& out) const;
+
+  /// RFC-4180-ish CSV (quotes only when needed).
+  void printCsv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcmcpar::analysis

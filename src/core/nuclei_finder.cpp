@@ -1,0 +1,94 @@
+#include "core/nuclei_finder.hpp"
+
+#include <cmath>
+
+#include "mcmc/sampler.hpp"
+#include "par/virtual_clock.hpp"
+#include "partition/prior_estimation.hpp"
+
+namespace mcmcpar::core {
+
+NucleiFinder::NucleiFinder(FinderOptions options)
+    : options_(std::move(options)) {}
+
+FinderResult NucleiFinder::find(const img::ImageF& filtered) const {
+  FinderResult result;
+
+  model::PriorParams prior = options_.prior;
+  if (options_.estimateCount) {
+    const auto estimate = partition::estimateCount(filtered, options_.theta,
+                                                   prior.radiusMean);
+    prior.expectedCount = std::max(estimate.expectedCount, 0.5);
+  }
+
+  switch (options_.method) {
+    case FinderMethod::Sequential: {
+      model::ModelState state(filtered, prior, options_.likelihood);
+      rng::Stream stream(options_.seed);
+      state.initialiseRandom(
+          static_cast<std::size_t>(std::llround(prior.expectedCount)), stream);
+      const mcmc::MoveRegistry registry =
+          mcmc::MoveRegistry::caseStudy(options_.moves);
+      mcmc::Sampler sampler(state, registry, stream);
+      const par::WallTimer timer;
+      sampler.run(options_.iterations,
+                  std::max<std::uint64_t>(1, options_.iterations / 200));
+      result.seconds = timer.seconds();
+      result.circles = state.config().snapshot();
+      result.logPosterior = state.logPosterior();
+      result.diagnostics = sampler.diagnostics();
+      break;
+    }
+    case FinderMethod::Periodic: {
+      model::ModelState state(filtered, prior, options_.likelihood);
+      rng::Stream stream(options_.seed);
+      state.initialiseRandom(
+          static_cast<std::size_t>(std::llround(prior.expectedCount)), stream);
+      const mcmc::MoveRegistry registry =
+          mcmc::MoveRegistry::caseStudy(options_.moves);
+      PeriodicParams pp = options_.periodic;
+      pp.totalIterations = options_.iterations;
+      PeriodicSampler periodic(state, registry, pp, options_.seed);
+      const PeriodicReport report = periodic.run();
+      result.seconds = report.wallSeconds;
+      result.circles = state.config().snapshot();
+      result.logPosterior = state.logPosterior();
+      result.diagnostics = report.diagnostics;
+      break;
+    }
+    case FinderMethod::IntelligentPartition: {
+      PipelineParams pl = options_.pipeline;
+      pl.prior = prior;
+      pl.likelihood = options_.likelihood;
+      pl.moves = options_.moves;
+      pl.theta = options_.theta;
+      pl.seed = options_.seed;
+      const par::WallTimer timer;
+      PipelineReport report = runIntelligentPipeline(filtered, pl);
+      result.seconds = timer.seconds();
+      result.circles = std::move(report.merged);
+      break;
+    }
+    case FinderMethod::BlindPartition: {
+      PipelineParams pl = options_.pipeline;
+      pl.prior = prior;
+      pl.likelihood = options_.likelihood;
+      pl.moves = options_.moves;
+      pl.theta = options_.theta;
+      pl.seed = options_.seed;
+      const par::WallTimer timer;
+      PipelineReport report = runBlindPipeline(filtered, pl);
+      result.seconds = timer.seconds();
+      result.circles = std::move(report.merged);
+      break;
+    }
+  }
+  return result;
+}
+
+FinderResult NucleiFinder::findInRgb(const img::ImageRgb& image,
+                                     const img::StainWeights& stain) const {
+  return find(img::stainEmphasis(image, stain));
+}
+
+}  // namespace mcmcpar::core

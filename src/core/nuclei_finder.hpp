@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/periodic_sampler.hpp"
+#include "core/pipeline.hpp"
+#include "img/filters.hpp"
+#include "img/image.hpp"
+#include "mcmc/diagnostics.hpp"
+#include "model/circle.hpp"
+
+namespace mcmcpar::core {
+
+/// Which of the paper's four processing strategies to use.
+enum class FinderMethod : std::uint8_t {
+  Sequential,            ///< conventional RJ-MCMC (§II-III baseline)
+  Periodic,              ///< periodic partitioning (§V)
+  IntelligentPartition,  ///< pre-processor cuts + per-partition MCMC (§VIII)
+  BlindPartition,        ///< overlapping grid + merge heuristics (§VIII)
+};
+
+/// One-stop configuration for NucleiFinder.
+struct FinderOptions {
+  FinderMethod method = FinderMethod::Sequential;
+
+  model::PriorParams prior;
+  model::LikelihoodParams likelihood;
+  mcmc::MoveSetParams moves;
+
+  /// Iterations for Sequential / Periodic runs.
+  std::uint64_t iterations = 50000;
+
+  /// Estimate the expected artifact count from the image with eq. 5 before
+  /// sampling (overrides prior.expectedCount).
+  bool estimateCount = true;
+  float theta = 0.5f;
+
+  /// Extra knobs for the specific methods.
+  PeriodicParams periodic;
+  PipelineParams pipeline;
+
+  std::uint64_t seed = 1;
+};
+
+/// Result of a find() call.
+struct FinderResult {
+  std::vector<model::Circle> circles;
+  double seconds = 0.0;            ///< wall time of the sampling stage
+  double logPosterior = 0.0;       ///< final log posterior (whole-image
+                                   ///< methods; 0 for partition pipelines)
+  mcmc::Diagnostics diagnostics;   ///< move statistics (where applicable)
+};
+
+/// The library façade: detect bright circular artifacts (stained cell
+/// nuclei, latex beads, ...) in a filtered intensity image using any of the
+/// paper's strategies. See examples/quickstart.cpp.
+class NucleiFinder {
+ public:
+  explicit NucleiFinder(FinderOptions options);
+
+  /// Run on a stain-emphasised intensity image ([0,1] floats).
+  [[nodiscard]] FinderResult find(const img::ImageF& filtered) const;
+
+  /// Convenience: apply the stain-emphasis filter to an RGB micrograph
+  /// first (§III: "first the input image is filtered to emphasise the
+  /// colour of interest").
+  [[nodiscard]] FinderResult findInRgb(
+      const img::ImageRgb& image, const img::StainWeights& stain = {}) const;
+
+  [[nodiscard]] const FinderOptions& options() const noexcept { return options_; }
+
+ private:
+  FinderOptions options_;
+};
+
+}  // namespace mcmcpar::core

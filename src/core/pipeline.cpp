@@ -1,0 +1,154 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mcmc/convergence.hpp"
+#include "mcmc/sampler.hpp"
+#include "par/task_scheduler.hpp"
+#include "par/virtual_clock.hpp"
+#include "partition/prior_estimation.hpp"
+
+namespace mcmcpar::core {
+
+namespace {
+
+/// Compute the §IX runtime summaries: unlimited processors (max over
+/// partitions) and LPT load balancing onto `threads`.
+void finaliseRuntimes(PipelineReport& report, unsigned threads) {
+  std::vector<double> costs;
+  costs.reserve(report.partitions.size());
+  double longest = 0.0;
+  for (const PartitionRun& p : report.partitions) {
+    costs.push_back(p.runtimeToConverge);
+    longest = std::max(longest, p.runtimeToConverge);
+  }
+  report.loadBalancedThreads = threads;
+  report.parallelRuntime =
+      report.partitionerSeconds + longest + report.mergeSeconds;
+  const auto schedule = par::lptSchedule(costs, threads);
+  report.loadBalancedRuntime = report.partitionerSeconds +
+                               schedule.makespan(costs) + report.mergeSeconds;
+}
+
+}  // namespace
+
+PartitionRun runPartitionMcmc(const img::ImageF& filtered,
+                              const partition::IRect& rect,
+                              const PipelineParams& params,
+                              std::uint64_t seed) {
+  PartitionRun run;
+  run.rect = rect;
+  run.relativeArea =
+      static_cast<double>(rect.area()) /
+      (static_cast<double>(filtered.width()) * filtered.height());
+
+  // Eq. 5 prior re-estimation on this partition's own pixels.
+  const auto estimate = partition::estimateCount(
+      filtered, params.theta, params.prior.radiusMean, rect);
+  run.estimatedCount = estimate.expectedCount;
+
+  model::PriorParams prior = params.prior;
+  prior.expectedCount = std::max(estimate.expectedCount, 0.5);
+
+  const img::ImageF crop = filtered.crop(rect.x0, rect.y0, rect.w, rect.h);
+  model::ModelState state(crop, prior, params.likelihood, rect.x0, rect.y0);
+
+  rng::Stream stream(seed);
+  state.initialiseRandom(
+      static_cast<std::size_t>(std::llround(prior.expectedCount)), stream);
+
+  const mcmc::MoveRegistry registry = mcmc::MoveRegistry::caseStudy(params.moves);
+
+  run.iterations =
+      params.iterationsBase +
+      params.iterationsPerCircle *
+          static_cast<std::uint64_t>(std::llround(prior.expectedCount));
+  const std::uint64_t traceEvery = std::max<std::uint64_t>(
+      1, run.iterations / std::max<std::size_t>(params.tracePoints, 2));
+
+  mcmc::Sampler sampler(state, registry, stream);
+  const par::WallTimer timer;
+  sampler.run(run.iterations, traceEvery);
+  run.seconds = timer.seconds();
+  run.timePerIteration =
+      run.seconds / static_cast<double>(std::max<std::uint64_t>(run.iterations, 1));
+
+  if (const auto plateau =
+          mcmc::iterationsToPlateau(sampler.diagnostics().trace())) {
+    run.itersToConverge = plateau->iteration;
+    run.runtimeToConverge =
+        static_cast<double>(plateau->iteration) * run.timePerIteration;
+  } else {
+    run.runtimeToConverge = run.seconds;
+  }
+
+  run.circles = state.config().snapshot();
+  run.finalLogPosterior = state.logPosterior();
+  return run;
+}
+
+PartitionRun runWholeImage(const img::ImageF& filtered,
+                           const PipelineParams& params) {
+  return runPartitionMcmc(
+      filtered, partition::IRect{0, 0, filtered.width(), filtered.height()},
+      params, params.seed);
+}
+
+PipelineReport runIntelligentPipeline(const img::ImageF& filtered,
+                                      const PipelineParams& params) {
+  PipelineReport report;
+
+  const par::WallTimer cutTimer;
+  const auto cuts = partition::intelligentPartition(filtered, params.intelligent);
+  report.partitionerSeconds = cutTimer.seconds();
+
+  for (std::size_t i = 0; i < cuts.partitions.size(); ++i) {
+    report.partitions.push_back(runPartitionMcmc(
+        filtered, cuts.partitions[i], params, params.seed + 101 * (i + 1)));
+  }
+
+  // Intelligent cuts cross no artifact, so recombination is concatenation.
+  const par::WallTimer mergeTimer;
+  for (const PartitionRun& p : report.partitions) {
+    report.merged.insert(report.merged.end(), p.circles.begin(),
+                         p.circles.end());
+  }
+  report.mergeSeconds = mergeTimer.seconds();
+
+  finaliseRuntimes(report, 2);
+  return report;
+}
+
+PipelineReport runBlindPipeline(const img::ImageF& filtered,
+                                const PipelineParams& params) {
+  PipelineReport report;
+
+  partition::BlindParams blind = params.blind;
+  if (blind.overlapMargin <= 0.0) {
+    blind.overlapMargin = 1.1 * params.prior.radiusMean;  // the §IX choice
+  }
+  const par::WallTimer setupTimer;
+  const auto parts =
+      partition::makeBlindPartitions(filtered.width(), filtered.height(), blind);
+  report.partitionerSeconds = setupTimer.seconds();
+
+  std::vector<std::vector<model::Circle>> perPartition;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    // MCMC sees the expanded rectangle so boundary artifacts can be fully
+    // examined (fig. 4 top-left).
+    report.partitions.push_back(runPartitionMcmc(
+        filtered, parts[i].expanded, params, params.seed + 211 * (i + 1)));
+    perPartition.push_back(report.partitions.back().circles);
+  }
+
+  const par::WallTimer mergeTimer;
+  report.merged =
+      partition::mergeBlindResults(parts, perPartition, blind, &report.mergeStats);
+  report.mergeSeconds = mergeTimer.seconds();
+
+  finaliseRuntimes(report, 2);
+  return report;
+}
+
+}  // namespace mcmcpar::core

@@ -1,0 +1,66 @@
+#include "core/runtime_predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcmcpar::core {
+
+double predictSequentialSeconds(const PredictionInput& in) noexcept {
+  const double n = static_cast<double>(in.iterations);
+  return n * (in.qGlobal * in.tauGlobal + (1.0 - in.qGlobal) * in.tauLocal);
+}
+
+double predictPeriodicSeconds(const PredictionInput& in) noexcept {
+  const double n = static_cast<double>(in.iterations);
+  const double s = static_cast<double>(std::max(in.partitions, 1u));
+  return n * in.qGlobal * in.tauGlobal +
+         n * (1.0 - in.qGlobal) * in.tauLocal / s;
+}
+
+double speculativeSpeedup(double rejection, unsigned lanes) noexcept {
+  const double p = std::clamp(rejection, 0.0, 1.0);
+  const unsigned n = std::max(lanes, 1u);
+  if (n == 1 || p <= 0.0) return 1.0;
+  if (p >= 1.0) return static_cast<double>(n);
+  return (1.0 - std::pow(p, static_cast<double>(n))) / (1.0 - p);
+}
+
+double predictPeriodicSpecGlobalSeconds(const PredictionInput& in) noexcept {
+  const double n = static_cast<double>(in.iterations);
+  const double s = static_cast<double>(std::max(in.partitions, 1u));
+  const double globalTerm =
+      n * in.qGlobal * in.tauGlobal /
+      speculativeSpeedup(in.globalRejection, in.specLanesGlobal);
+  return globalTerm + n * (1.0 - in.qGlobal) * in.tauLocal / s;
+}
+
+double predictClusterSeconds(const PredictionInput& in) noexcept {
+  const double n = static_cast<double>(in.iterations);
+  const double s = static_cast<double>(std::max(in.partitions, 1u));
+  const double globalTerm =
+      n * in.qGlobal * in.tauGlobal /
+      speculativeSpeedup(in.globalRejection, in.specLanesLocal);
+  const double localTerm =
+      n * (1.0 - in.qGlobal) * in.tauLocal /
+      (s * speculativeSpeedup(in.localRejection, in.specLanesLocal));
+  return globalTerm + localTerm;
+}
+
+double fig1RelativeRuntime(double qGlobal, unsigned processes) noexcept {
+  // tauG == tauL cancels out of the ratio.
+  const double s = static_cast<double>(std::max(processes, 1u));
+  return qGlobal + (1.0 - qGlobal) / s;
+}
+
+std::vector<Fig1Point> fig1Series(unsigned processes, unsigned points) {
+  std::vector<Fig1Point> series;
+  points = std::max(points, 2u);
+  series.reserve(points);
+  for (unsigned i = 0; i < points; ++i) {
+    const double qg = static_cast<double>(i) / static_cast<double>(points - 1);
+    series.push_back(Fig1Point{qg, fig1RelativeRuntime(qg, processes)});
+  }
+  return series;
+}
+
+}  // namespace mcmcpar::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcmcpar::core {
+
+/// Inputs of the §VI analytic runtime model.
+struct PredictionInput {
+  std::uint64_t iterations = 500000;  ///< N
+  double qGlobal = 0.4;               ///< qg, probability a move is global
+  double tauGlobal = 4e-5;            ///< mean seconds per Mg move
+  double tauLocal = 4e-5;             ///< mean seconds per Ml move
+  unsigned partitions = 4;            ///< s, partitions processed in parallel
+  double globalRejection = 0.75;      ///< pgr (eq. 3-4)
+  double localRejection = 0.75;       ///< plr (eq. 4)
+  unsigned specLanesGlobal = 1;       ///< n / t: speculative lanes, Mg phases
+  unsigned specLanesLocal = 1;        ///< t: speculative lanes, Ml phases
+};
+
+/// N (qg tauG + (1-qg) tauL): the sequential baseline.
+[[nodiscard]] double predictSequentialSeconds(const PredictionInput& in) noexcept;
+
+/// Eq. (2): N qg tauG + N (1-qg) tauL / s.
+[[nodiscard]] double predictPeriodicSeconds(const PredictionInput& in) noexcept;
+
+/// Eq. (3): eq. (2) with the global term divided by the speculative factor
+/// (1 - pgr^n) / (1 - pgr) using n = specLanesGlobal.
+[[nodiscard]] double predictPeriodicSpecGlobalSeconds(const PredictionInput& in) noexcept;
+
+/// Eq. (4): the cluster formula — s machines of t threads each, speculation
+/// in both phases:
+///   N qg tauG (1-pgr)/(1-pgr^t) + N (1-qg) tauL (1-plr) / (s (1-plr^t)).
+[[nodiscard]] double predictClusterSeconds(const PredictionInput& in) noexcept;
+
+/// Speculative speedup factor (1 - p^n) / (1 - p) (>= 1).
+[[nodiscard]] double speculativeSpeedup(double rejection, unsigned lanes) noexcept;
+
+/// One point of the Fig. 1 family: predicted runtime as a fraction of the
+/// sequential runtime for the given qg and process count (tauG == tauL).
+[[nodiscard]] double fig1RelativeRuntime(double qGlobal, unsigned processes) noexcept;
+
+/// A full Fig. 1 series: qg swept over [0, 1] in `points` steps.
+struct Fig1Point {
+  double qGlobal;
+  double relativeRuntime;
+};
+[[nodiscard]] std::vector<Fig1Point> fig1Series(unsigned processes,
+                                                unsigned points = 51);
+
+}  // namespace mcmcpar::core

@@ -1,0 +1,58 @@
+#include "core/split_merge.hpp"
+
+namespace mcmcpar::core {
+
+SubState buildSubState(const model::ModelState& main,
+                       const partition::IRect& rect, double margin) {
+  SubState sub;
+  sub.rect = rect;
+  sub.constraint = mcmc::RegionConstraint{rect.toBounds(), margin};
+
+  sub.state = std::make_unique<model::ModelState>(
+      main.likelihood().crop(rect.x0, rect.y0, rect.w, rect.h),
+      main.prior().params());
+
+  // Copy in every circle that could interact with a modifiable circle:
+  // anything whose centre is within the prior's interaction range of the
+  // rect (covers all overlap partners; coverage inside the crop is already
+  // present from the raster copy, so insertion must bypass the likelihood).
+  const double reach = main.prior().interactionRange();
+  const model::Bounds grab{sub.constraint.rect.x0 - reach,
+                           sub.constraint.rect.y0 - reach,
+                           sub.constraint.rect.x1 + reach,
+                           sub.constraint.rect.y1 + reach};
+  model::Configuration& subConfig = sub.state->configMutable();
+  main.config().forEach([&](model::CircleId mainId, const model::Circle& c) {
+    if (c.x < grab.x0 || c.x >= grab.x1 || c.y < grab.y0 || c.y >= grab.y1) {
+      return;
+    }
+    const model::CircleId subId = subConfig.insert(c);
+    if (sub.constraint.allowsCircle(c)) {
+      sub.mapping.emplace_back(mainId, subId);
+      sub.candidates.push_back(subId);
+    }
+  });
+
+  // The sub-state's cached posterior is meaningless in absolute terms (the
+  // circles were adopted without likelihood bookkeeping); only deltas
+  // accumulated from here on matter.
+  sub.initialLogPosterior = sub.state->logPosterior();
+  return sub;
+}
+
+std::size_t mergeSubState(model::ModelState& main, SubState& sub) {
+  std::size_t changed = 0;
+  for (const auto& [mainId, subId] : sub.mapping) {
+    const model::Circle& updated = sub.state->config().get(subId);
+    if (!(updated == main.config().get(mainId))) {
+      main.replaceGeometryOnly(mainId, updated);
+      ++changed;
+    }
+  }
+  main.likelihoodMutable().absorbCrop(sub.state->likelihood());
+  main.adjustLogPosterior(sub.state->logPosterior() -
+                          sub.initialLogPosterior);
+  return changed;
+}
+
+}  // namespace mcmcpar::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mcmc/move.hpp"
+#include "model/posterior.hpp"
+#include "partition/grid.hpp"
+
+namespace mcmcpar::core {
+
+/// A detached per-partition chain state for the split/merge local-phase
+/// executor (the "duplicate, arrange for parallel execution, and merge the
+/// partitions" path of §VII, which is also how a cluster deployment would
+/// ship partitions to machines).
+///
+/// The sub-state owns a crop of the likelihood rasters and copies of every
+/// circle that can influence moves inside the partition; only circles that
+/// satisfy the legality constraint are modifiable. After the phase,
+/// `mergeSubState` folds geometry, coverage and the posterior delta back
+/// into the main state.
+struct SubState {
+  std::unique_ptr<model::ModelState> state;
+  /// main-state id -> sub-state id for each modifiable circle.
+  std::vector<std::pair<model::CircleId, model::CircleId>> mapping;
+  /// Sub-state ids of the modifiable circles (the move candidate list).
+  std::vector<model::CircleId> candidates;
+  partition::IRect rect;
+  mcmc::RegionConstraint constraint;
+  /// Sub-state cached posterior right after construction; the phase's true
+  /// posterior delta is state->logPosterior() - initialLogPosterior.
+  double initialLogPosterior = 0.0;
+};
+
+/// Build the sub-state for `rect` (pixel crop of the main state's raster).
+/// `margin` is the legality margin used for the modifiable set and for
+/// proposal constraints (0 is sound here: interactions with non-modifiable
+/// border circles are replicated read-only into the sub-state).
+[[nodiscard]] SubState buildSubState(const model::ModelState& main,
+                                     const partition::IRect& rect,
+                                     double margin);
+
+/// Write a finished sub-state back: replace modified circle geometry,
+/// absorb the coverage crop, fold the posterior delta. Returns the number
+/// of circles whose geometry changed. The sub-state is consumed.
+std::size_t mergeSubState(model::ModelState& main, SubState& sub);
+
+}  // namespace mcmcpar::core

@@ -1,0 +1,28 @@
+#include "core/virtual_executor.hpp"
+
+namespace mcmcpar::core {
+
+std::vector<ArchitecturePreset> paperArchitectures() {
+  return {
+      // Dual-core, single die: cheapest thread communication.
+      ArchitecturePreset{"pentium-d-like", 2, 0.6},
+      // Two dual-core dies in one package: intermediate.
+      ArchitecturePreset{"q6600-like", 4, 1.0},
+      // Two single-core packages: crossing the front-side bus.
+      ArchitecturePreset{"xeon-smp-like", 2, 1.8},
+  };
+}
+
+double adjustedVirtualSeconds(const PeriodicReport& report,
+                              double overheadScale) noexcept {
+  return report.virtualSeconds +
+         (overheadScale - 1.0) * report.overheadSeconds;
+}
+
+double reductionPercent(double baselineSeconds,
+                        double candidateSeconds) noexcept {
+  if (baselineSeconds <= 0.0) return 0.0;
+  return 100.0 * (1.0 - candidateSeconds / baselineSeconds);
+}
+
+}  // namespace mcmcpar::core

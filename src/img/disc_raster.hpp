@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "img/image.hpp"
+
+namespace mcmcpar::img {
+
+/// A horizontal run of pixels belonging to a disc: row y, columns [x0, x1).
+struct Span {
+  int y;
+  int x0;
+  int x1;
+};
+
+/// Pixel-membership rule used everywhere in the library: pixel (x, y) belongs
+/// to the disc of centre (cx, cy) and radius r iff its centre point
+/// (x+0.5, y+0.5) lies inside the circle. The rule is shared by the
+/// likelihood, the renderer and the estimators so their pixel sets agree.
+[[nodiscard]] inline bool pixelInDisc(int x, int y, double cx, double cy,
+                                      double r) noexcept {
+  const double dx = (static_cast<double>(x) + 0.5) - cx;
+  const double dy = (static_cast<double>(y) + 0.5) - cy;
+  return dx * dx + dy * dy <= r * r;
+}
+
+/// Invoke fn(x, y) for every pixel of the disc clipped to a width x height
+/// raster. Spans are computed per row with one sqrt, so the cost is
+/// O(r) sqrt calls + O(area) callback invocations.
+template <typename Fn>
+void forEachDiscPixel(double cx, double cy, double r, int width, int height,
+                      Fn&& fn) {
+  if (r <= 0.0) return;
+  const int yLo = std::max(0, static_cast<int>(std::floor(cy - r - 0.5)));
+  const int yHi = std::min(height - 1, static_cast<int>(std::ceil(cy + r - 0.5)));
+  for (int y = yLo; y <= yHi; ++y) {
+    const double dy = (static_cast<double>(y) + 0.5) - cy;
+    const double disc = r * r - dy * dy;
+    if (disc < 0.0) continue;
+    const double half = std::sqrt(disc);
+    // Solve (x + 0.5 - cx)^2 <= disc for integer x.
+    int x0 = static_cast<int>(std::ceil(cx - half - 0.5));
+    int x1 = static_cast<int>(std::floor(cx + half - 0.5));
+    x0 = std::max(x0, 0);
+    x1 = std::min(x1, width - 1);
+    for (int x = x0; x <= x1; ++x) fn(x, y);
+  }
+}
+
+/// Collect the clipped disc as spans (used where a materialised list beats
+/// repeated recomputation, e.g. the split/merge executor's pixel transfer).
+[[nodiscard]] std::vector<Span> discSpans(double cx, double cy, double r,
+                                          int width, int height);
+
+/// Number of raster pixels of the clipped disc.
+[[nodiscard]] std::size_t discPixelCount(double cx, double cy, double r,
+                                         int width, int height) noexcept;
+
+/// Additively render a disc with intensity `peak` and a linear soft edge of
+/// width `softness` pixels (intensity ramps to 0 across the rim band).
+void renderSoftDisc(ImageF& image, double cx, double cy, double r, float peak,
+                    double softness);
+
+}  // namespace mcmcpar::img

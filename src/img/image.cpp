@@ -1,0 +1,50 @@
+#include "img/image.hpp"
+
+#include <cmath>
+
+namespace mcmcpar::img {
+
+MinMax minMax(const ImageF& image) noexcept {
+  if (image.empty()) return {};
+  float lo = image.pixels().front();
+  float hi = lo;
+  for (float v : image.pixels()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {lo, hi};
+}
+
+ImageF normalised(const ImageF& image) {
+  const auto [lo, hi] = minMax(image);
+  ImageF out(image.width(), image.height());
+  if (hi <= lo) return out;
+  const float scale = 1.0f / (hi - lo);
+  for (std::size_t i = 0; i < image.pixelCount(); ++i) {
+    out.pixels()[i] = (image.pixels()[i] - lo) * scale;
+  }
+  return out;
+}
+
+void clampInPlace(ImageF& image, float lo, float hi) noexcept {
+  for (float& v : image.pixels()) v = std::clamp(v, lo, hi);
+}
+
+ImageU8 toU8(const ImageF& image) {
+  ImageU8 out(image.width(), image.height());
+  for (std::size_t i = 0; i < image.pixelCount(); ++i) {
+    const float v = std::clamp(image.pixels()[i], 0.0f, 1.0f);
+    out.pixels()[i] = static_cast<std::uint8_t>(std::lround(v * 255.0f));
+  }
+  return out;
+}
+
+ImageF toF(const ImageU8& image) {
+  ImageF out(image.width(), image.height());
+  for (std::size_t i = 0; i < image.pixelCount(); ++i) {
+    out.pixels()[i] = static_cast<float>(image.pixels()[i]) / 255.0f;
+  }
+  return out;
+}
+
+}  // namespace mcmcpar::img

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mcmcpar::img {
+
+/// 8-bit RGB pixel, used only for visualisation output.
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+/// A dense row-major 2-D raster.
+///
+/// This is the only image representation in the library: the MCMC likelihood,
+/// the partitioners and the synthetic generator all operate on `Image<float>`
+/// with intensities in [0, 1]. Bounds are asserted in debug builds; hot loops
+/// use the unchecked `row()` pointers.
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+
+  /// Construct a width x height image with every pixel set to `fill`.
+  Image(int width, int height, T fill = T{})
+      : width_(width),
+        height_(height),
+        data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+              fill) {
+    assert(width >= 0 && height >= 0);
+  }
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t pixelCount() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] bool contains(int x, int y) const noexcept {
+    return x >= 0 && y >= 0 && x < width_ && y < height_;
+  }
+
+  T& operator()(int x, int y) noexcept {
+    assert(contains(x, y));
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const T& operator()(int x, int y) const noexcept {
+    assert(contains(x, y));
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Pointer to the first pixel of row y (unchecked fast path).
+  T* row(int y) noexcept { return data_.data() + static_cast<std::size_t>(y) * width_; }
+  const T* row(int y) const noexcept {
+    return data_.data() + static_cast<std::size_t>(y) * width_;
+  }
+
+  [[nodiscard]] std::vector<T>& pixels() noexcept { return data_; }
+  [[nodiscard]] const std::vector<T>& pixels() const noexcept { return data_; }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Copy the axis-aligned rectangle [x0, x0+w) x [y0, y0+h); the rectangle
+  /// must be inside the image.
+  [[nodiscard]] Image crop(int x0, int y0, int w, int h) const {
+    assert(x0 >= 0 && y0 >= 0 && x0 + w <= width_ && y0 + h <= height_);
+    Image out(w, h);
+    for (int y = 0; y < h; ++y) {
+      const T* src = row(y0 + y) + x0;
+      std::copy(src, src + w, out.row(y));
+    }
+    return out;
+  }
+
+  friend bool operator==(const Image&, const Image&) = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> data_;
+};
+
+using ImageF = Image<float>;
+using ImageU8 = Image<std::uint8_t>;
+using ImageRgb = Image<Rgb>;
+
+/// Min/max pixel values of a float image; returns {0, 0} for empty images.
+struct MinMax {
+  float minValue = 0.0f;
+  float maxValue = 0.0f;
+};
+[[nodiscard]] MinMax minMax(const ImageF& image) noexcept;
+
+/// Linearly rescale a float image so its range becomes exactly [0, 1].
+/// Constant images map to all-zero.
+[[nodiscard]] ImageF normalised(const ImageF& image);
+
+/// Clamp all pixels into [lo, hi] in place.
+void clampInPlace(ImageF& image, float lo, float hi) noexcept;
+
+/// Convert a [0,1] float image to 8-bit grey (values clamped, round-to-nearest).
+[[nodiscard]] ImageU8 toU8(const ImageF& image);
+
+/// Convert an 8-bit grey image to floats in [0, 1].
+[[nodiscard]] ImageF toF(const ImageU8& image);
+
+}  // namespace mcmcpar::img

@@ -1,0 +1,40 @@
+#include "img/integral_image.hpp"
+
+#include <algorithm>
+
+namespace mcmcpar::img {
+
+IntegralImage::IntegralImage(const ImageF& image)
+    : width_(image.width()), height_(image.height()) {
+  table_.assign(static_cast<std::size_t>(width_ + 1) * (height_ + 1), 0.0);
+  for (int y = 0; y < height_; ++y) {
+    const float* src = image.row(y);
+    double rowSum = 0.0;
+    for (int x = 0; x < width_; ++x) {
+      rowSum += static_cast<double>(src[x]);
+      table_[static_cast<std::size_t>(y + 1) * (width_ + 1) + (x + 1)] =
+          tableAt(x + 1, y) + rowSum;
+    }
+  }
+}
+
+double IntegralImage::sum(int x0, int y0, int w, int h) const noexcept {
+  const int xa = std::clamp(x0, 0, width_);
+  const int ya = std::clamp(y0, 0, height_);
+  const int xb = std::clamp(x0 + w, 0, width_);
+  const int yb = std::clamp(y0 + h, 0, height_);
+  if (xb <= xa || yb <= ya) return 0.0;
+  return tableAt(xb, yb) - tableAt(xa, yb) - tableAt(xb, ya) + tableAt(xa, ya);
+}
+
+double IntegralImage::mean(int x0, int y0, int w, int h) const noexcept {
+  const int xa = std::clamp(x0, 0, width_);
+  const int ya = std::clamp(y0, 0, height_);
+  const int xb = std::clamp(x0 + w, 0, width_);
+  const int yb = std::clamp(y0 + h, 0, height_);
+  const long long area = static_cast<long long>(xb - xa) * (yb - ya);
+  if (area <= 0) return 0.0;
+  return sum(xa, ya, xb - xa, yb - ya) / static_cast<double>(area);
+}
+
+}  // namespace mcmcpar::img

@@ -1,0 +1,66 @@
+#include "img/overlay.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mcmcpar::img {
+
+ImageRgb greyToRgb(const ImageF& image) {
+  ImageRgb out(image.width(), image.height());
+  for (std::size_t i = 0; i < image.pixelCount(); ++i) {
+    const float v = std::clamp(image.pixels()[i], 0.0f, 1.0f);
+    const auto g = static_cast<std::uint8_t>(std::lround(v * 255.0f));
+    out.pixels()[i] = Rgb{g, g, g};
+  }
+  return out;
+}
+
+void drawCircle(ImageRgb& image, double cx, double cy, double r, Rgb colour) {
+  if (r <= 0.0) return;
+  // Parametric sweep with ~1px arc steps; cheap and clip-safe.
+  const int steps = std::max(16, static_cast<int>(std::ceil(
+                                     2.0 * std::numbers::pi * r * 1.5)));
+  for (int i = 0; i < steps; ++i) {
+    const double t =
+        2.0 * std::numbers::pi * static_cast<double>(i) / steps;
+    const int x = static_cast<int>(std::lround(cx + r * std::cos(t) - 0.5));
+    const int y = static_cast<int>(std::lround(cy + r * std::sin(t) - 0.5));
+    if (image.contains(x, y)) image(x, y) = colour;
+  }
+}
+
+void drawCircles(ImageRgb& image, const std::vector<SceneCircle>& circles,
+                 Rgb colour) {
+  for (const SceneCircle& c : circles) drawCircle(image, c.x, c.y, c.r, colour);
+}
+
+void drawRect(ImageRgb& image, int x0, int y0, int w, int h, Rgb colour) {
+  const int x1 = x0 + w - 1;
+  const int y1 = y0 + h - 1;
+  for (int x = std::max(0, x0); x <= std::min(image.width() - 1, x1); ++x) {
+    if (y0 >= 0 && y0 < image.height()) image(x, y0) = colour;
+    if (y1 >= 0 && y1 < image.height()) image(x, y1) = colour;
+  }
+  for (int y = std::max(0, y0); y <= std::min(image.height() - 1, y1); ++y) {
+    if (x0 >= 0 && x0 < image.width()) image(x0, y) = colour;
+    if (x1 >= 0 && x1 < image.width()) image(x1, y) = colour;
+  }
+}
+
+void drawVerticalLines(ImageRgb& image, const std::vector<int>& xs,
+                       Rgb colour) {
+  for (int x : xs) {
+    if (x < 0 || x >= image.width()) continue;
+    for (int y = 0; y < image.height(); ++y) image(x, y) = colour;
+  }
+}
+
+void drawHorizontalLines(ImageRgb& image, const std::vector<int>& ys,
+                         Rgb colour) {
+  for (int y : ys) {
+    if (y < 0 || y >= image.height()) continue;
+    for (int x = 0; x < image.width(); ++x) image(x, y) = colour;
+  }
+}
+
+}  // namespace mcmcpar::img

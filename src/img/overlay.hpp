@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "img/image.hpp"
+#include "img/synth.hpp"
+
+namespace mcmcpar::img {
+
+/// Visualisation helpers for the examples and for debugging experiments.
+/// These produce the kind of pictures shown in the paper's figs. 3 and 4
+/// (partition lines, fitted circles on top of the input image).
+
+/// Expand a grey [0,1] image to RGB.
+[[nodiscard]] ImageRgb greyToRgb(const ImageF& image);
+
+/// Draw a 1-pixel circle outline (midpoint-style parametric sweep).
+void drawCircle(ImageRgb& image, double cx, double cy, double r, Rgb colour);
+
+/// Draw all circles of a model.
+void drawCircles(ImageRgb& image, const std::vector<SceneCircle>& circles,
+                 Rgb colour);
+
+/// Draw an axis-aligned rectangle outline; coordinates are clipped.
+void drawRect(ImageRgb& image, int x0, int y0, int w, int h, Rgb colour);
+
+/// Draw vertical lines at the given x coordinates (partition cuts).
+void drawVerticalLines(ImageRgb& image, const std::vector<int>& xs, Rgb colour);
+
+/// Draw horizontal lines at the given y coordinates.
+void drawHorizontalLines(ImageRgb& image, const std::vector<int>& ys, Rgb colour);
+
+}  // namespace mcmcpar::img

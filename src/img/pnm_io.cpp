@@ -1,0 +1,163 @@
+#include "img/pnm_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace mcmcpar::img {
+
+namespace {
+
+/// Skip whitespace and '#' comment lines between PNM header tokens.
+void skipSeparators(std::istream& in) {
+  for (;;) {
+    const int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+int readHeaderInt(std::istream& in, const char* what) {
+  skipSeparators(in);
+  int value = 0;
+  if (!(in >> value) || value < 0) {
+    throw PnmError(std::string("PNM: bad header field: ") + what);
+  }
+  return value;
+}
+
+struct Header {
+  std::string magic;
+  int width = 0;
+  int height = 0;
+  int maxval = 0;
+};
+
+Header readHeader(std::istream& in) {
+  Header h;
+  in >> h.magic;
+  if (in.fail()) throw PnmError("PNM: missing magic number");
+  h.width = readHeaderInt(in, "width");
+  h.height = readHeaderInt(in, "height");
+  h.maxval = readHeaderInt(in, "maxval");
+  if (h.maxval <= 0 || h.maxval > 255) {
+    throw PnmError("PNM: unsupported maxval (must be 1..255)");
+  }
+  if (static_cast<long long>(h.width) * h.height > (1LL << 30)) {
+    throw PnmError("PNM: implausibly large image");
+  }
+  return h;
+}
+
+void expectBinaryDelimiter(std::istream& in) {
+  const int c = in.get();
+  if (c != ' ' && c != '\t' && c != '\r' && c != '\n') {
+    throw PnmError("PNM: missing whitespace before binary payload");
+  }
+}
+
+std::ofstream openOut(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw PnmError("PNM: cannot open for writing: " + path);
+  return out;
+}
+
+std::ifstream openIn(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw PnmError("PNM: cannot open for reading: " + path);
+  return in;
+}
+
+}  // namespace
+
+void writePgm(const ImageU8& image, std::ostream& out) {
+  out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.pixels().data()),
+            static_cast<std::streamsize>(image.pixelCount()));
+  if (!out) throw PnmError("PNM: write failed");
+}
+
+void writePgm(const ImageU8& image, const std::string& path) {
+  auto out = openOut(path);
+  writePgm(image, out);
+}
+
+void writePpm(const ImageRgb& image, std::ostream& out) {
+  out << "P6\n" << image.width() << ' ' << image.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.pixels().data()),
+            static_cast<std::streamsize>(image.pixelCount() * 3));
+  if (!out) throw PnmError("PNM: write failed");
+}
+
+void writePpm(const ImageRgb& image, const std::string& path) {
+  auto out = openOut(path);
+  writePpm(image, out);
+}
+
+ImageU8 readPgm(std::istream& in) {
+  const Header h = readHeader(in);
+  ImageU8 image(h.width, h.height);
+  if (h.magic == "P5") {
+    expectBinaryDelimiter(in);
+    in.read(reinterpret_cast<char*>(image.pixels().data()),
+            static_cast<std::streamsize>(image.pixelCount()));
+    if (in.gcount() != static_cast<std::streamsize>(image.pixelCount())) {
+      throw PnmError("PGM: truncated pixel data");
+    }
+  } else if (h.magic == "P2") {
+    for (auto& px : image.pixels()) {
+      int v = 0;
+      if (!(in >> v) || v < 0 || v > h.maxval) {
+        throw PnmError("PGM: bad ASCII pixel");
+      }
+      px = static_cast<std::uint8_t>(v);
+    }
+  } else {
+    throw PnmError("PGM: unsupported magic: " + h.magic);
+  }
+  return image;
+}
+
+ImageU8 readPgm(const std::string& path) {
+  auto in = openIn(path);
+  return readPgm(in);
+}
+
+ImageRgb readPpm(std::istream& in) {
+  const Header h = readHeader(in);
+  ImageRgb image(h.width, h.height);
+  if (h.magic == "P6") {
+    expectBinaryDelimiter(in);
+    in.read(reinterpret_cast<char*>(image.pixels().data()),
+            static_cast<std::streamsize>(image.pixelCount() * 3));
+    if (in.gcount() != static_cast<std::streamsize>(image.pixelCount() * 3)) {
+      throw PnmError("PPM: truncated pixel data");
+    }
+  } else if (h.magic == "P3") {
+    for (auto& px : image.pixels()) {
+      int r = 0, g = 0, b = 0;
+      if (!(in >> r >> g >> b) || r < 0 || g < 0 || b < 0 || r > h.maxval ||
+          g > h.maxval || b > h.maxval) {
+        throw PnmError("PPM: bad ASCII pixel");
+      }
+      px = Rgb{static_cast<std::uint8_t>(r), static_cast<std::uint8_t>(g),
+               static_cast<std::uint8_t>(b)};
+    }
+  } else {
+    throw PnmError("PPM: unsupported magic: " + h.magic);
+  }
+  return image;
+}
+
+ImageRgb readPpm(const std::string& path) {
+  auto in = openIn(path);
+  return readPpm(in);
+}
+
+}  // namespace mcmcpar::img

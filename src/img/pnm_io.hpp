@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "img/image.hpp"
+
+namespace mcmcpar::img {
+
+/// Error thrown by the PNM reader/writer on malformed files or I/O failure.
+class PnmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Write an 8-bit grey image as binary PGM (P5).
+void writePgm(const ImageU8& image, const std::string& path);
+void writePgm(const ImageU8& image, std::ostream& out);
+
+/// Write an RGB image as binary PPM (P6).
+void writePpm(const ImageRgb& image, const std::string& path);
+void writePpm(const ImageRgb& image, std::ostream& out);
+
+/// Read a PGM file (P2 ASCII or P5 binary, maxval <= 255).
+[[nodiscard]] ImageU8 readPgm(const std::string& path);
+[[nodiscard]] ImageU8 readPgm(std::istream& in);
+
+/// Read a PPM file (P3 ASCII or P6 binary, maxval <= 255).
+[[nodiscard]] ImageRgb readPpm(const std::string& path);
+[[nodiscard]] ImageRgb readPpm(std::istream& in);
+
+}  // namespace mcmcpar::img

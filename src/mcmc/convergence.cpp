@@ -1,0 +1,51 @@
+#include "mcmc/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcmcpar::mcmc {
+
+std::optional<PlateauResult> iterationsToPlateau(
+    const std::vector<TracePoint>& trace, const PlateauParams& params) {
+  if (trace.size() < 4) return std::nullopt;
+
+  const std::size_t tail = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(static_cast<double>(trace.size()) * params.tailFraction)));
+  std::vector<double> tailValues;
+  tailValues.reserve(tail);
+  for (std::size_t i = trace.size() - tail; i < trace.size(); ++i) {
+    tailValues.push_back(trace[i].logPosterior);
+  }
+  std::nth_element(tailValues.begin(), tailValues.begin() + tailValues.size() / 2,
+                   tailValues.end());
+  const double plateau = tailValues[tailValues.size() / 2];
+
+  const double start = trace.front().logPosterior;
+  if (plateau <= start) {
+    // Chain started at/above its plateau: converged immediately.
+    return PlateauResult{trace.front().iteration, plateau, start};
+  }
+  const double threshold = start + params.riseFraction * (plateau - start);
+  for (const TracePoint& p : trace) {
+    if (p.logPosterior >= threshold) {
+      return PlateauResult{p.iteration, plateau, threshold};
+    }
+  }
+  return std::nullopt;
+}
+
+bool hasFlattened(const std::vector<TracePoint>& trace, std::size_t window,
+                  double epsilon) {
+  if (trace.size() < 2 * window || window == 0) return false;
+  double recent = 0.0, previous = 0.0;
+  for (std::size_t i = trace.size() - window; i < trace.size(); ++i) {
+    recent += trace[i].logPosterior;
+  }
+  for (std::size_t i = trace.size() - 2 * window; i < trace.size() - window; ++i) {
+    previous += trace[i].logPosterior;
+  }
+  return std::abs(recent - previous) / static_cast<double>(window) < epsilon;
+}
+
+}  // namespace mcmcpar::mcmc

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mcmc/diagnostics.hpp"
+
+namespace mcmcpar::mcmc {
+
+/// Deterministic burn-in detection on a log-posterior trace.
+///
+/// Determining true MCMC convergence is unsolved (the paper says so, §II);
+/// Table I nevertheless reports "# itr to converge". This library uses a
+/// reproducible plateau rule: the plateau value is the median log-posterior
+/// of the final `tailFraction` of the trace, and the chain is declared
+/// converged at the first trace point that climbs to `riseFraction` of the
+/// way from the starting value to the plateau.
+struct PlateauParams {
+  double tailFraction = 0.10;
+  double riseFraction = 0.99;
+};
+
+struct PlateauResult {
+  std::uint64_t iteration = 0;   ///< first iteration at/above the threshold
+  double plateauValue = 0.0;     ///< median of the trace tail
+  double thresholdValue = 0.0;   ///< start + riseFraction * (plateau - start)
+};
+
+/// Analyse a trace; nullopt for traces with fewer than 4 points or when the
+/// chain never reaches the threshold (not converged within the trace).
+[[nodiscard]] std::optional<PlateauResult> iterationsToPlateau(
+    const std::vector<TracePoint>& trace, const PlateauParams& params = {});
+
+/// Simple windowed slope check: true when the mean of the last `window`
+/// points differs from the mean of the preceding `window` points by less
+/// than `epsilon` (an "is it still climbing?" heuristic for early stopping).
+[[nodiscard]] bool hasFlattened(const std::vector<TracePoint>& trace,
+                                std::size_t window, double epsilon);
+
+}  // namespace mcmcpar::mcmc

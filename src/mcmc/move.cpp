@@ -1,0 +1,89 @@
+#include "mcmc/move.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcmcpar::mcmc {
+
+Move::~Move() = default;
+
+double RegionConstraint::maxRadiusAt(double x, double y) const noexcept {
+  const double dx = std::min(x - rect.x0, rect.x1 - x) - margin;
+  const double dy = std::min(y - rect.y0, rect.y1 - y) - margin;
+  return std::min(dx, dy);
+}
+
+void commitPending(model::ModelState& state, const PendingMove& pending) {
+  // Apply through the raw likelihood/configuration operations using the
+  // pre-evaluated posterior delta; the convenience ModelState::commit*
+  // methods would re-evaluate the delta a second time.
+  using Op = PendingMove::Op;
+  model::PixelLikelihood& lik = state.likelihoodMutable();
+  model::Configuration& cfg = state.configMutable();
+  state.adjustLogPosterior(pending.logPosteriorDelta);
+  switch (pending.op) {
+    case Op::Add:
+      lik.adjustCoveredGain(lik.applyAdd(pending.c0));
+      cfg.insert(pending.c0);
+      break;
+    case Op::Delete:
+      lik.adjustCoveredGain(lik.applyRemove(cfg.get(pending.id0)));
+      cfg.erase(pending.id0);
+      break;
+    case Op::Replace:
+      lik.adjustCoveredGain(lik.applyRemove(cfg.get(pending.id0)));
+      lik.adjustCoveredGain(lik.applyAdd(pending.c0));
+      cfg.replace(pending.id0, pending.c0);
+      break;
+    case Op::Merge:
+      lik.adjustCoveredGain(lik.applyRemove(cfg.get(pending.id0)));
+      lik.adjustCoveredGain(lik.applyRemove(cfg.get(pending.id1)));
+      lik.adjustCoveredGain(lik.applyAdd(pending.c0));
+      cfg.erase(pending.id0);
+      cfg.erase(pending.id1);
+      cfg.insert(pending.c0);
+      break;
+    case Op::Split:
+      lik.adjustCoveredGain(lik.applyRemove(cfg.get(pending.id0)));
+      lik.adjustCoveredGain(lik.applyAdd(pending.c0));
+      lik.adjustCoveredGain(lik.applyAdd(pending.c1));
+      cfg.erase(pending.id0);
+      cfg.insert(pending.c0);
+      cfg.insert(pending.c1);
+      break;
+    case Op::None:
+      break;
+  }
+}
+
+bool acceptAndCommit(model::ModelState& state, const PendingMove& pending,
+                     rng::Stream& stream) {
+  if (!pending.valid()) return false;
+  // alpha >= 1 accepts unconditionally; otherwise accept with prob alpha.
+  if (pending.logAlpha < 0.0) {
+    const double u = stream.uniform();
+    if (u <= 0.0 || std::log(u) >= pending.logAlpha) return false;
+  }
+  commitPending(state, pending);
+  return true;
+}
+
+model::CircleId pickCircle(const model::ModelState& state,
+                           const SelectionContext& ctx,
+                           rng::Stream& stream) noexcept {
+  if (ctx.candidates != nullptr) {
+    if (ctx.candidates->empty()) return model::kInvalidCircle;
+    return (*ctx.candidates)[static_cast<std::size_t>(
+        stream.below(ctx.candidates->size()))];
+  }
+  if (state.config().empty()) return model::kInvalidCircle;
+  return state.config().randomAlive(stream);
+}
+
+std::size_t selectableCount(const model::ModelState& state,
+                            const SelectionContext& ctx) noexcept {
+  return ctx.candidates != nullptr ? ctx.candidates->size()
+                                   : state.config().size();
+}
+
+}  // namespace mcmcpar::mcmc

@@ -1,0 +1,51 @@
+#pragma once
+
+namespace mcmcpar::mcmc {
+
+/// Tunables of the proposal distributions (the "magnitude of alteration"
+/// knobs from §III of the paper).
+struct ProposalParams {
+  double positionSigma = 2.0;      ///< centre jitter sigma (local move)
+  double radiusSigma = 0.5;        ///< radius jitter sigma (local move)
+  double splitOffsetSigma = 3.0;   ///< sigma of the split centre offset
+  double splitRadiusSigma = 0.8;   ///< sigma of the split radius offset
+  double mergeDistance = 12.0;     ///< max centre distance of merge partners
+  double birthRadiusWiden = 1.0;   ///< birth radius proposal sigma multiplier
+};
+
+/// Absolute selection probability of each move type (must sum to 1; the
+/// registry normalises). Moves need these to form proposal ratios between
+/// paired move types (add<->delete, split<->merge). The defaults give the
+/// paper's §VII mix: Mg = {add, delete, merge, split, replace} with total
+/// probability 0.4 (qg = 0.4) and Ml = {move centre, resize} with 0.6.
+struct MoveWeights {
+  double add = 0.08;
+  double del = 0.08;
+  double merge = 0.08;
+  double split = 0.08;
+  double replace = 0.08;
+  double moveCentre = 0.30;
+  double resize = 0.30;
+
+  [[nodiscard]] double globalTotal() const noexcept {
+    return add + del + merge + split + replace;
+  }
+  [[nodiscard]] double localTotal() const noexcept {
+    return moveCentre + resize;
+  }
+  [[nodiscard]] double total() const noexcept {
+    return globalTotal() + localTotal();
+  }
+  /// qg: the probability that an arbitrary move is global (§V).
+  [[nodiscard]] double qGlobal() const noexcept {
+    return globalTotal() / total();
+  }
+};
+
+/// Everything needed to build the case-study move set.
+struct MoveSetParams {
+  MoveWeights weights;
+  ProposalParams proposal;
+};
+
+}  // namespace mcmcpar::mcmc

@@ -1,0 +1,74 @@
+#include "mcmc/move_registry.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mcmc/moves_birth_death.hpp"
+#include "mcmc/moves_local.hpp"
+#include "mcmc/moves_split_merge.hpp"
+
+namespace mcmcpar::mcmc {
+
+void MoveRegistry::add(std::unique_ptr<Move> move, double weight) {
+  assert(!finalised_ && "MoveRegistry: add after finalise");
+  if (weight <= 0.0) throw std::invalid_argument("MoveRegistry: weight <= 0");
+  moves_.push_back(Entry{std::move(move), weight});
+}
+
+void MoveRegistry::finalise() {
+  assert(!finalised_);
+  if (moves_.empty()) throw std::logic_error("MoveRegistry: no moves");
+
+  std::vector<double> all, global, local;
+  double globalWeight = 0.0, totalWeight = 0.0;
+  for (std::size_t i = 0; i < moves_.size(); ++i) {
+    const Entry& e = moves_[i];
+    all.push_back(e.weight);
+    totalWeight += e.weight;
+    if (e.move->kind() == MoveKind::Global) {
+      globalIndex_.push_back(i);
+      global.push_back(e.weight);
+      globalWeight += e.weight;
+    } else {
+      localIndex_.push_back(i);
+      local.push_back(e.weight);
+    }
+  }
+  anyTable_ = rng::AliasTable(all);
+  if (!global.empty()) globalTable_ = rng::AliasTable(global);
+  if (!local.empty()) localTable_ = rng::AliasTable(local);
+  qGlobal_ = globalWeight / totalWeight;
+  finalised_ = true;
+}
+
+const Move& MoveRegistry::sampleAny(rng::Stream& stream) const {
+  assert(finalised_);
+  return *moves_[anyTable_.sample(stream)].move;
+}
+
+const Move& MoveRegistry::sampleGlobal(rng::Stream& stream) const {
+  assert(finalised_ && !globalIndex_.empty());
+  return *moves_[globalIndex_[globalTable_.sample(stream)]].move;
+}
+
+const Move& MoveRegistry::sampleLocal(rng::Stream& stream) const {
+  assert(finalised_ && !localIndex_.empty());
+  return *moves_[localIndex_[localTable_.sample(stream)]].move;
+}
+
+MoveRegistry MoveRegistry::caseStudy(const MoveSetParams& params) {
+  const MoveWeights& w = params.weights;
+  const ProposalParams& p = params.proposal;
+  MoveRegistry registry;
+  registry.add(std::make_unique<AddMove>(w, p), w.add);
+  registry.add(std::make_unique<DeleteMove>(w, p), w.del);
+  registry.add(std::make_unique<MergeMove>(w, p), w.merge);
+  registry.add(std::make_unique<SplitMove>(w, p), w.split);
+  registry.add(std::make_unique<ReplaceMove>(w, p), w.replace);
+  registry.add(std::make_unique<MoveCentreMove>(p), w.moveCentre);
+  registry.add(std::make_unique<ResizeMove>(p), w.resize);
+  registry.finalise();
+  return registry;
+}
+
+}  // namespace mcmcpar::mcmc

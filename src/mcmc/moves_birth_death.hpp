@@ -1,0 +1,83 @@
+#pragma once
+
+#include "mcmc/move.hpp"
+#include "mcmc/move_params.hpp"
+
+namespace mcmcpar::mcmc {
+
+/// Birth move: insert a circle with uniform centre (over the legal window
+/// for its radius) and a truncated-normal radius centred on the prior mean.
+/// Reversible-jump pair of DeleteMove; the acceptance ratio contains the
+/// add/delete proposal-probability ratio and the birth proposal density.
+class AddMove final : public Move {
+ public:
+  AddMove(const MoveWeights& weights, const ProposalParams& proposal)
+      : weights_(weights), proposal_(proposal) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "add"; }
+  [[nodiscard]] MoveKind kind() const noexcept override { return MoveKind::Global; }
+  [[nodiscard]] PendingMove propose(const model::ModelState& state,
+                                    const SelectionContext& ctx,
+                                    rng::Stream& stream) const override;
+
+ private:
+  MoveWeights weights_;
+  ProposalParams proposal_;
+};
+
+/// Death move: delete a uniformly selected circle. Reverse of AddMove.
+class DeleteMove final : public Move {
+ public:
+  DeleteMove(const MoveWeights& weights, const ProposalParams& proposal)
+      : weights_(weights), proposal_(proposal) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "delete"; }
+  [[nodiscard]] MoveKind kind() const noexcept override { return MoveKind::Global; }
+  [[nodiscard]] PendingMove propose(const model::ModelState& state,
+                                    const SelectionContext& ctx,
+                                    rng::Stream& stream) const override;
+
+ private:
+  MoveWeights weights_;
+  ProposalParams proposal_;
+};
+
+/// Replace move: swap a uniformly selected circle for an independently drawn
+/// fresh one (the paper lists "replace" among the global moves: it can
+/// relocate a feature across the whole image). Dimension-preserving.
+class ReplaceMove final : public Move {
+ public:
+  ReplaceMove(const MoveWeights& weights, const ProposalParams& proposal)
+      : weights_(weights), proposal_(proposal) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "replace"; }
+  [[nodiscard]] MoveKind kind() const noexcept override { return MoveKind::Global; }
+  [[nodiscard]] PendingMove propose(const model::ModelState& state,
+                                    const SelectionContext& ctx,
+                                    rng::Stream& stream) const override;
+
+ private:
+  MoveWeights weights_;
+  ProposalParams proposal_;
+};
+
+/// Shared helper: draw a fresh circle for birth-type proposals and return
+/// its log proposal density; invalid (and density -inf) when no legal
+/// geometry exists. Exposed for tests.
+struct BirthDraw {
+  model::Circle circle;
+  double logDensity;
+  bool valid;
+};
+[[nodiscard]] BirthDraw drawBirthCircle(const model::ModelState& state,
+                                        const RegionConstraint& rc,
+                                        const ProposalParams& proposal,
+                                        rng::Stream& stream);
+
+/// Log density of generating `c` by drawBirthCircle (for reverse ratios).
+[[nodiscard]] double birthLogDensity(const model::ModelState& state,
+                                     const RegionConstraint& rc,
+                                     const ProposalParams& proposal,
+                                     const model::Circle& c);
+
+}  // namespace mcmcpar::mcmc

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "mcmc/move.hpp"
+#include "mcmc/move_params.hpp"
+
+namespace mcmcpar::mcmc {
+
+/// Local move: jitter a circle's centre by a truncated normal confined to
+/// the legal window of its region (partition cell or whole domain). The
+/// window is identical in both directions (radius unchanged), so the
+/// proposal ratio is the ratio of the two truncated-normal densities.
+class MoveCentreMove final : public Move {
+ public:
+  explicit MoveCentreMove(const ProposalParams& proposal)
+      : proposal_(proposal) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "move-centre"; }
+  [[nodiscard]] MoveKind kind() const noexcept override { return MoveKind::Local; }
+  [[nodiscard]] PendingMove propose(const model::ModelState& state,
+                                    const SelectionContext& ctx,
+                                    rng::Stream& stream) const override;
+
+ private:
+  ProposalParams proposal_;
+};
+
+/// Local move: jitter a circle's radius by a truncated normal confined to
+/// [radiusMin, min(radiusMax, largest radius fitting at the centre)].
+class ResizeMove final : public Move {
+ public:
+  explicit ResizeMove(const ProposalParams& proposal) : proposal_(proposal) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "resize"; }
+  [[nodiscard]] MoveKind kind() const noexcept override { return MoveKind::Local; }
+  [[nodiscard]] PendingMove propose(const model::ModelState& state,
+                                    const SelectionContext& ctx,
+                                    rng::Stream& stream) const override;
+
+ private:
+  ProposalParams proposal_;
+};
+
+}  // namespace mcmcpar::mcmc

@@ -1,0 +1,134 @@
+#include "mcmc/moves_split_merge.hpp"
+
+#include <cmath>
+
+#include "rng/distributions.hpp"
+
+namespace mcmcpar::mcmc {
+
+namespace {
+constexpr double kLogJacobian = 2.0794415416798357;  // log(8)
+}
+
+std::size_t mergePartnerCount(const model::ModelState& state, double x,
+                              double y, double mergeDistance,
+                              model::CircleId exclude) {
+  std::size_t count = 0;
+  state.config().forEachNeighbour(
+      x, y, mergeDistance, [&](model::CircleId id, const model::Circle&) {
+        if (id != exclude) ++count;
+      });
+  return count;
+}
+
+PendingMove SplitMove::propose(const model::ModelState& state,
+                               const SelectionContext& ctx,
+                               rng::Stream& stream) const {
+  const model::CircleId id = pickCircle(state, ctx, stream);
+  if (id == model::kInvalidCircle) return {};
+  const model::Circle c = state.config().get(id);
+  const std::size_t n = selectableCount(state, ctx);
+
+  const double dx = stream.normal(0.0, proposal_.splitOffsetSigma);
+  const double dy = stream.normal(0.0, proposal_.splitOffsetSigma);
+  const double rho = stream.normal(0.0, proposal_.splitRadiusSigma);
+
+  const model::Circle c1{c.x + dx, c.y + dy, c.r + rho};
+  const model::Circle c2{c.x - dx, c.y - dy, c.r - rho};
+
+  const RegionConstraint whole = RegionConstraint::wholeDomain(state);
+  const RegionConstraint& rc = ctx.region != nullptr ? *ctx.region : whole;
+
+  // Geometry checks; a failed proposal counts as a rejected iteration.
+  if (!state.prior().radiusInSupport(c1.r) ||
+      !state.prior().radiusInSupport(c2.r) || !rc.allowsCircle(c1) ||
+      !rc.allowsCircle(c2)) {
+    return {};
+  }
+  const double pairDist = 2.0 * std::sqrt(dx * dx + dy * dy);
+  if (pairDist > proposal_.mergeDistance) return {};  // merge cannot reverse
+
+  // Reverse pair-selection probability in the post-split state (n+1
+  // circles): either offspring may be picked first, then the sibling among
+  // its partners. Partner counts exclude the vanished parent and include
+  // the sibling (distance <= mergeDistance verified above).
+  const std::size_t k1 =
+      mergePartnerCount(state, c1.x, c1.y, proposal_.mergeDistance, id) + 1;
+  const std::size_t k2 =
+      mergePartnerCount(state, c2.x, c2.y, proposal_.mergeDistance, id) + 1;
+  const double qPairRev =
+      (1.0 / static_cast<double>(n + 1)) *
+      (1.0 / static_cast<double>(k1) + 1.0 / static_cast<double>(k2));
+
+  const double logQFwd =
+      std::log(weights_.split) - std::log(static_cast<double>(n)) +
+      rng::logNormalPdf(dx, 0.0, proposal_.splitOffsetSigma) +
+      rng::logNormalPdf(dy, 0.0, proposal_.splitOffsetSigma) +
+      rng::logNormalPdf(rho, 0.0, proposal_.splitRadiusSigma);
+  const double logQRev = std::log(weights_.merge) + std::log(qPairRev);
+
+  PendingMove pending;
+  pending.op = PendingMove::Op::Split;
+  pending.id0 = id;
+  pending.c0 = c1;
+  pending.c1 = c2;
+  pending.logPosteriorDelta = state.deltaSplit(id, c1, c2);
+  pending.logAlpha =
+      pending.logPosteriorDelta + logQRev - logQFwd + kLogJacobian;
+  return pending;
+}
+
+PendingMove MergeMove::propose(const model::ModelState& state,
+                               const SelectionContext& ctx,
+                               rng::Stream& stream) const {
+  const model::CircleId a = pickCircle(state, ctx, stream);
+  if (a == model::kInvalidCircle) return {};
+  const std::size_t n = selectableCount(state, ctx);
+  if (n < 2) return {};
+
+  const model::Circle ca = state.config().get(a);
+  const auto partners = state.config().neighboursWithin(
+      ca.x, ca.y, proposal_.mergeDistance, a);
+  if (partners.empty()) return {};
+  const model::CircleId b =
+      partners[static_cast<std::size_t>(stream.below(partners.size()))];
+  const model::Circle cb = state.config().get(b);
+
+  const model::Circle m{(ca.x + cb.x) / 2.0, (ca.y + cb.y) / 2.0,
+                        (ca.r + cb.r) / 2.0};
+
+  const RegionConstraint whole = RegionConstraint::wholeDomain(state);
+  const RegionConstraint& rc = ctx.region != nullptr ? *ctx.region : whole;
+  if (!state.prior().radiusInSupport(m.r) || !rc.allowsCircle(m)) return {};
+
+  const std::size_t ka = partners.size();
+  const std::size_t kb =
+      mergePartnerCount(state, cb.x, cb.y, proposal_.mergeDistance, b);
+  const double qPairFwd =
+      (1.0 / static_cast<double>(n)) *
+      (1.0 / static_cast<double>(ka) + 1.0 / static_cast<double>(kb));
+
+  // Inverse split draws that regenerate (ca, cb) from m.
+  const double dx = (ca.x - cb.x) / 2.0;
+  const double dy = (ca.y - cb.y) / 2.0;
+  const double rho = (ca.r - cb.r) / 2.0;
+
+  const double logQFwd = std::log(weights_.merge) + std::log(qPairFwd);
+  const double logQRev =
+      std::log(weights_.split) - std::log(static_cast<double>(n - 1)) +
+      rng::logNormalPdf(dx, 0.0, proposal_.splitOffsetSigma) +
+      rng::logNormalPdf(dy, 0.0, proposal_.splitOffsetSigma) +
+      rng::logNormalPdf(rho, 0.0, proposal_.splitRadiusSigma);
+
+  PendingMove pending;
+  pending.op = PendingMove::Op::Merge;
+  pending.id0 = a;
+  pending.id1 = b;
+  pending.c0 = m;
+  pending.logPosteriorDelta = state.deltaMerge(a, b, m);
+  pending.logAlpha =
+      pending.logPosteriorDelta + logQRev - logQFwd - kLogJacobian;
+  return pending;
+}
+
+}  // namespace mcmcpar::mcmc

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "mcmc/move.hpp"
+#include "mcmc/move_params.hpp"
+
+namespace mcmcpar::mcmc {
+
+/// Split move (reversible-jump, dimension up): circle c splits into
+///   c1 = (x+dx, y+dy, r+rho),  c2 = (x-dx, y-dy, r-rho)
+/// with dx, dy ~ N(0, splitOffsetSigma), rho ~ N(0, splitRadiusSigma).
+/// The linear map (x,y,r,dx,dy,rho) -> (c1, c2) has |Jacobian| = 8.
+/// The reverse merge must be able to select the pair, so proposals whose
+/// offspring are farther apart than mergeDistance are invalid.
+class SplitMove final : public Move {
+ public:
+  SplitMove(const MoveWeights& weights, const ProposalParams& proposal)
+      : weights_(weights), proposal_(proposal) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "split"; }
+  [[nodiscard]] MoveKind kind() const noexcept override { return MoveKind::Global; }
+  [[nodiscard]] PendingMove propose(const model::ModelState& state,
+                                    const SelectionContext& ctx,
+                                    rng::Stream& stream) const override;
+
+ private:
+  MoveWeights weights_;
+  ProposalParams proposal_;
+};
+
+/// Merge move (reversible-jump, dimension down): select circle a uniformly,
+/// then a partner b uniformly among circles with centre distance <=
+/// mergeDistance; the merged circle is the arithmetic mean. Pair-selection
+/// probability accounts for both orders (see §"merging two artifacts" of
+/// the paper's move list); inverse of SplitMove.
+class MergeMove final : public Move {
+ public:
+  MergeMove(const MoveWeights& weights, const ProposalParams& proposal)
+      : weights_(weights), proposal_(proposal) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "merge"; }
+  [[nodiscard]] MoveKind kind() const noexcept override { return MoveKind::Global; }
+  [[nodiscard]] PendingMove propose(const model::ModelState& state,
+                                    const SelectionContext& ctx,
+                                    rng::Stream& stream) const override;
+
+ private:
+  MoveWeights weights_;
+  ProposalParams proposal_;
+};
+
+/// Number of merge partners of a circle position: alive circles (excluding
+/// `exclude`) with centre within `mergeDistance` of (x, y). Exposed for the
+/// reversibility tests.
+[[nodiscard]] std::size_t mergePartnerCount(const model::ModelState& state,
+                                            double x, double y,
+                                            double mergeDistance,
+                                            model::CircleId exclude);
+
+}  // namespace mcmcpar::mcmc

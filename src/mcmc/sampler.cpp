@@ -1,0 +1,39 @@
+#include "mcmc/sampler.hpp"
+
+namespace mcmcpar::mcmc {
+
+StepResult attemptMove(model::ModelState& state, const Move& move,
+                       const SelectionContext& ctx, rng::Stream& stream) {
+  const PendingMove pending = move.propose(state, ctx, stream);
+  const bool accepted = acceptAndCommit(state, pending, stream);
+  return StepResult{&move, accepted};
+}
+
+Sampler::Sampler(model::ModelState& state, const MoveRegistry& registry,
+                 std::uint64_t seed)
+    : state_(state), registry_(registry), stream_(seed) {}
+
+Sampler::Sampler(model::ModelState& state, const MoveRegistry& registry,
+                 rng::Stream stream)
+    : state_(state), registry_(registry), stream_(stream) {}
+
+StepResult Sampler::step() {
+  const Move& move = registry_.sampleAny(stream_);
+  const SelectionContext ctx{};  // unconstrained
+  const StepResult result = attemptMove(state_, move, ctx, stream_);
+  diagnostics_.record(move.name(), result.accepted);
+  ++iteration_;
+  return result;
+}
+
+void Sampler::run(std::uint64_t iterations, std::uint64_t traceInterval) {
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    step();
+    if (traceInterval != 0 && iteration_ % traceInterval == 0) {
+      diagnostics_.tracePoint(iteration_, state_.logPosterior(),
+                              state_.config().size());
+    }
+  }
+}
+
+}  // namespace mcmcpar::mcmc

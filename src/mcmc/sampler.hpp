@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mcmc/diagnostics.hpp"
+#include "mcmc/move_registry.hpp"
+#include "model/posterior.hpp"
+#include "rng/stream.hpp"
+
+namespace mcmcpar::mcmc {
+
+/// Result of a single MCMC iteration.
+struct StepResult {
+  const Move* move = nullptr;
+  bool accepted = false;
+};
+
+/// Attempt one move against the state: propose (read-only), MH coin flip,
+/// commit on acceptance. The building block shared by the sequential
+/// sampler, the periodic executors and the speculative executor.
+StepResult attemptMove(model::ModelState& state, const Move& move,
+                       const SelectionContext& ctx, rng::Stream& stream);
+
+/// The conventional sequential reversible-jump MH driver (§II-III): at each
+/// iteration a move type is selected at random from the full registry and
+/// attempted. This is the paper's baseline implementation, and the reference
+/// the parallel schemes are compared against.
+class Sampler {
+ public:
+  /// The sampler borrows the state and registry (both must outlive it).
+  Sampler(model::ModelState& state, const MoveRegistry& registry,
+          std::uint64_t seed);
+
+  Sampler(model::ModelState& state, const MoveRegistry& registry,
+          rng::Stream stream);
+
+  /// Run one iteration.
+  StepResult step();
+
+  /// Run `iterations` iterations, recording a trace point every
+  /// `traceInterval` iterations (0 = no trace).
+  void run(std::uint64_t iterations, std::uint64_t traceInterval = 0);
+
+  [[nodiscard]] model::ModelState& state() noexcept { return state_; }
+  [[nodiscard]] Diagnostics& diagnostics() noexcept { return diagnostics_; }
+  [[nodiscard]] const Diagnostics& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+  [[nodiscard]] rng::Stream& stream() noexcept { return stream_; }
+  [[nodiscard]] std::uint64_t iterationsDone() const noexcept {
+    return iteration_;
+  }
+
+ private:
+  model::ModelState& state_;
+  const MoveRegistry& registry_;
+  rng::Stream stream_;
+  Diagnostics diagnostics_;
+  std::uint64_t iteration_ = 0;
+};
+
+}  // namespace mcmcpar::mcmc

@@ -1,0 +1,44 @@
+#include "model/circle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace mcmcpar::model {
+
+double centreDistance2(const Circle& a, const Circle& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+bool discsIntersect(const Circle& a, const Circle& b) noexcept {
+  const double rr = a.r + b.r;
+  return centreDistance2(a, b) <= rr * rr;
+}
+
+double overlapArea(const Circle& a, const Circle& b) noexcept {
+  const double d = std::sqrt(centreDistance2(a, b));
+  if (d >= a.r + b.r) return 0.0;
+  const double rMin = std::min(a.r, b.r);
+  const double rMax = std::max(a.r, b.r);
+  if (d <= rMax - rMin) {
+    // Smaller disc fully inside the larger.
+    return std::numbers::pi * rMin * rMin;
+  }
+  // Circular lens: sum of the two circular segments.
+  const double r2a = a.r * a.r;
+  const double r2b = b.r * b.r;
+  const double alpha =
+      std::acos(std::clamp((d * d + r2a - r2b) / (2.0 * d * a.r), -1.0, 1.0));
+  const double beta =
+      std::acos(std::clamp((d * d + r2b - r2a) / (2.0 * d * b.r), -1.0, 1.0));
+  return r2a * (alpha - std::sin(2.0 * alpha) / 2.0) +
+         r2b * (beta - std::sin(2.0 * beta) / 2.0);
+}
+
+double discArea(const Circle& c) noexcept {
+  return std::numbers::pi * c.r * c.r;
+}
+
+}  // namespace mcmcpar::model

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mcmcpar::model {
+
+/// Stable handle to a circle inside a Configuration. Handles are never
+/// reused within one run of a sampler phase, but may be recycled across
+/// deletes; treat a handle as valid only while the circle is alive.
+using CircleId = std::uint32_t;
+inline constexpr CircleId kInvalidCircle =
+    std::numeric_limits<CircleId>::max();
+
+/// A circular artifact hypothesis: centre (x, y) and radius r, in pixel
+/// units with global image coordinates (also inside cropped partitions).
+struct Circle {
+  double x = 0.0;
+  double y = 0.0;
+  double r = 0.0;
+
+  friend bool operator==(const Circle&, const Circle&) = default;
+};
+
+/// Squared centre distance.
+[[nodiscard]] double centreDistance2(const Circle& a, const Circle& b) noexcept;
+
+/// True when the two discs intersect (boundary contact counts).
+[[nodiscard]] bool discsIntersect(const Circle& a, const Circle& b) noexcept;
+
+/// Exact area of the intersection of two discs (circular lens formula).
+[[nodiscard]] double overlapArea(const Circle& a, const Circle& b) noexcept;
+
+/// Disc area, pi * r^2.
+[[nodiscard]] double discArea(const Circle& c) noexcept;
+
+}  // namespace mcmcpar::model

@@ -1,0 +1,86 @@
+#include "model/configuration.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mcmcpar::model {
+
+Configuration::Configuration(double width, double height, double gridCellSize)
+    : width_(width), height_(height), grid_(width, height, gridCellSize) {}
+
+CircleId Configuration::insert(const Circle& c) {
+  CircleId id;
+  if (!freeList_.empty()) {
+    id = freeList_.back();
+    freeList_.pop_back();
+    slots_[id] = c;
+  } else {
+    id = static_cast<CircleId>(slots_.size());
+    slots_.push_back(c);
+    denseIndex_.push_back(kInvalidCircle);
+  }
+  denseIndex_[id] = static_cast<CircleId>(alive_.size());
+  alive_.push_back(id);
+  grid_.insert(id, c);
+  return id;
+}
+
+void Configuration::erase(CircleId id) {
+  assert(isAlive(id));
+  grid_.remove(id, slots_[id]);
+  // Swap-remove from the dense alive list.
+  const CircleId dense = denseIndex_[id];
+  const CircleId lastId = alive_.back();
+  alive_[dense] = lastId;
+  denseIndex_[lastId] = dense;
+  alive_.pop_back();
+  denseIndex_[id] = kInvalidCircle;
+  freeList_.push_back(id);
+}
+
+void Configuration::replace(CircleId id, const Circle& c) {
+  assert(isAlive(id));
+  grid_.relocate(id, slots_[id], c);
+  slots_[id] = c;
+}
+
+std::vector<CircleId> Configuration::neighboursWithin(double x, double y,
+                                                      double dist,
+                                                      CircleId exclude) const {
+  std::vector<CircleId> result;
+  forEachNeighbour(x, y, dist, [&](CircleId id, const Circle&) {
+    if (id != exclude) result.push_back(id);
+  });
+  return result;
+}
+
+std::vector<Circle> Configuration::snapshot() const {
+  std::vector<Circle> out;
+  out.reserve(alive_.size());
+  for (CircleId id : alive_) out.push_back(slots_[id]);
+  return out;
+}
+
+bool Configuration::invariantsHold() const {
+  if (grid_.size() != alive_.size()) return false;
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    const CircleId id = alive_[i];
+    if (id >= slots_.size()) return false;
+    if (denseIndex_[id] != static_cast<CircleId>(i)) return false;
+  }
+  for (CircleId id : freeList_) {
+    if (denseIndex_[id] != kInvalidCircle) return false;
+  }
+  // Every alive circle must be findable through the grid at distance 0.
+  for (CircleId id : alive_) {
+    const Circle& c = slots_[id];
+    bool found = false;
+    grid_.forEachCandidate(c.x, c.y, 0.0, [&](CircleId cand) {
+      found = found || (cand == id);
+    });
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace mcmcpar::model

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <vector>
+
+#include "model/circle.hpp"
+#include "model/spatial_grid.hpp"
+#include "rng/stream.hpp"
+
+namespace mcmcpar::model {
+
+/// The Markov-chain state's circle container.
+///
+/// Provides stable ids (slot indices with a free list), O(1) uniform random
+/// selection over alive circles (dense alive list with swap-remove), and
+/// neighbour queries through a SpatialGrid. All mutations keep the grid
+/// synchronised.
+class Configuration {
+ public:
+  Configuration() = default;
+
+  /// Container for circles over a width x height domain. `gridCellSize`
+  /// should be at least the largest neighbour-query distance (typically
+  /// 2 * rMax + merge distance); see SpatialGrid.
+  Configuration(double width, double height, double gridCellSize);
+
+  /// Number of alive circles.
+  [[nodiscard]] std::size_t size() const noexcept { return alive_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return alive_.empty(); }
+
+  [[nodiscard]] double domainWidth() const noexcept { return width_; }
+  [[nodiscard]] double domainHeight() const noexcept { return height_; }
+
+  /// Insert a circle; returns its id.
+  CircleId insert(const Circle& c);
+
+  /// Remove an alive circle.
+  void erase(CircleId id);
+
+  /// Overwrite an alive circle's geometry (relocates it in the grid).
+  void replace(CircleId id, const Circle& c);
+
+  [[nodiscard]] const Circle& get(CircleId id) const noexcept {
+    return slots_[id];
+  }
+
+  [[nodiscard]] bool isAlive(CircleId id) const noexcept {
+    return id < slots_.size() && denseIndex_[id] != kInvalidCircle;
+  }
+
+  /// Uniformly random alive circle. Precondition: !empty().
+  [[nodiscard]] CircleId randomAlive(rng::Stream& stream) const noexcept {
+    return alive_[static_cast<std::size_t>(stream.below(alive_.size()))];
+  }
+
+  /// Dense list of alive ids (order unspecified; invalidated by mutation).
+  [[nodiscard]] const std::vector<CircleId>& aliveIds() const noexcept {
+    return alive_;
+  }
+
+  /// Invoke fn(id, circle) for each alive circle.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (CircleId id : alive_) fn(id, slots_[id]);
+  }
+
+  /// Invoke fn(id, circle) for alive circles whose centre lies within `dist`
+  /// of (x, y) (exact distance check, candidates from the grid).
+  template <typename Fn>
+  void forEachNeighbour(double x, double y, double dist, Fn&& fn) const {
+    grid_.forEachCandidate(x, y, dist, [&](CircleId id) {
+      const Circle& c = slots_[id];
+      const double dx = c.x - x;
+      const double dy = c.y - y;
+      if (dx * dx + dy * dy <= dist * dist) fn(id, c);
+    });
+  }
+
+  /// Ids of alive circles with centre within `dist` of (x, y), excluding
+  /// `exclude` (pass kInvalidCircle to exclude nothing).
+  [[nodiscard]] std::vector<CircleId> neighboursWithin(
+      double x, double y, double dist, CircleId exclude = kInvalidCircle) const;
+
+  /// Snapshot of all alive circles (analysis/serialisation order:
+  /// unspecified but deterministic for a given mutation history).
+  [[nodiscard]] std::vector<Circle> snapshot() const;
+
+  /// Internal-consistency check: grid contents match alive circles.
+  /// O(n + cells); used by tests and debug assertions.
+  [[nodiscard]] bool invariantsHold() const;
+
+ private:
+  double width_ = 0.0;
+  double height_ = 0.0;
+  std::vector<Circle> slots_;
+  std::vector<CircleId> denseIndex_;  // slot -> index in alive_, or invalid
+  std::vector<CircleId> alive_;       // dense list of alive slot ids
+  std::vector<CircleId> freeList_;
+  SpatialGrid grid_;
+};
+
+}  // namespace mcmcpar::model

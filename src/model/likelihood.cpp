@@ -1,0 +1,210 @@
+#include "model/likelihood.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "img/disc_raster.hpp"
+#include "rng/distributions.hpp"
+
+namespace mcmcpar::model {
+
+PixelLikelihood::PixelLikelihood(const img::ImageF& filtered,
+                                 const LikelihoodParams& params, int originX,
+                                 int originY)
+    : params_(params),
+      originX_(originX),
+      originY_(originY),
+      gain_(filtered.width(), filtered.height()),
+      coverage_(filtered.width(), filtered.height(), 0) {
+  // gain(p) = logN(I; fg, s) - logN(I; bg, s)
+  //         = [ (I - bg)^2 - (I - fg)^2 ] / (2 s^2)
+  const double inv2s2 = 1.0 / (2.0 * params_.sigma * params_.sigma);
+  double constTerm = 0.0;
+  for (int y = 0; y < filtered.height(); ++y) {
+    const float* src = filtered.row(y);
+    float* dst = gain_.row(y);
+    for (int x = 0; x < filtered.width(); ++x) {
+      const double v = static_cast<double>(src[x]);
+      const double dBg = v - params_.bgMean;
+      const double dFg = v - params_.fgMean;
+      dst[x] = static_cast<float>((dBg * dBg - dFg * dFg) * inv2s2);
+      constTerm += rng::logNormalPdf(v, params_.bgMean, params_.sigma);
+    }
+  }
+  constTerm_ = constTerm;
+}
+
+double PixelLikelihood::deltaAdd(const Circle& c) const noexcept {
+  double delta = 0.0;
+  const double lx = c.x - originX_;
+  const double ly = c.y - originY_;
+  img::forEachDiscPixel(lx, ly, c.r, gain_.width(), gain_.height(),
+                        [&](int x, int y) noexcept {
+                          if (coverage_(x, y) == 0) delta += gain_(x, y);
+                        });
+  return delta;
+}
+
+double PixelLikelihood::deltaRemove(const Circle& c) const noexcept {
+  double delta = 0.0;
+  const double lx = c.x - originX_;
+  const double ly = c.y - originY_;
+  img::forEachDiscPixel(lx, ly, c.r, gain_.width(), gain_.height(),
+                        [&](int x, int y) noexcept {
+                          if (coverage_(x, y) == 1) delta -= gain_(x, y);
+                        });
+  return delta;
+}
+
+double PixelLikelihood::deltaReplace(const Circle& oldC,
+                                     const Circle& newC) const noexcept {
+  // Pixels in new\old becoming covered, pixels in old\new becoming bare.
+  double delta = 0.0;
+  const double ox = oldC.x - originX_;
+  const double oy = oldC.y - originY_;
+  const double nx = newC.x - originX_;
+  const double ny = newC.y - originY_;
+  img::forEachDiscPixel(nx, ny, newC.r, gain_.width(), gain_.height(),
+                        [&](int x, int y) noexcept {
+                          if (coverage_(x, y) == 0 &&
+                              !img::pixelInDisc(x, y, ox, oy, oldC.r)) {
+                            delta += gain_(x, y);
+                          }
+                        });
+  img::forEachDiscPixel(ox, oy, oldC.r, gain_.width(), gain_.height(),
+                        [&](int x, int y) noexcept {
+                          if (coverage_(x, y) == 1 &&
+                              !img::pixelInDisc(x, y, nx, ny, newC.r)) {
+                            delta -= gain_(x, y);
+                          }
+                        });
+  return delta;
+}
+
+double PixelLikelihood::deltaMultiple(std::span<const Circle> removed,
+                                      std::span<const Circle> added) const noexcept {
+  // Joint bounding box of every affected disc, in local coordinates.
+  double bx0 = 1e30, by0 = 1e30, bx1 = -1e30, by1 = -1e30;
+  const auto extend = [&](const Circle& c) noexcept {
+    bx0 = std::min(bx0, c.x - c.r - originX_);
+    by0 = std::min(by0, c.y - c.r - originY_);
+    bx1 = std::max(bx1, c.x + c.r - originX_);
+    by1 = std::max(by1, c.y + c.r - originY_);
+  };
+  for (const Circle& c : removed) extend(c);
+  for (const Circle& c : added) extend(c);
+  if (bx1 < bx0) return 0.0;
+
+  const int x0 = std::max(0, static_cast<int>(std::floor(bx0)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(by0)));
+  const int x1 = std::min(gain_.width() - 1, static_cast<int>(std::ceil(bx1)));
+  const int y1 = std::min(gain_.height() - 1, static_cast<int>(std::ceil(by1)));
+
+  double delta = 0.0;
+  for (int y = y0; y <= y1; ++y) {
+    const float* gainRow = gain_.row(y);
+    const std::uint16_t* covRow = coverage_.row(y);
+    for (int x = x0; x <= x1; ++x) {
+      int inOld = 0;
+      for (const Circle& c : removed) {
+        inOld += img::pixelInDisc(x, y, c.x - originX_, c.y - originY_, c.r);
+      }
+      int inNew = 0;
+      for (const Circle& c : added) {
+        inNew += img::pixelInDisc(x, y, c.x - originX_, c.y - originY_, c.r);
+      }
+      if (inOld == 0 && inNew == 0) continue;
+      const bool wasCovered = covRow[x] > 0;
+      const bool nowCovered = (covRow[x] - inOld + inNew) > 0;
+      if (wasCovered != nowCovered) {
+        delta += nowCovered ? gainRow[x] : -gainRow[x];
+      }
+    }
+  }
+  return delta;
+}
+
+double PixelLikelihood::applyAdd(const Circle& c) noexcept {
+  double delta = 0.0;
+  const double lx = c.x - originX_;
+  const double ly = c.y - originY_;
+  img::forEachDiscPixel(lx, ly, c.r, gain_.width(), gain_.height(),
+                        [&](int x, int y) noexcept {
+                          if (coverage_(x, y)++ == 0) delta += gain_(x, y);
+                        });
+  return delta;
+}
+
+double PixelLikelihood::applyRemove(const Circle& c) noexcept {
+  double delta = 0.0;
+  const double lx = c.x - originX_;
+  const double ly = c.y - originY_;
+  img::forEachDiscPixel(lx, ly, c.r, gain_.width(), gain_.height(),
+                        [&](int x, int y) noexcept {
+                          assert(coverage_(x, y) > 0);
+                          if (--coverage_(x, y) == 0) delta -= gain_(x, y);
+                        });
+  return delta;
+}
+
+void PixelLikelihood::resynchronise() noexcept {
+  double total = 0.0;
+  for (int y = 0; y < gain_.height(); ++y) {
+    const float* gainRow = gain_.row(y);
+    const std::uint16_t* covRow = coverage_.row(y);
+    for (int x = 0; x < gain_.width(); ++x) {
+      if (covRow[x] > 0) total += gainRow[x];
+    }
+  }
+  coveredGain_ = total;
+}
+
+double PixelLikelihood::referenceCoveredGain(
+    std::span<const Circle> circles) const {
+  img::Image<std::uint16_t> cov(gain_.width(), gain_.height(), 0);
+  for (const Circle& c : circles) {
+    img::forEachDiscPixel(c.x - originX_, c.y - originY_, c.r, gain_.width(),
+                          gain_.height(),
+                          [&](int x, int y) { ++cov(x, y); });
+  }
+  double total = 0.0;
+  for (int y = 0; y < gain_.height(); ++y) {
+    const float* gainRow = gain_.row(y);
+    const std::uint16_t* covRow = cov.row(y);
+    for (int x = 0; x < gain_.width(); ++x) {
+      if (covRow[x] > 0) total += gainRow[x];
+    }
+  }
+  return total;
+}
+
+PixelLikelihood PixelLikelihood::crop(int gx0, int gy0, int w, int h) const {
+  assert(gx0 >= originX_ && gy0 >= originY_);
+  assert(gx0 + w <= originX_ + width() && gy0 + h <= originY_ + height());
+  PixelLikelihood out;
+  out.params_ = params_;
+  out.originX_ = gx0;
+  out.originY_ = gy0;
+  out.gain_ = gain_.crop(gx0 - originX_, gy0 - originY_, w, h);
+  out.coverage_ = coverage_.crop(gx0 - originX_, gy0 - originY_, w, h);
+  out.constTerm_ = 0.0;  // crops track relative gain only
+  out.resynchronise();
+  out.initialCoveredGain_ = out.coveredGain_;
+  return out;
+}
+
+void PixelLikelihood::absorbCrop(const PixelLikelihood& cropped) noexcept {
+  const int lx0 = cropped.originX_ - originX_;
+  const int ly0 = cropped.originY_ - originY_;
+  assert(lx0 >= 0 && ly0 >= 0);
+  assert(lx0 + cropped.width() <= width() && ly0 + cropped.height() <= height());
+  for (int y = 0; y < cropped.height(); ++y) {
+    const std::uint16_t* src = cropped.coverage_.row(y);
+    std::uint16_t* dst = coverage_.row(ly0 + y) + lx0;
+    std::copy(src, src + cropped.width(), dst);
+  }
+  coveredGain_ += cropped.coveredGainDeltaSinceCrop();
+}
+
+}  // namespace mcmcpar::model

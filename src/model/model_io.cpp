@@ -1,0 +1,70 @@
+#include "model/model_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace mcmcpar::model {
+
+namespace {
+
+double parseField(const std::string& field, const std::string& line) {
+  double value = 0.0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw ModelIoError("model CSV: bad number in line: " + line);
+  }
+  return value;
+}
+
+}  // namespace
+
+void writeCirclesCsv(const std::vector<Circle>& circles, std::ostream& out) {
+  out << "x,y,r\n";
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (const Circle& c : circles) {
+    out << c.x << ',' << c.y << ',' << c.r << '\n';
+  }
+  if (!out) throw ModelIoError("model CSV: write failed");
+}
+
+void writeCirclesCsv(const std::vector<Circle>& circles,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw ModelIoError("model CSV: cannot open " + path);
+  writeCirclesCsv(circles, out);
+}
+
+std::vector<Circle> readCirclesCsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || (line != "x,y,r" && line != "x,y,r\r")) {
+    throw ModelIoError("model CSV: missing x,y,r header");
+  }
+  std::vector<Circle> circles;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string fx, fy, fr;
+    if (!std::getline(row, fx, ',') || !std::getline(row, fy, ',') ||
+        !std::getline(row, fr)) {
+      throw ModelIoError("model CSV: expected 3 fields: " + line);
+    }
+    circles.push_back(Circle{parseField(fx, line), parseField(fy, line),
+                             parseField(fr, line)});
+  }
+  return circles;
+}
+
+std::vector<Circle> readCirclesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ModelIoError("model CSV: cannot open " + path);
+  return readCirclesCsv(in);
+}
+
+}  // namespace mcmcpar::model

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "model/circle.hpp"
+
+namespace mcmcpar::model {
+
+/// Error thrown by the model reader on malformed input.
+class ModelIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Write a circle model as CSV (header `x,y,r`, one circle per line,
+/// full double precision round-trip).
+void writeCirclesCsv(const std::vector<Circle>& circles, std::ostream& out);
+void writeCirclesCsv(const std::vector<Circle>& circles,
+                     const std::string& path);
+
+/// Read a circle model written by writeCirclesCsv (header validated;
+/// blank lines ignored; throws ModelIoError on malformed rows).
+[[nodiscard]] std::vector<Circle> readCirclesCsv(std::istream& in);
+[[nodiscard]] std::vector<Circle> readCirclesCsv(const std::string& path);
+
+}  // namespace mcmcpar::model

@@ -1,0 +1,116 @@
+#include "model/prior.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "rng/distributions.hpp"
+
+namespace mcmcpar::model {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+CirclePrior::CirclePrior(const PriorParams& params, double domainWidth,
+                         double domainHeight)
+    : params_(params),
+      logPositionDensity_(-std::log(domainWidth * domainHeight)) {}
+
+double CirclePrior::logRadius(double r) const noexcept {
+  if (!radiusInSupport(r)) return kNegInf;
+  return rng::logNormalPdf(r, params_.radiusMean, params_.radiusStd);
+}
+
+double CirclePrior::logCount(std::size_t n) const noexcept {
+  return rng::logPoissonPmf(n, params_.expectedCount);
+}
+
+double CirclePrior::pairPenalty(const Circle& a, const Circle& b) const noexcept {
+  if (!discsIntersect(a, b)) return 0.0;
+  const double shared = overlapArea(a, b);
+  const double smaller = std::min(discArea(a), discArea(b));
+  if (smaller <= 0.0) return 0.0;
+  return -params_.overlapPenalty * (shared / smaller);
+}
+
+double CirclePrior::penaltyAgainstAll(const Configuration& config,
+                                      const Circle& c, CircleId excludeA,
+                                      CircleId excludeB) const {
+  double total = 0.0;
+  // A partner can intersect c only if its centre is within c.r + radiusMax.
+  const double range = c.r + params_.radiusMax;
+  config.forEachNeighbour(c.x, c.y, range, [&](CircleId id, const Circle& other) {
+    if (id == excludeA || id == excludeB) return;
+    total += pairPenalty(c, other);
+  });
+  return total;
+}
+
+double CirclePrior::logPrior(const Configuration& config) const {
+  double total = logCount(config.size());
+  config.forEach([&](CircleId, const Circle& c) {
+    total += logRadius(c.r) + logPosition();
+  });
+  // Pairwise overlap: each unordered pair once. Iterate circles and count a
+  // pair at the circle with the smaller id (ties impossible).
+  config.forEach([&](CircleId id, const Circle& c) {
+    const double range = c.r + params_.radiusMax;
+    config.forEachNeighbour(c.x, c.y, range, [&](CircleId other, const Circle& o) {
+      if (other < id) total += pairPenalty(c, o);
+    });
+  });
+  return total;
+}
+
+double CirclePrior::deltaAdd(const Configuration& config, const Circle& c) const {
+  const std::size_t n = config.size();
+  return (logCount(n + 1) - logCount(n)) + logRadius(c.r) + logPosition() +
+         penaltyAgainstAll(config, c);
+}
+
+double CirclePrior::deltaDelete(const Configuration& config, CircleId id) const {
+  const std::size_t n = config.size();
+  const Circle& c = config.get(id);
+  return (logCount(n - 1) - logCount(n)) - logRadius(c.r) - logPosition() -
+         penaltyAgainstAll(config, c, id);
+}
+
+double CirclePrior::deltaReplace(const Configuration& config, CircleId id,
+                                 const Circle& replacement) const {
+  const Circle& old = config.get(id);
+  return (logRadius(replacement.r) - logRadius(old.r)) +
+         (penaltyAgainstAll(config, replacement, id) -
+          penaltyAgainstAll(config, old, id));
+}
+
+double CirclePrior::deltaMerge(const Configuration& config, CircleId a,
+                               CircleId b, const Circle& m) const {
+  const std::size_t n = config.size();
+  const Circle& ca = config.get(a);
+  const Circle& cb = config.get(b);
+  double delta = logCount(n - 1) - logCount(n);
+  delta += logRadius(m.r) - logRadius(ca.r) - logRadius(cb.r);
+  delta -= logPosition();  // two positions out, one in
+  // Remove penalties of a and b against everyone else; the (a, b) pair
+  // appears in both sweeps, so exclude it from the second.
+  delta -= penaltyAgainstAll(config, ca, a);
+  delta -= penaltyAgainstAll(config, cb, a, b);
+  delta += penaltyAgainstAll(config, m, a, b);
+  return delta;
+}
+
+double CirclePrior::deltaSplit(const Configuration& config, CircleId id,
+                               const Circle& c1, const Circle& c2) const {
+  const std::size_t n = config.size();
+  const Circle& c = config.get(id);
+  double delta = logCount(n + 1) - logCount(n);
+  delta += logRadius(c1.r) + logRadius(c2.r) - logRadius(c.r);
+  delta += logPosition();
+  delta -= penaltyAgainstAll(config, c, id);
+  delta += penaltyAgainstAll(config, c1, id);
+  delta += penaltyAgainstAll(config, c2, id);
+  delta += pairPenalty(c1, c2);  // the new pair interacts with itself
+  return delta;
+}
+
+}  // namespace mcmcpar::model

@@ -1,0 +1,57 @@
+#include "model/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mcmcpar::model {
+
+SpatialGrid::SpatialGrid(double width, double height, double cellSize)
+    : cellSize_(std::max(cellSize, 1.0)),
+      cellsX_(std::max(1, static_cast<int>(std::ceil(width / cellSize_)))),
+      cellsY_(std::max(1, static_cast<int>(std::ceil(height / cellSize_)))) {
+  cells_.resize(static_cast<std::size_t>(cellsX_) * cellsY_);
+}
+
+int SpatialGrid::cellIndexX(double x) const noexcept {
+  const int c = static_cast<int>(std::floor(x / cellSize_));
+  return std::clamp(c, 0, cellsX_ - 1);
+}
+
+int SpatialGrid::cellIndexY(double y) const noexcept {
+  const int c = static_cast<int>(std::floor(y / cellSize_));
+  return std::clamp(c, 0, cellsY_ - 1);
+}
+
+void SpatialGrid::insert(CircleId id, const Circle& c) {
+  cells_[bucketFor(c)].push_back(id);
+}
+
+void SpatialGrid::remove(CircleId id, const Circle& c) {
+  auto& bucket = cells_[bucketFor(c)];
+  const auto it = std::find(bucket.begin(), bucket.end(), id);
+  assert(it != bucket.end() && "SpatialGrid::remove of absent id");
+  // Swap-remove: bucket order is irrelevant to queries.
+  *it = bucket.back();
+  bucket.pop_back();
+}
+
+void SpatialGrid::relocate(CircleId id, const Circle& from, const Circle& to) {
+  const std::size_t a = bucketFor(from);
+  const std::size_t b = bucketFor(to);
+  if (a == b) return;
+  auto& bucket = cells_[a];
+  const auto it = std::find(bucket.begin(), bucket.end(), id);
+  assert(it != bucket.end() && "SpatialGrid::relocate of absent id");
+  *it = bucket.back();
+  bucket.pop_back();
+  cells_[b].push_back(id);
+}
+
+std::size_t SpatialGrid::size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& bucket : cells_) n += bucket.size();
+  return n;
+}
+
+}  // namespace mcmcpar::model

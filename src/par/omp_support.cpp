@@ -1,0 +1,40 @@
+#include "par/omp_support.hpp"
+
+#if defined(MCMCPAR_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace mcmcpar::par {
+
+bool ompAvailable() noexcept {
+#if defined(MCMCPAR_HAVE_OPENMP)
+  return true;
+#else
+  return false;
+#endif
+}
+
+unsigned ompMaxThreads() noexcept {
+#if defined(MCMCPAR_HAVE_OPENMP)
+  return static_cast<unsigned>(omp_get_max_threads());
+#else
+  return 1;
+#endif
+}
+
+void ompParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    unsigned threads) {
+#if defined(MCMCPAR_HAVE_OPENMP)
+  const int numThreads =
+      threads == 0 ? omp_get_max_threads() : static_cast<int>(threads);
+#pragma omp parallel for schedule(dynamic, 1) num_threads(numThreads)
+  for (std::size_t i = 0; i < n; ++i) {
+    fn(i);
+  }
+#else
+  (void)threads;
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+#endif
+}
+
+}  // namespace mcmcpar::par

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mcmcpar::par {
+
+/// True when the library was built with OpenMP.
+[[nodiscard]] bool ompAvailable() noexcept;
+
+/// OpenMP's max thread count (1 without OpenMP).
+[[nodiscard]] unsigned ompMaxThreads() noexcept;
+
+/// Run fn(i) for i in [0, n) with OpenMP dynamic scheduling when available,
+/// serially otherwise. Exceptions must not escape fn (OpenMP constraint);
+/// the executors catch internally and re-throw after the region.
+void ompParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    unsigned threads = 0);
+
+}  // namespace mcmcpar::par

@@ -1,0 +1,100 @@
+#include "par/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace mcmcpar::par {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back(
+        [this](const std::stop_token& stop) { workerLoop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  for (auto& w : workers_) w.request_stop();
+  taskReady_.notify_all();
+  // jthread destructors join.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    queue_.push(std::move(task));
+    ++inFlight_;
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+
+  const auto body = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+      done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  };
+
+  // Each submitted wrapper and the calling thread all drain the index
+  // counter, so the work balances dynamically whatever the pool size.
+  const std::size_t helpers = std::min<std::size_t>(threadCount(), n);
+  for (std::size_t h = 0; h < helpers; ++h) submit(body);
+  body();
+  // The counter being exhausted does not mean the work is finished; spin on
+  // the completion count via the pool's wait (helpers finish as tasks).
+  wait();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+void ThreadPool::workerLoop(const std::stop_token& stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      taskReady_.wait(lock, [this, &stop] {
+        return stopping_ || stop.stop_requested() || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        if (stopping_ || stop.stop_requested()) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      const std::lock_guard lock(mutex_);
+      --inFlight_;
+    }
+    allDone_.notify_all();
+  }
+}
+
+}  // namespace mcmcpar::par

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mcmcpar::par {
+
+/// A fixed-size worker pool executing submitted tasks FIFO.
+///
+/// Workers are std::jthread, so destruction joins automatically after the
+/// stop flag drains the queue. `parallelFor` is the blocking primitive the
+/// executors use: it runs fn(i) for i in [0, n) across the workers and the
+/// calling thread, returning when every index completed. Exceptions from
+/// tasks propagate out of parallelFor (first one wins).
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (0 = hardware concurrency, at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned threadCount() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue a fire-and-forget task.
+  void submit(std::function<void()> task);
+
+  /// Block until all tasks submitted so far have finished.
+  void wait();
+
+  /// Run fn(i) for every i in [0, n), distributing dynamically (one index
+  /// per task; appropriate for coarse tasks like MCMC partitions). Blocks.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop(const std::stop_token& stop);
+
+  std::vector<std::jthread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::size_t inFlight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace mcmcpar::par

@@ -1,0 +1,12 @@
+#include "par/virtual_clock.hpp"
+
+#include "par/task_scheduler.hpp"
+
+namespace mcmcpar::par {
+
+void VirtualClock::advanceParallel(std::span<const double> taskSeconds,
+                                   unsigned threads) {
+  now_ += listScheduleMakespan(taskSeconds, threads);
+}
+
+}  // namespace mcmcpar::par

@@ -1,0 +1,115 @@
+#include "partition/blind.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcmcpar::partition {
+
+std::vector<BlindPartition> makeBlindPartitions(int width, int height,
+                                                const BlindParams& params) {
+  const auto cores = tileImage(width, height, params.gridX, params.gridY);
+  const int m = static_cast<int>(std::ceil(params.overlapMargin));
+  std::vector<BlindPartition> out;
+  out.reserve(cores.size());
+  for (const IRect& core : cores) {
+    IRect exp;
+    exp.x0 = std::max(0, core.x0 - m);
+    exp.y0 = std::max(0, core.y0 - m);
+    exp.w = std::min(width, core.x0 + core.w + m) - exp.x0;
+    exp.h = std::min(height, core.y0 + core.h + m) - exp.y0;
+    out.push_back(BlindPartition{core, exp});
+  }
+  return out;
+}
+
+namespace {
+
+struct Candidate {
+  model::Circle circle;
+  std::size_t partition;
+  bool inOverlap;
+  bool consumed = false;
+};
+
+}  // namespace
+
+std::vector<model::Circle> mergeBlindResults(
+    const std::vector<BlindPartition>& partitions,
+    const std::vector<std::vector<model::Circle>>& perPartition,
+    const BlindParams& params, BlindMergeStats* stats) {
+  BlindMergeStats local;
+  std::vector<model::Circle> accepted;
+  std::vector<Candidate> overlapCandidates;
+
+  const auto inOtherExpanded = [&](double x, double y, std::size_t self) {
+    for (std::size_t q = 0; q < partitions.size(); ++q) {
+      if (q != self && partitions[q].expanded.containsPoint(x, y)) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    for (const model::Circle& c : perPartition[p]) {
+      // Rule 1: centre must be inside the core (the dotted line).
+      if (!partitions[p].core.containsPoint(c.x, c.y)) {
+        ++local.droppedOutsideCore;
+        continue;
+      }
+      // Rule 2: centres that no other partition could have seen are final.
+      if (!inOtherExpanded(c.x, c.y, p)) {
+        ++local.autoAccepted;
+        accepted.push_back(c);
+      } else {
+        overlapCandidates.push_back(Candidate{c, p, true});
+      }
+    }
+  }
+
+  // Rule 3: merge the closest cross-partition pairs first.
+  struct Pair {
+    double dist2;
+    std::size_t a, b;
+  };
+  std::vector<Pair> pairs;
+  const double r2 = params.mergeRadius * params.mergeRadius;
+  for (std::size_t i = 0; i < overlapCandidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < overlapCandidates.size(); ++j) {
+      if (overlapCandidates[i].partition == overlapCandidates[j].partition) {
+        continue;
+      }
+      const double d2 = model::centreDistance2(overlapCandidates[i].circle,
+                                               overlapCandidates[j].circle);
+      if (d2 <= r2) pairs.push_back(Pair{d2, i, j});
+    }
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const Pair& a, const Pair& b) { return a.dist2 < b.dist2; });
+  for (const Pair& pr : pairs) {
+    Candidate& a = overlapCandidates[pr.a];
+    Candidate& b = overlapCandidates[pr.b];
+    if (a.consumed || b.consumed) continue;
+    a.consumed = b.consumed = true;
+    // "replaced with a bead with centerpoint and radii that are the average
+    // of the original bead".
+    accepted.push_back(model::Circle{(a.circle.x + b.circle.x) / 2.0,
+                                     (a.circle.y + b.circle.y) / 2.0,
+                                     (a.circle.r + b.circle.r) / 2.0});
+    ++local.mergedPairs;
+  }
+
+  // Rule 4: dispute policy for unmatched overlap-area circles.
+  for (const Candidate& c : overlapCandidates) {
+    if (c.consumed) continue;
+    if (params.dispute == BlindParams::DisputePolicy::Accept) {
+      accepted.push_back(c.circle);
+      ++local.disputedAccepted;
+    } else {
+      ++local.disputedDiscarded;
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  return accepted;
+}
+
+}  // namespace mcmcpar::partition

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "model/circle.hpp"
+#include "partition/grid.hpp"
+
+namespace mcmcpar::partition {
+
+/// Parameters of blind partitioning (§VIII-§IX).
+struct BlindParams {
+  int gridX = 2;  ///< simple grid columns ("split into four equal areas")
+  int gridY = 2;  ///< simple grid rows
+
+  /// Expansion of each partition beyond its core, in pixels; the paper uses
+  /// 1.1 x the expected artifact radius so the largest expected artifact
+  /// fits fully inside at least one partition.
+  double overlapMargin = 11.0;
+
+  /// Centre distance below which two results from different partitions are
+  /// considered the same artifact and merged ("within say 5 pixels").
+  double mergeRadius = 5.0;
+
+  /// What to do with overlap-area features that have no counterpart in the
+  /// neighbouring partition: keep them (avoid misses) or drop them (avoid
+  /// false positives). The paper leaves this to the application.
+  enum class DisputePolicy { Accept, Discard };
+  DisputePolicy dispute = DisputePolicy::Accept;
+};
+
+/// One blind partition: the core cell of the simple grid (dotted line in
+/// fig. 4) and the expanded rectangle actually handed to MCMC (solid line).
+struct BlindPartition {
+  IRect core;
+  IRect expanded;
+};
+
+/// Build the gx x gy blind partitions of a width x height image, each core
+/// expanded by `overlapMargin` (clipped at the image border).
+[[nodiscard]] std::vector<BlindPartition> makeBlindPartitions(
+    int width, int height, const BlindParams& params);
+
+/// Bookkeeping of the recombination heuristics.
+struct BlindMergeStats {
+  std::size_t droppedOutsideCore = 0;  ///< results with centre outside core
+  std::size_t autoAccepted = 0;        ///< centres in non-overlap regions
+  std::size_t mergedPairs = 0;         ///< near-duplicates averaged
+  std::size_t disputedAccepted = 0;
+  std::size_t disputedDiscarded = 0;
+};
+
+/// Recombine per-partition MCMC results (fig. 4, bottom row):
+/// 1. drop circles whose centre is outside their partition's core;
+/// 2. auto-accept circles whose centre lies in no other partition's
+///    expanded area;
+/// 3. among the rest (overlap-area circles), greedily merge cross-partition
+///    pairs with centre distance <= mergeRadius into their average;
+/// 4. apply the dispute policy to unmatched overlap-area circles.
+[[nodiscard]] std::vector<model::Circle> mergeBlindResults(
+    const std::vector<BlindPartition>& partitions,
+    const std::vector<std::vector<model::Circle>>& perPartition,
+    const BlindParams& params, BlindMergeStats* stats = nullptr);
+
+}  // namespace mcmcpar::partition

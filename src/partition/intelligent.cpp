@@ -1,0 +1,147 @@
+#include "partition/intelligent.hpp"
+
+#include <algorithm>
+
+#include "img/filters.hpp"
+
+namespace mcmcpar::partition {
+
+namespace {
+
+/// Occupancy of columns (axis=0) or rows (axis=1) within a subrect.
+std::vector<bool> occupancy(const img::ImageF& image, const IRect& rect,
+                            float theta, int axis) {
+  const std::size_t n =
+      axis == 0 ? static_cast<std::size_t>(rect.w) : static_cast<std::size_t>(rect.h);
+  std::vector<bool> occ(n, false);
+  for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+    const float* row = image.row(y);
+    for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
+      if (row[x] > theta) {
+        occ[axis == 0 ? static_cast<std::size_t>(x - rect.x0)
+                      : static_cast<std::size_t>(y - rect.y0)] = true;
+      }
+    }
+  }
+  return occ;
+}
+
+struct Cutter {
+  const img::ImageF& image;
+  IntelligentParams params;
+  std::vector<IRect> out;
+  std::vector<int> vCuts;
+  std::vector<int> hCuts;
+
+  void recurse(const IRect& rect, int depth, int axis) {
+    if (depth >= params.maxDepth) {
+      out.push_back(rect);
+      return;
+    }
+    const std::vector<bool> occ = occupancy(image, rect, params.theta, axis);
+    std::vector<int> cuts = gapCutPositions(occ, params.minGapWidth);
+
+    // Drop cuts that would create slivers.
+    std::vector<int> kept;
+    int prev = 0;
+    const int extent = axis == 0 ? rect.w : rect.h;
+    for (int c : cuts) {
+      if (c - prev >= params.minPartitionSize &&
+          extent - c >= params.minPartitionSize) {
+        kept.push_back(c);
+        prev = c;
+      }
+    }
+
+    if (kept.empty()) {
+      // Try the other axis once before giving up on this rect.
+      if (axis == 0) {
+        recurseOther(rect, depth);
+      } else {
+        out.push_back(rect);
+      }
+      return;
+    }
+
+    int start = 0;
+    for (std::size_t i = 0; i <= kept.size(); ++i) {
+      const int end = i < kept.size() ? kept[i] : extent;
+      IRect piece = rect;
+      if (axis == 0) {
+        piece.x0 = rect.x0 + start;
+        piece.w = end - start;
+        if (i < kept.size()) vCuts.push_back(rect.x0 + kept[i]);
+      } else {
+        piece.y0 = rect.y0 + start;
+        piece.h = end - start;
+        if (i < kept.size()) hCuts.push_back(rect.y0 + kept[i]);
+      }
+      recurse(piece, depth + 1, 1 - axis);
+      start = end;
+    }
+  }
+
+  void recurseOther(const IRect& rect, int depth) {
+    const std::vector<bool> occ = occupancy(image, rect, params.theta, 1);
+    std::vector<int> cuts = gapCutPositions(occ, params.minGapWidth);
+    std::vector<int> kept;
+    int prev = 0;
+    for (int c : cuts) {
+      if (c - prev >= params.minPartitionSize &&
+          rect.h - c >= params.minPartitionSize) {
+        kept.push_back(c);
+        prev = c;
+      }
+    }
+    if (kept.empty()) {
+      out.push_back(rect);
+      return;
+    }
+    int start = 0;
+    for (std::size_t i = 0; i <= kept.size(); ++i) {
+      const int end = i < kept.size() ? kept[i] : rect.h;
+      IRect piece = rect;
+      piece.y0 = rect.y0 + start;
+      piece.h = end - start;
+      if (i < kept.size()) hCuts.push_back(rect.y0 + kept[i]);
+      recurse(piece, depth + 1, 0);
+      start = end;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<int> gapCutPositions(const std::vector<bool>& occupied,
+                                 int minGap) {
+  std::vector<int> cuts;
+  const int n = static_cast<int>(occupied.size());
+
+  // Leading/trailing empty runs have occupied cells on one side only; no
+  // cut is made there (nothing to separate).
+  int i = 0;
+  while (i < n && !occupied[static_cast<std::size_t>(i)]) ++i;  // skip leading gap
+  while (i < n) {
+    // Advance through an occupied block.
+    while (i < n && occupied[static_cast<std::size_t>(i)]) ++i;
+    const int gapStart = i;
+    while (i < n && !occupied[static_cast<std::size_t>(i)]) ++i;
+    const int gapEnd = i;  // [gapStart, gapEnd) empty
+    if (i < n && gapEnd - gapStart >= minGap) {
+      cuts.push_back(gapStart + (gapEnd - gapStart) / 2);
+    }
+  }
+  return cuts;
+}
+
+IntelligentPartitioning intelligentPartition(const img::ImageF& filtered,
+                                             const IntelligentParams& params) {
+  Cutter cutter{filtered, params, {}, {}, {}};
+  cutter.recurse(IRect{0, 0, filtered.width(), filtered.height()}, 0, 0);
+  std::sort(cutter.vCuts.begin(), cutter.vCuts.end());
+  std::sort(cutter.hCuts.begin(), cutter.hCuts.end());
+  return IntelligentPartitioning{std::move(cutter.out), std::move(cutter.vCuts),
+                                 std::move(cutter.hCuts)};
+}
+
+}  // namespace mcmcpar::partition

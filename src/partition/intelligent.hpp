@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "img/image.hpp"
+#include "partition/grid.hpp"
+
+namespace mcmcpar::partition {
+
+/// Parameters of the intelligent partitioner (§VIII-§IX).
+struct IntelligentParams {
+  float theta = 0.5f;       ///< threshold for "occupied" pixels (eq. 5 theta)
+  int minGapWidth = 3;      ///< an empty run must be at least this wide to cut
+  int minPartitionSize = 24;///< do not produce slivers thinner than this
+  int maxDepth = 8;         ///< recursion depth bound (alternating axes)
+};
+
+/// Result of intelligent partitioning: the partitions tile the image; cuts
+/// run along the centres of empty column/row runs ("equidistant between the
+/// closest columns/rows containing pixels that passed the threshold").
+struct IntelligentPartitioning {
+  std::vector<IRect> partitions;
+  std::vector<int> verticalCuts;    ///< x coordinates of the cuts made
+  std::vector<int> horizontalCuts;  ///< y coordinates of the cuts made
+};
+
+/// Scan a thresholded view of `filtered` for completely empty rows/columns
+/// and recursively cut the image between occupied blocks, alternating axes.
+/// Returns at least one partition (the whole image when no gap exists).
+///
+/// This is the fast pre-processor the paper requires "complete confidence"
+/// in: a cut is only made through columns/rows with *no* pixel above theta,
+/// so no artifact (as seen by the same threshold) can span a boundary.
+[[nodiscard]] IntelligentPartitioning intelligentPartition(
+    const img::ImageF& filtered, const IntelligentParams& params = {});
+
+/// Helper exposed for tests: centres of maximal empty runs (value false) at
+/// least `minGap` long that have occupied cells on both sides.
+[[nodiscard]] std::vector<int> gapCutPositions(const std::vector<bool>& occupied,
+                                               int minGap);
+
+}  // namespace mcmcpar::partition

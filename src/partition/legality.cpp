@@ -1,0 +1,62 @@
+#include "partition/legality.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mcmcpar::partition {
+
+std::vector<model::CircleId> modifiableCircles(
+    const model::ModelState& state, const mcmc::RegionConstraint& rc) {
+  std::vector<model::CircleId> ids;
+  state.config().forEach([&](model::CircleId id, const model::Circle& c) {
+    if (rc.allowsCircle(c)) ids.push_back(id);
+  });
+  return ids;
+}
+
+std::size_t modifiableCount(const model::ModelState& state,
+                            const mcmc::RegionConstraint& rc) {
+  std::size_t count = 0;
+  state.config().forEach([&](model::CircleId, const model::Circle& c) {
+    if (rc.allowsCircle(c)) ++count;
+  });
+  return count;
+}
+
+std::vector<std::uint64_t> allocateIterations(
+    std::uint64_t total, const std::vector<std::size_t>& counts) {
+  std::vector<std::uint64_t> out(counts.size(), 0);
+  const std::uint64_t sum =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  if (sum == 0 || total == 0) return out;
+
+  // Largest-remainder: floor shares first, then distribute the leftovers to
+  // the largest fractional remainders (ties broken by index for
+  // determinism).
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double exact = static_cast<double>(total) *
+                         static_cast<double>(counts[i]) /
+                         static_cast<double>(sum);
+    out[i] = static_cast<std::uint64_t>(exact);
+    assigned += out[i];
+    remainders.emplace_back(exact - static_cast<double>(out[i]), i);
+  }
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t k = 0; assigned < total; ++k) {
+    ++out[remainders[k % remainders.size()].second];
+    ++assigned;
+  }
+  return out;
+}
+
+double inPlaceSafetyMargin(const model::ModelState& state) {
+  // Mirrors the spatial-grid cell size chosen by ModelState's configuration
+  // (max(interactionRange, 8)).
+  const double cell = std::max(state.prior().interactionRange(), 8.0);
+  return 2.0 * cell;
+}
+
+}  // namespace mcmcpar::partition

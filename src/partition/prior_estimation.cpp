@@ -1,0 +1,36 @@
+#include "partition/prior_estimation.hpp"
+
+#include <numbers>
+
+#include "img/filters.hpp"
+
+namespace mcmcpar::partition {
+
+DensityEstimate estimateCount(const img::ImageF& filtered, float theta,
+                              double radius) {
+  DensityEstimate e;
+  e.pixelsAbove = img::countAboveThreshold(filtered, theta);
+  e.discArea = std::numbers::pi * radius * radius;
+  e.expectedCount = static_cast<double>(e.pixelsAbove) / e.discArea;
+  return e;
+}
+
+DensityEstimate estimateCount(const img::ImageF& filtered, float theta,
+                              double radius, const IRect& rect) {
+  DensityEstimate e;
+  e.pixelsAbove = img::countAboveThreshold(filtered, theta, rect.x0, rect.y0,
+                                           rect.w, rect.h);
+  e.discArea = std::numbers::pi * radius * radius;
+  e.expectedCount = static_cast<double>(e.pixelsAbove) / e.discArea;
+  return e;
+}
+
+double uniformAreaShare(double totalCount, const IRect& rect, int imageWidth,
+                        int imageHeight) {
+  const double imageArea =
+      static_cast<double>(imageWidth) * static_cast<double>(imageHeight);
+  if (imageArea <= 0.0) return 0.0;
+  return totalCount * static_cast<double>(rect.area()) / imageArea;
+}
+
+}  // namespace mcmcpar::partition

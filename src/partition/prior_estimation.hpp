@@ -1,0 +1,37 @@
+#pragma once
+
+#include "img/image.hpp"
+#include "partition/grid.hpp"
+
+namespace mcmcpar::partition {
+
+/// Eq. (5) of the paper: estimate the number of circular artifacts in an
+/// image (or subimage) as
+///
+///   |{(x,y) in M : I(x,y) > theta}| / (pi * r^2)
+///
+/// "Assuming all pixels passing the threshold criteria belong to a cell
+/// nucleus". Clumped artifacts share pixels, so the estimate undershoots in
+/// dense regions (Table I: 4.9 vs 6 visual in partition A).
+struct DensityEstimate {
+  double expectedCount = 0.0;   ///< the eq. 5 value
+  std::size_t pixelsAbove = 0;  ///< numerator
+  double discArea = 0.0;        ///< denominator (pi r^2)
+};
+
+/// Whole-image estimate.
+[[nodiscard]] DensityEstimate estimateCount(const img::ImageF& filtered,
+                                            float theta, double radius);
+
+/// Per-partition estimate over rect (clipped to the image).
+[[nodiscard]] DensityEstimate estimateCount(const img::ImageF& filtered,
+                                            float theta, double radius,
+                                            const IRect& rect);
+
+/// The naive alternative the paper warns about: assume a uniform artifact
+/// distribution and give each partition a share of the whole-image count
+/// proportional to its area. Table I's "# obj (density)" row.
+[[nodiscard]] double uniformAreaShare(double totalCount, const IRect& rect,
+                                      int imageWidth, int imageHeight);
+
+}  // namespace mcmcpar::partition

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/stream.hpp"
+
+namespace mcmcpar::rng {
+
+/// Density/log-density helpers shared by priors, proposal ratios and tests.
+/// All log densities return -inf outside the support rather than throwing,
+/// because MCMC acceptance ratios treat out-of-support states as "reject".
+
+/// log N(x; mu, sigma). Precondition: sigma > 0.
+[[nodiscard]] double logNormalPdf(double x, double mu, double sigma) noexcept;
+
+/// log of the Poisson pmf P(k; mean). Returns -inf for mean <= 0 unless k==0.
+[[nodiscard]] double logPoissonPmf(std::uint64_t k, double mean) noexcept;
+
+/// log of the uniform density on [lo, hi]; -inf outside.
+[[nodiscard]] double logUniformPdf(double x, double lo, double hi) noexcept;
+
+/// Draw from N(mu, sigma) truncated to [lo, hi] by rejection; falls back to
+/// inverse-CDF-free clamped re-draws. Preconditions: sigma > 0, lo < hi.
+[[nodiscard]] double truncatedNormal(Stream& s, double mu, double sigma,
+                                     double lo, double hi) noexcept;
+
+/// log density of the truncated normal above (normalised on [lo, hi]).
+[[nodiscard]] double logTruncatedNormalPdf(double x, double mu, double sigma,
+                                           double lo, double hi) noexcept;
+
+/// Walker alias table for O(1) sampling from a fixed discrete distribution.
+///
+/// Used to pick MCMC move types with the configured proposal probabilities.
+/// Construction is O(n); sampling costs one uniform + one table lookup.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Build from non-negative weights (not necessarily normalised).
+  /// Precondition: at least one weight > 0.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Sample an index in [0, size()).
+  [[nodiscard]] std::size_t sample(Stream& s) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Normalised probability of index i (for tests / proposal ratios).
+  [[nodiscard]] double probability(std::size_t i) const noexcept {
+    return normalised_[i];
+  }
+
+ private:
+  std::vector<double> prob_;        // acceptance probability per slot
+  std::vector<std::size_t> alias_;  // alias index per slot
+  std::vector<double> normalised_;  // original weights, normalised
+};
+
+}  // namespace mcmcpar::rng

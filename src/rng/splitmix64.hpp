@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mcmcpar::rng {
+
+/// SplitMix64 generator (Steele, Lea & Flood 2014).
+///
+/// Used for two purposes in this library: seeding the state of the main
+/// xoshiro256++ generators from a single 64-bit seed, and as a tiny
+/// stand-alone generator in tests. It is an equidistributed bijection on
+/// 64-bit integers, so distinct seeds always yield distinct state streams.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a 64-bit seed. Any value (including 0) is valid.
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// UniformRandomBitGenerator interface.
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mcmcpar::rng

@@ -1,0 +1,118 @@
+#include "rng/stream.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "rng/splitmix64.hpp"
+
+namespace mcmcpar::rng {
+
+Stream Stream::substream(unsigned k) const noexcept {
+  Xoshiro256 g = gen_;
+  for (unsigned i = 0; i < k; ++i) g.jump();
+  return Stream(g);
+}
+
+Stream Stream::derive(std::uint64_t tag) const noexcept {
+  // Mix the four state words and the tag through SplitMix64 so that derived
+  // streams differ in all state bits even for adjacent tags.
+  const auto& s = gen_.state();
+  SplitMix64 mix(s[0] ^ (s[1] << 1) ^ (s[2] << 2) ^ (s[3] << 3));
+  std::uint64_t h = mix.next() ^ (tag * 0x9e3779b97f4a7c15ULL);
+  SplitMix64 mix2(h);
+  return Stream(Xoshiro256(mix2.next()));
+}
+
+double Stream::uniform() noexcept {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+}
+
+double Stream::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Stream::below(std::uint64_t n) noexcept {
+  // Lemire 2019 unbiased bounded generation.
+  std::uint64_t x = gen_.next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (~n + 1) % n;  // 2^64 mod n
+    while (lo < threshold) {
+      x = gen_.next();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Stream::between(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool Stream::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Stream::normal() noexcept {
+  if (hasCachedNormal_) {
+    hasCachedNormal_ = false;
+    return cachedNormal_;
+  }
+  // Box-Muller; u1 must be > 0.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cachedNormal_ = r * std::sin(theta);
+  hasCachedNormal_ = true;
+  return r * std::cos(theta);
+}
+
+double Stream::exponential(double lambda) noexcept {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+std::uint64_t Stream::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double prod = uniform();
+    while (prod > limit) {
+      ++k;
+      prod *= uniform();
+    }
+    return k;
+  }
+  // PTRS transformed-rejection (Hormann 1993) for large means.
+  const double b = 0.931 + 2.53 * std::sqrt(mean);
+  const double a = -0.059 + 0.02483 * b;
+  const double invAlpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double vr = 0.9277 - 3.6224 / (b - 2.0);
+  for (;;) {
+    const double u = uniform() - 0.5;
+    const double v = uniform();
+    const double us = 0.5 - std::abs(u);
+    const auto k = static_cast<std::int64_t>(
+        std::floor((2.0 * a / us + b) * u + mean + 0.43));
+    if (us >= 0.07 && v <= vr) return static_cast<std::uint64_t>(k);
+    if (k < 0 || (us < 0.013 && v > us)) continue;
+    const double logMean = std::log(mean);
+    if (std::log(v * invAlpha / (a / (us * us) + b)) <=
+        static_cast<double>(k) * logMean - mean - std::lgamma(static_cast<double>(k) + 1.0)) {
+      return static_cast<std::uint64_t>(k);
+    }
+  }
+}
+
+}  // namespace mcmcpar::rng

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/anomaly.hpp"
+#include "analysis/matching.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table_writer.hpp"
+
+namespace mcmcpar::analysis {
+namespace {
+
+using model::Circle;
+
+TEST(Matching, PerfectMatch) {
+  const std::vector<Circle> truth{{10, 10, 5}, {30, 30, 5}};
+  const std::vector<Circle> found{{10.5, 10, 5}, {29.5, 30.2, 5}};
+  const MatchResult m = matchCircles(found, truth, 3.0);
+  EXPECT_EQ(m.matches.size(), 2u);
+  EXPECT_TRUE(m.unmatchedFound.empty());
+  EXPECT_TRUE(m.unmatchedTruth.empty());
+}
+
+TEST(Matching, DistanceGateExcludesFarPairs) {
+  const std::vector<Circle> truth{{10, 10, 5}};
+  const std::vector<Circle> found{{20, 10, 5}};
+  const MatchResult m = matchCircles(found, truth, 3.0);
+  EXPECT_TRUE(m.matches.empty());
+  EXPECT_EQ(m.unmatchedFound.size(), 1u);
+  EXPECT_EQ(m.unmatchedTruth.size(), 1u);
+}
+
+TEST(Matching, GreedyPrefersClosest) {
+  const std::vector<Circle> truth{{10, 10, 5}};
+  const std::vector<Circle> found{{12, 10, 5}, {10.5, 10, 5}};
+  const MatchResult m = matchCircles(found, truth, 5.0);
+  ASSERT_EQ(m.matches.size(), 1u);
+  EXPECT_EQ(m.matches[0].foundIndex, 1u);  // the nearer one
+  EXPECT_EQ(m.unmatchedFound.size(), 1u);
+}
+
+TEST(Matching, OneToOneOnly) {
+  const std::vector<Circle> truth{{10, 10, 5}, {12, 10, 5}};
+  const std::vector<Circle> found{{11, 10, 5}};
+  const MatchResult m = matchCircles(found, truth, 5.0);
+  EXPECT_EQ(m.matches.size(), 1u);
+  EXPECT_EQ(m.unmatchedTruth.size(), 1u);
+}
+
+TEST(Metrics, PrecisionRecallF1) {
+  const std::vector<Circle> truth{{10, 10, 5}, {30, 30, 5}, {50, 50, 5}};
+  const std::vector<Circle> found{{10, 10, 5}, {30, 30, 5}, {70, 70, 5},
+                                  {90, 90, 5}};
+  const QualityMetrics q = scoreCircles(found, truth, 3.0);
+  EXPECT_EQ(q.truePositives, 2u);
+  EXPECT_EQ(q.falsePositives, 2u);
+  EXPECT_EQ(q.falseNegatives, 1u);
+  EXPECT_NEAR(q.precision, 0.5, 1e-12);
+  EXPECT_NEAR(q.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q.f1, 2.0 * 0.5 * (2.0 / 3.0) / (0.5 + 2.0 / 3.0), 1e-12);
+}
+
+TEST(Metrics, RmseOverMatches) {
+  const std::vector<Circle> truth{{10, 10, 5}};
+  const std::vector<Circle> found{{13, 14, 7}};
+  const QualityMetrics q = scoreCircles(found, truth, 10.0);
+  EXPECT_NEAR(q.centreRmse, 5.0, 1e-12);
+  EXPECT_NEAR(q.radiusRmse, 2.0, 1e-12);
+}
+
+TEST(Metrics, EmptyInputs) {
+  const QualityMetrics q = scoreCircles({}, {}, 3.0);
+  EXPECT_EQ(q.precision, 0.0);
+  EXPECT_EQ(q.recall, 0.0);
+  EXPECT_EQ(q.f1, 0.0);
+}
+
+TEST(Anomaly, DistanceToLines) {
+  EXPECT_NEAR(distanceToLines(10, 50, {12}, {}), 2.0, 1e-12);
+  EXPECT_NEAR(distanceToLines(10, 50, {0}, {48}), 2.0, 1e-12);
+  EXPECT_TRUE(std::isinf(distanceToLines(1, 1, {}, {})));
+}
+
+TEST(Anomaly, ClassifiesMissesByBoundaryBand) {
+  const std::vector<Circle> truth{{50, 50, 5}, {10, 90, 5}};
+  const std::vector<Circle> found{};  // both missed
+  const auto report =
+      auditBoundaryAnomalies(found, truth, {48.0}, {}, 3.0, 5.0, 4.0);
+  EXPECT_EQ(report.missesNearBoundary, 1u);   // (50,50) is 2px from x=48
+  EXPECT_EQ(report.missesElsewhere, 1u);      // (10,90) is far
+}
+
+TEST(Anomaly, CountsDuplicatePairsNearBoundary) {
+  const std::vector<Circle> truth{{50, 50, 5}};
+  const std::vector<Circle> found{{49, 50, 5}, {51, 50, 5}};
+  const auto report =
+      auditBoundaryAnomalies(found, truth, {50.0}, {}, 3.0, 5.0, 4.0);
+  EXPECT_EQ(report.duplicatePairs, 1u);
+  EXPECT_EQ(report.duplicatePairsNearBoundary, 1u);
+  EXPECT_EQ(report.totalNearBoundary(), 2u);  // dup pair + 1 false positive
+}
+
+TEST(Stats, SummariseKnownValues) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  const Summary s = summarise(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.mean, 2.5, 1e-12);
+  EXPECT_NEAR(s.median, 2.5, 1e-12);
+  EXPECT_NEAR(s.min, 1.0, 1e-12);
+  EXPECT_NEAR(s.max, 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SummariseEmptyAndSingle) {
+  EXPECT_EQ(summarise({}).count, 0u);
+  const Summary s = summarise(std::vector<double>{7.0});
+  EXPECT_NEAR(s.median, 7.0, 1e-12);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, RunningStatMatchesSummary) {
+  const std::vector<double> v{1.5, 2.5, 3.5, 10.0, -2.0};
+  RunningStat r;
+  for (double x : v) r.push(x);
+  const Summary s = summarise(v);
+  EXPECT_EQ(r.count(), 5u);
+  EXPECT_NEAR(r.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(r.stddev(), s.stddev, 1e-12);
+}
+
+TEST(Table, AlignedTextOutput) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", Table::num(1.5, 2)});
+  t.addRow({"beta-long-name", Table::integer(42)});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.addRow({"has,comma", "has\"quote"});
+  std::ostringstream out;
+  t.printCsv(out);
+  EXPECT_NE(out.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::sci(0.000123, 2), "1.23e-04");
+  EXPECT_EQ(Table::integer(-7), "-7");
+}
+
+}  // namespace
+}  // namespace mcmcpar::analysis

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "partition/blind.hpp"
+
+namespace mcmcpar::partition {
+namespace {
+
+using model::Circle;
+
+TEST(MakeBlindPartitions, CoresTileAndExpansionsClip) {
+  BlindParams params;
+  params.gridX = 2;
+  params.gridY = 2;
+  params.overlapMargin = 10;
+  const auto parts = makeBlindPartitions(100, 80, params);
+  ASSERT_EQ(parts.size(), 4u);
+  long long coreArea = 0;
+  for (const BlindPartition& p : parts) {
+    coreArea += p.core.area();
+    // Expansion contains the core.
+    EXPECT_LE(p.expanded.x0, p.core.x0);
+    EXPECT_LE(p.expanded.y0, p.core.y0);
+    EXPECT_GE(p.expanded.x0 + p.expanded.w, p.core.x0 + p.core.w);
+    EXPECT_GE(p.expanded.y0 + p.expanded.h, p.core.y0 + p.core.h);
+    // Clipped at the image border.
+    EXPECT_GE(p.expanded.x0, 0);
+    EXPECT_GE(p.expanded.y0, 0);
+    EXPECT_LE(p.expanded.x0 + p.expanded.w, 100);
+    EXPECT_LE(p.expanded.y0 + p.expanded.h, 80);
+  }
+  EXPECT_EQ(coreArea, 100LL * 80LL);
+  // Interior edges expand by the full margin.
+  EXPECT_EQ(parts[0].expanded.w, 50 + 10);
+  EXPECT_EQ(parts[0].expanded.h, 40 + 10);
+}
+
+TEST(MakeBlindPartitions, MarginCeiledToPixels) {
+  BlindParams params;
+  params.overlapMargin = 8.8;  // 1.1 * r=8, the paper's rule
+  const auto parts = makeBlindPartitions(64, 64, params);
+  EXPECT_EQ(parts[0].expanded.w, 32 + 9);
+}
+
+BlindParams mergeParams() {
+  BlindParams p;
+  p.gridX = 2;
+  p.gridY = 2;
+  p.overlapMargin = 10;
+  p.mergeRadius = 5;
+  return p;
+}
+
+TEST(MergeBlindResults, DropsCirclesOutsideCore) {
+  const auto parts = makeBlindPartitions(100, 100, mergeParams());
+  // Partition 0's core is [0,50)x[0,50); a find at (60,20) belongs to
+  // partition 1 and must be dropped from partition 0's model.
+  std::vector<std::vector<Circle>> per(4);
+  per[0] = {Circle{60, 20, 5}};
+  BlindMergeStats stats;
+  const auto merged = mergeBlindResults(parts, per, mergeParams(), &stats);
+  EXPECT_TRUE(merged.empty());
+  EXPECT_EQ(stats.droppedOutsideCore, 1u);
+}
+
+TEST(MergeBlindResults, AutoAcceptsInteriorCircles) {
+  const auto parts = makeBlindPartitions(100, 100, mergeParams());
+  std::vector<std::vector<Circle>> per(4);
+  per[0] = {Circle{20, 20, 5}};  // deep inside core 0, outside others' reach
+  BlindMergeStats stats;
+  const auto merged = mergeBlindResults(parts, per, mergeParams(), &stats);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(stats.autoAccepted, 1u);
+  EXPECT_EQ(stats.mergedPairs, 0u);
+}
+
+TEST(MergeBlindResults, MergesCrossPartitionDuplicates) {
+  const auto parts = makeBlindPartitions(100, 100, mergeParams());
+  // The same artifact found by partitions 0 and 1 just either side of the
+  // x=50 core boundary; centres 4 px apart -> merged to the average.
+  std::vector<std::vector<Circle>> per(4);
+  per[0] = {Circle{48, 25, 6}};
+  per[1] = {Circle{52, 25, 8}};
+  BlindMergeStats stats;
+  const auto merged = mergeBlindResults(parts, per, mergeParams(), &stats);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(stats.mergedPairs, 1u);
+  EXPECT_NEAR(merged[0].x, 50.0, 1e-12);
+  EXPECT_NEAR(merged[0].y, 25.0, 1e-12);
+  EXPECT_NEAR(merged[0].r, 7.0, 1e-12);
+}
+
+TEST(MergeBlindResults, SamePartitionPairsNeverMerge) {
+  const auto parts = makeBlindPartitions(100, 100, mergeParams());
+  std::vector<std::vector<Circle>> per(4);
+  per[0] = {Circle{48, 25, 6}, Circle{47, 27, 6}};  // both from partition 0
+  BlindMergeStats stats;
+  const auto merged = mergeBlindResults(parts, per, mergeParams(), &stats);
+  EXPECT_EQ(stats.mergedPairs, 0u);
+  EXPECT_EQ(merged.size(), 2u);  // dispute policy Accept keeps both
+}
+
+TEST(MergeBlindResults, DisputePolicyAcceptVsDiscard) {
+  const auto parts = makeBlindPartitions(100, 100, mergeParams());
+  std::vector<std::vector<Circle>> per(4);
+  per[0] = {Circle{48, 25, 6}};  // overlap area, no counterpart
+
+  BlindParams accept = mergeParams();
+  accept.dispute = BlindParams::DisputePolicy::Accept;
+  BlindMergeStats sa;
+  EXPECT_EQ(mergeBlindResults(parts, per, accept, &sa).size(), 1u);
+  EXPECT_EQ(sa.disputedAccepted, 1u);
+
+  BlindParams discard = mergeParams();
+  discard.dispute = BlindParams::DisputePolicy::Discard;
+  BlindMergeStats sd;
+  EXPECT_TRUE(mergeBlindResults(parts, per, discard, &sd).empty());
+  EXPECT_EQ(sd.disputedDiscarded, 1u);
+}
+
+TEST(MergeBlindResults, ClosestPairsMergeFirst) {
+  const auto parts = makeBlindPartitions(100, 100, mergeParams());
+  std::vector<std::vector<Circle>> per(4);
+  // One circle in partition 0, two candidates in partition 1; the nearer
+  // must be chosen.
+  per[0] = {Circle{48, 25, 6}};
+  per[1] = {Circle{51, 25, 6}, Circle{52, 28, 6}};
+  BlindMergeStats stats;
+  const auto merged = mergeBlindResults(parts, per, mergeParams(), &stats);
+  EXPECT_EQ(stats.mergedPairs, 1u);
+  EXPECT_EQ(stats.disputedAccepted, 1u);
+  ASSERT_EQ(merged.size(), 2u);
+  // The merged circle's x is the average of 48 and 51.
+  bool sawMerged = false;
+  for (const Circle& c : merged) sawMerged |= std::abs(c.x - 49.5) < 1e-9;
+  EXPECT_TRUE(sawMerged);
+}
+
+TEST(MergeBlindResults, FourCornersExample) {
+  // End-to-end: four partitions all report the same centre artifact near
+  // the cross point; exactly two merge (the remaining two pair up next).
+  const auto parts = makeBlindPartitions(100, 100, mergeParams());
+  std::vector<std::vector<Circle>> per(4);
+  per[0] = {Circle{48, 48, 5}};
+  per[1] = {Circle{52, 48, 5}};
+  per[2] = {Circle{48, 52, 5}};
+  per[3] = {Circle{52, 52, 5}};
+  BlindMergeStats stats;
+  const auto merged = mergeBlindResults(parts, per, mergeParams(), &stats);
+  EXPECT_EQ(stats.mergedPairs, 2u);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mcmcpar::partition

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "img/disc_raster.hpp"
+#include "img/filters.hpp"
+#include "img/image.hpp"
+#include "img/integral_image.hpp"
+#include "img/overlay.hpp"
+#include "img/pnm_io.hpp"
+#include "img/synth.hpp"
+#include "rng/stream.hpp"
+
+namespace mcmcpar::img {
+namespace {
+
+TEST(Image, ConstructionAndAccess) {
+  ImageF im(4, 3, 0.5f);
+  EXPECT_EQ(im.width(), 4);
+  EXPECT_EQ(im.height(), 3);
+  EXPECT_EQ(im.pixelCount(), 12u);
+  EXPECT_FLOAT_EQ(im(2, 1), 0.5f);
+  im(2, 1) = 0.75f;
+  EXPECT_FLOAT_EQ(im(2, 1), 0.75f);
+  EXPECT_TRUE(im.contains(0, 0));
+  EXPECT_TRUE(im.contains(3, 2));
+  EXPECT_FALSE(im.contains(4, 0));
+  EXPECT_FALSE(im.contains(-1, 0));
+}
+
+TEST(Image, RowPointerConsistency) {
+  ImageF im(5, 4);
+  im(3, 2) = 9.0f;
+  EXPECT_FLOAT_EQ(im.row(2)[3], 9.0f);
+}
+
+TEST(Image, CropExtractsSubRect) {
+  ImageF im(6, 5);
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 6; ++x) im(x, y) = static_cast<float>(10 * y + x);
+  }
+  const ImageF c = im.crop(2, 1, 3, 2);
+  EXPECT_EQ(c.width(), 3);
+  EXPECT_EQ(c.height(), 2);
+  EXPECT_FLOAT_EQ(c(0, 0), 12.0f);
+  EXPECT_FLOAT_EQ(c(2, 1), 24.0f);
+}
+
+TEST(Image, MinMaxAndNormalise) {
+  ImageF im(3, 1);
+  im(0, 0) = 2.0f;
+  im(1, 0) = 4.0f;
+  im(2, 0) = 6.0f;
+  const auto mm = minMax(im);
+  EXPECT_FLOAT_EQ(mm.minValue, 2.0f);
+  EXPECT_FLOAT_EQ(mm.maxValue, 6.0f);
+  const ImageF n = normalised(im);
+  EXPECT_FLOAT_EQ(n(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(n(1, 0), 0.5f);
+  EXPECT_FLOAT_EQ(n(2, 0), 1.0f);
+}
+
+TEST(Image, NormaliseConstantImageIsZero) {
+  const ImageF n = normalised(ImageF(4, 4, 3.0f));
+  for (float v : n.pixels()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Image, U8RoundTrip) {
+  ImageF im(2, 1);
+  im(0, 0) = 0.25f;
+  im(1, 0) = 1.5f;  // clamped
+  const ImageU8 u = toU8(im);
+  EXPECT_EQ(u(0, 0), 64);
+  EXPECT_EQ(u(1, 0), 255);
+  const ImageF f = toF(u);
+  EXPECT_NEAR(f(0, 0), 0.25f, 1.0f / 255.0f);
+  EXPECT_FLOAT_EQ(f(1, 0), 1.0f);
+}
+
+TEST(PnmIo, PgmBinaryRoundTrip) {
+  ImageU8 im(7, 3);
+  for (std::size_t i = 0; i < im.pixelCount(); ++i) {
+    im.pixels()[i] = static_cast<std::uint8_t>(i * 11 % 256);
+  }
+  std::stringstream buf;
+  writePgm(im, buf);
+  const ImageU8 back = readPgm(buf);
+  EXPECT_EQ(back, im);
+}
+
+TEST(PnmIo, PpmBinaryRoundTrip) {
+  ImageRgb im(3, 2);
+  im(0, 0) = Rgb{1, 2, 3};
+  im(2, 1) = Rgb{200, 100, 50};
+  std::stringstream buf;
+  writePpm(im, buf);
+  const ImageRgb back = readPpm(buf);
+  EXPECT_EQ(back, im);
+}
+
+TEST(PnmIo, ParsesAsciiPgmWithComments) {
+  std::stringstream buf("P2\n# a comment\n2 2\n255\n0 64\n128 255\n");
+  const ImageU8 im = readPgm(buf);
+  EXPECT_EQ(im(0, 0), 0);
+  EXPECT_EQ(im(1, 0), 64);
+  EXPECT_EQ(im(0, 1), 128);
+  EXPECT_EQ(im(1, 1), 255);
+}
+
+TEST(PnmIo, RejectsBadMagic) {
+  std::stringstream buf("P9\n2 2\n255\n");
+  EXPECT_THROW(readPgm(buf), PnmError);
+}
+
+TEST(PnmIo, RejectsTruncatedPayload) {
+  std::stringstream buf("P5\n4 4\n255\nxx");
+  EXPECT_THROW(readPgm(buf), PnmError);
+}
+
+TEST(PnmIo, RejectsOverlargeMaxval) {
+  std::stringstream buf("P5\n2 2\n65535\n");
+  EXPECT_THROW(readPgm(buf), PnmError);
+}
+
+TEST(Filters, ThresholdBinarises) {
+  ImageF im(3, 1);
+  im(0, 0) = 0.2f;
+  im(1, 0) = 0.6f;
+  im(2, 0) = 0.5f;  // not strictly above
+  const ImageF t = threshold(im, 0.5f);
+  EXPECT_FLOAT_EQ(t(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(t(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t(2, 0), 0.0f);
+}
+
+TEST(Filters, CountAboveThresholdWholeAndRect) {
+  ImageF im(4, 4, 0.0f);
+  im(1, 1) = 1.0f;
+  im(2, 2) = 1.0f;
+  im(3, 3) = 1.0f;
+  EXPECT_EQ(countAboveThreshold(im, 0.5f), 3u);
+  EXPECT_EQ(countAboveThreshold(im, 0.5f, 0, 0, 2, 2), 1u);
+  EXPECT_EQ(countAboveThreshold(im, 0.5f, 2, 2, 10, 10), 2u);  // clipped
+}
+
+TEST(Filters, StainEmphasisPicksChannel) {
+  ImageRgb im(2, 1);
+  im(0, 0) = Rgb{255, 0, 0};  // pure red: suppressed
+  im(1, 0) = Rgb{0, 0, 255};  // pure blue: emphasised
+  const ImageF f = stainEmphasis(im);
+  EXPECT_FLOAT_EQ(f(0, 0), 0.0f);
+  EXPECT_GT(f(1, 0), 0.9f);
+}
+
+TEST(Filters, BoxBlurPreservesMeanOnInterior) {
+  // A constant image is a fixed point of the blur.
+  const ImageF im(16, 16, 0.37f);
+  const ImageF b = boxBlur(im, 2);
+  for (float v : b.pixels()) EXPECT_NEAR(v, 0.37f, 1e-6f);
+}
+
+TEST(Filters, BoxBlurSmoothsAnImpulse) {
+  ImageF im(9, 9, 0.0f);
+  im(4, 4) = 1.0f;
+  const ImageF b = boxBlur(im, 1);
+  EXPECT_NEAR(b(4, 4), 1.0f / 9.0f, 1e-5f);
+  EXPECT_NEAR(b(3, 3), 1.0f / 9.0f, 1e-5f);
+  EXPECT_NEAR(b(0, 0), 0.0f, 1e-6f);
+}
+
+TEST(Filters, OccupancyVectors) {
+  ImageF im(4, 3, 0.0f);
+  im(1, 0) = 1.0f;
+  im(1, 2) = 1.0f;
+  im(3, 1) = 1.0f;
+  const auto cols = columnOccupancy(im, 0.5f);
+  const auto rows = rowOccupancy(im, 0.5f);
+  EXPECT_EQ(cols, (std::vector<bool>{false, true, false, true}));
+  EXPECT_EQ(rows, (std::vector<bool>{true, true, true}));
+}
+
+TEST(IntegralImage, MatchesBruteForceSums) {
+  rng::Stream s(31);
+  ImageF im(23, 17);
+  for (float& v : im.pixels()) v = static_cast<float>(s.uniform());
+  const IntegralImage integral(im);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int x0 = static_cast<int>(s.below(23));
+    const int y0 = static_cast<int>(s.below(17));
+    const int w = 1 + static_cast<int>(s.below(23));
+    const int h = 1 + static_cast<int>(s.below(17));
+    double brute = 0.0;
+    for (int y = y0; y < std::min(y0 + h, 17); ++y) {
+      for (int x = x0; x < std::min(x0 + w, 23); ++x) {
+        brute += im(x, y);
+      }
+    }
+    EXPECT_NEAR(integral.sum(x0, y0, w, h), brute, 1e-6);
+  }
+}
+
+TEST(IntegralImage, MeanOfEmptyRectIsZero) {
+  const IntegralImage integral(ImageF(4, 4, 1.0f));
+  EXPECT_EQ(integral.mean(2, 2, 0, 5), 0.0);
+  EXPECT_NEAR(integral.mean(0, 0, 4, 4), 1.0, 1e-12);
+}
+
+TEST(DiscRaster, PixelCountApproximatesArea) {
+  // Large disc: pixel count converges to pi r^2.
+  const double r = 20.0;
+  const auto count = discPixelCount(50.0, 50.0, r, 100, 100);
+  EXPECT_NEAR(static_cast<double>(count), M_PI * r * r, 0.02 * M_PI * r * r);
+}
+
+TEST(DiscRaster, SpansMatchForEach) {
+  const double cx = 10.3, cy = 7.8, r = 5.4;
+  std::size_t viaForEach = 0;
+  forEachDiscPixel(cx, cy, r, 32, 32, [&](int x, int y) {
+    EXPECT_TRUE(pixelInDisc(x, y, cx, cy, r));
+    ++viaForEach;
+  });
+  std::size_t viaSpans = 0;
+  for (const Span& sp : discSpans(cx, cy, r, 32, 32)) {
+    viaSpans += static_cast<std::size_t>(sp.x1 - sp.x0);
+  }
+  EXPECT_EQ(viaForEach, viaSpans);
+  EXPECT_EQ(viaForEach, discPixelCount(cx, cy, r, 32, 32));
+}
+
+TEST(DiscRaster, EveryInteriorPixelEnumerated) {
+  // Exhaustive cross-check against the membership predicate.
+  const double cx = 8.5, cy = 9.5, r = 4.0;
+  std::vector<bool> hit(20 * 20, false);
+  forEachDiscPixel(cx, cy, r, 20, 20, [&](int x, int y) {
+    hit[static_cast<std::size_t>(y * 20 + x)] = true;
+  });
+  for (int y = 0; y < 20; ++y) {
+    for (int x = 0; x < 20; ++x) {
+      EXPECT_EQ(hit[static_cast<std::size_t>(y * 20 + x)],
+                pixelInDisc(x, y, cx, cy, r))
+          << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(DiscRaster, ClipsAtBorders) {
+  std::size_t n = 0;
+  forEachDiscPixel(0.0, 0.0, 5.0, 16, 16, [&](int x, int y) {
+    ASSERT_GE(x, 0);
+    ASSERT_GE(y, 0);
+    ++n;
+  });
+  // Roughly a quarter disc.
+  EXPECT_GT(n, 10u);
+  EXPECT_LT(n, 30u);
+}
+
+TEST(DiscRaster, ZeroRadiusIsEmpty) {
+  EXPECT_EQ(discPixelCount(5, 5, 0.0, 10, 10), 0u);
+  EXPECT_TRUE(discSpans(5, 5, -1.0, 10, 10).empty());
+}
+
+TEST(DiscRaster, RenderSoftDiscClampsToOne) {
+  ImageF im(32, 32, 0.8f);
+  renderSoftDisc(im, 16, 16, 6, 0.9f, 1.5);
+  for (float v : im.pixels()) {
+    ASSERT_LE(v, 1.0f);
+    ASSERT_GE(v, 0.0f);
+  }
+  EXPECT_FLOAT_EQ(im(16, 16), 1.0f);
+}
+
+TEST(Synth, DeterministicForSeed) {
+  const SceneSpec spec = cellScene(96, 96, 10, 6.0, 77);
+  const Scene a = generateScene(spec);
+  const Scene b = generateScene(spec);
+  EXPECT_EQ(a.image, b.image);
+  ASSERT_EQ(a.truth.size(), b.truth.size());
+}
+
+TEST(Synth, HonoursRequestedCount) {
+  const Scene scene = generateScene(cellScene(256, 256, 40, 7.0, 5));
+  EXPECT_EQ(scene.truth.size(), 40u);
+}
+
+TEST(Synth, DiscsAreBrightAgainstBackground) {
+  SceneSpec spec = cellScene(128, 128, 6, 9.0, 21);
+  spec.noiseStd = 0.0f;
+  const Scene scene = generateScene(spec);
+  for (const SceneCircle& c : scene.truth) {
+    EXPECT_GT(scene.image(static_cast<int>(c.x), static_cast<int>(c.y)),
+              0.7f);
+  }
+  EXPECT_LT(scene.image(0, 0), 0.2f);
+}
+
+TEST(Synth, BeadsSceneMatchesTable1Geometry) {
+  const SceneSpec spec = beadsScene(3);
+  const Scene scene = generateScene(spec);
+  EXPECT_EQ(scene.image.width() * scene.image.height(), 512 * 416);
+  EXPECT_EQ(scene.truth.size(), 48u);  // 6 + 38 + 4
+  // The inter-cluster gaps must stay empty so the intelligent partitioner
+  // can cut: columns 80..95 and 420..435 hold no bead pixels.
+  for (const SceneCircle& c : scene.truth) {
+    const bool inGapA = c.x + c.r > 80 && c.x - c.r < 95;
+    const bool inGapB = c.x + c.r > 420 && c.x - c.r < 435;
+    EXPECT_FALSE(inGapA || inGapB) << "bead at x=" << c.x;
+  }
+}
+
+TEST(Overlay, DrawsWithinBounds) {
+  ImageRgb im = greyToRgb(ImageF(32, 32, 0.5f));
+  drawCircle(im, 16, 16, 10, Rgb{255, 0, 0});
+  drawCircle(im, 0, 0, 50, Rgb{0, 255, 0});  // mostly outside: must not crash
+  drawRect(im, -5, -5, 20, 20, Rgb{0, 0, 255});
+  drawVerticalLines(im, {-1, 5, 99}, Rgb{255, 255, 0});
+  drawHorizontalLines(im, {3}, Rgb{0, 255, 255});
+  // Spot-check a circle pixel.
+  EXPECT_EQ(im(26, 16).r, 255);
+}
+
+TEST(Overlay, GreyToRgbValues) {
+  ImageF g(1, 1, 0.5f);
+  const ImageRgb rgb = greyToRgb(g);
+  EXPECT_EQ(rgb(0, 0).r, 128);
+  EXPECT_EQ(rgb(0, 0).g, 128);
+  EXPECT_EQ(rgb(0, 0).b, 128);
+}
+
+}  // namespace
+}  // namespace mcmcpar::img

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "img/filters.hpp"
+#include "img/synth.hpp"
+#include "partition/intelligent.hpp"
+
+namespace mcmcpar::partition {
+namespace {
+
+TEST(GapCutPositions, NoGapNoCut) {
+  EXPECT_TRUE(gapCutPositions({true, true, true}, 1).empty());
+}
+
+TEST(GapCutPositions, CentreOfInteriorGap) {
+  // occupied: [T T F F F F T] -> gap [2,6), centre 2 + 4/2 = 4.
+  const std::vector<bool> occ{true, true, false, false, false, false, true};
+  const auto cuts = gapCutPositions(occ, 2);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], 4);
+}
+
+TEST(GapCutPositions, LeadingTrailingGapsIgnored) {
+  const std::vector<bool> occ{false, false, true, true, false, false};
+  EXPECT_TRUE(gapCutPositions(occ, 1).empty());
+}
+
+TEST(GapCutPositions, MinGapFilters) {
+  const std::vector<bool> occ{true, false, true, false, false, false, true};
+  EXPECT_TRUE(gapCutPositions(occ, 2).size() == 1);
+  EXPECT_TRUE(gapCutPositions(occ, 4).empty());
+}
+
+TEST(GapCutPositions, MultipleGaps) {
+  std::vector<bool> occ(30, false);
+  for (int i : {2, 3, 12, 13, 25, 26}) occ[static_cast<std::size_t>(i)] = true;
+  const auto cuts = gapCutPositions(occ, 3);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_GT(cuts[0], 3);
+  EXPECT_LT(cuts[0], 12);
+  EXPECT_GT(cuts[1], 13);
+  EXPECT_LT(cuts[1], 25);
+}
+
+TEST(IntelligentPartition, UncuttableImageIsOnePartition) {
+  // All-bright image: no empty rows/columns anywhere.
+  const img::ImageF bright(64, 64, 1.0f);
+  const auto result = intelligentPartition(bright);
+  ASSERT_EQ(result.partitions.size(), 1u);
+  EXPECT_EQ(result.partitions[0], (IRect{0, 0, 64, 64}));
+}
+
+TEST(IntelligentPartition, EmptyImageIsOnePartition) {
+  const img::ImageF empty(64, 64, 0.0f);
+  const auto result = intelligentPartition(empty);
+  EXPECT_EQ(result.partitions.size(), 1u);
+}
+
+TEST(IntelligentPartition, SplitsTwoBlobs) {
+  img::ImageF im(100, 40, 0.0f);
+  for (int y = 10; y < 30; ++y) {
+    for (int x = 5; x < 25; ++x) im(x, y) = 1.0f;
+    for (int x = 70; x < 95; ++x) im(x, y) = 1.0f;
+  }
+  IntelligentParams params;
+  params.minPartitionSize = 10;
+  const auto result = intelligentPartition(im, params);
+  ASSERT_EQ(result.partitions.size(), 2u);
+  ASSERT_EQ(result.verticalCuts.size(), 1u);
+  // Cut is equidistant between the blobs' facing edges (24 and 70).
+  EXPECT_NEAR(result.verticalCuts[0], 47, 2);
+}
+
+TEST(IntelligentPartition, PartitionsTileTheImage) {
+  const img::Scene scene = img::generateScene(img::beadsScene(5));
+  const auto result = intelligentPartition(scene.image, {0.5f, 3, 24, 8});
+  long long area = 0;
+  for (const IRect& r : result.partitions) area += r.area();
+  EXPECT_EQ(area, static_cast<long long>(scene.image.width()) *
+                      scene.image.height());
+}
+
+TEST(IntelligentPartition, BeadsSceneYieldsThreeColumnStrips) {
+  const img::Scene scene = img::generateScene(img::beadsScene(7));
+  const auto result = intelligentPartition(scene.image, {0.5f, 3, 24, 8});
+  EXPECT_GE(result.partitions.size(), 3u);
+  EXPECT_GE(result.verticalCuts.size(), 2u);
+}
+
+TEST(IntelligentPartition, NoArtifactSpansACut) {
+  // The defining guarantee: every truth circle lies fully inside exactly
+  // one partition.
+  const img::Scene scene = img::generateScene(img::beadsScene(9));
+  const auto result = intelligentPartition(scene.image, {0.5f, 3, 24, 8});
+  for (const img::SceneCircle& c : scene.truth) {
+    int containing = 0;
+    for (const IRect& r : result.partitions) {
+      const bool fully = c.x - c.r >= r.x0 && c.x + c.r <= r.x0 + r.w &&
+                         c.y - c.r >= r.y0 && c.y + c.r <= r.y0 + r.h;
+      containing += fully;
+    }
+    EXPECT_EQ(containing, 1) << "bead at (" << c.x << "," << c.y << ")";
+  }
+}
+
+TEST(IntelligentPartition, StripSeparatingCutsRunThroughEmptyColumns) {
+  // Cuts made below the top level are only empty within their own band, so
+  // check the two top-level strip separators: one cut must land in each
+  // inter-cluster gap (columns 80..95 and 420..435), and those cut columns
+  // must be empty over the full image height.
+  const img::Scene scene = img::generateScene(img::beadsScene(11));
+  const auto result = intelligentPartition(scene.image, {0.5f, 3, 24, 8});
+  bool gapA = false, gapB = false;
+  for (int cut : result.verticalCuts) {
+    const bool inA = cut >= 80 && cut <= 95;
+    const bool inB = cut >= 420 && cut <= 435;
+    if (!(inA || inB)) continue;
+    gapA |= inA;
+    gapB |= inB;
+    for (int y = 0; y < scene.image.height(); ++y) {
+      ASSERT_LE(scene.image(cut, y), 0.5f) << "cut " << cut << " at y " << y;
+    }
+  }
+  EXPECT_TRUE(gapA);
+  EXPECT_TRUE(gapB);
+}
+
+TEST(IntelligentPartition, MinPartitionSizeRespected) {
+  const img::Scene scene = img::generateScene(img::beadsScene(13));
+  IntelligentParams params;
+  params.minPartitionSize = 30;
+  const auto result = intelligentPartition(scene.image, params);
+  for (const IRect& r : result.partitions) {
+    EXPECT_GE(r.w, 30);
+    EXPECT_GE(r.h, 30);
+  }
+}
+
+}  // namespace
+}  // namespace mcmcpar::partition

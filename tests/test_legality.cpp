@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "img/synth.hpp"
+#include "partition/legality.hpp"
+
+namespace mcmcpar::partition {
+namespace {
+
+model::PriorParams priorParams() {
+  model::PriorParams p;
+  p.expectedCount = 10.0;
+  p.radiusMean = 6.0;
+  p.radiusStd = 1.0;
+  p.radiusMin = 2.0;
+  p.radiusMax = 12.0;
+  return p;
+}
+
+TEST(ModifiableCircles, MatchesBruteForceFilter) {
+  img::Scene scene = img::generateScene(img::cellScene(128, 128, 10, 6.0, 1));
+  model::ModelState state(scene.image, priorParams(),
+                          model::LikelihoodParams{});
+  rng::Stream s(2);
+  state.initialiseRandom(20, s);
+
+  const mcmc::RegionConstraint rc{model::Bounds{20, 20, 100, 100}, 5.0};
+  const auto ids = modifiableCircles(state, rc);
+  EXPECT_EQ(ids.size(), modifiableCount(state, rc));
+  std::size_t brute = 0;
+  state.config().forEach([&](model::CircleId, const model::Circle& c) {
+    brute += rc.allowsCircle(c);
+  });
+  EXPECT_EQ(ids.size(), brute);
+  for (model::CircleId id : ids) {
+    EXPECT_TRUE(rc.allowsCircle(state.config().get(id)));
+  }
+}
+
+TEST(ModifiableCircles, BoundaryCircleExcluded) {
+  img::Scene scene = img::generateScene(img::cellScene(128, 128, 2, 6.0, 3));
+  model::ModelState state(scene.image, priorParams(),
+                          model::LikelihoodParams{});
+  // Circle crossing the x=64 partition line.
+  state.commitAdd(model::Circle{64, 32, 5});
+  // Circle comfortably inside the left half.
+  state.commitAdd(model::Circle{30, 32, 5});
+  const mcmc::RegionConstraint left{model::Bounds{0, 0, 64, 128}, 2.0};
+  EXPECT_EQ(modifiableCount(state, left), 1u);
+}
+
+TEST(AllocateIterations, ExactSumAndProportionality) {
+  const auto out = allocateIterations(100, {10, 30, 60});
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::uint64_t{0}), 100u);
+  EXPECT_EQ(out[0], 10u);
+  EXPECT_EQ(out[1], 30u);
+  EXPECT_EQ(out[2], 60u);
+}
+
+TEST(AllocateIterations, LargestRemainderRounding) {
+  // 10 iterations over counts {1,1,1}: 3.33 each -> 4/3/3 in index order.
+  const auto out = allocateIterations(10, {1, 1, 1});
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::uint64_t{0}), 10u);
+  for (std::uint64_t v : out) {
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 4u);
+  }
+}
+
+TEST(AllocateIterations, ZeroCountPartitionsGetNothing) {
+  const auto out = allocateIterations(50, {0, 5, 0, 5});
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[2], 0u);
+  EXPECT_EQ(out[1] + out[3], 50u);
+}
+
+TEST(AllocateIterations, AllZeroCountsAllZero) {
+  const auto out = allocateIterations(50, {0, 0});
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 0u);
+}
+
+TEST(AllocateIterations, ZeroTotal) {
+  const auto out = allocateIterations(0, {3, 4});
+  EXPECT_EQ(out[0] + out[1], 0u);
+}
+
+class AllocationSweep
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::size_t>> {};
+
+TEST_P(AllocationSweep, SumInvariantUnderRandomCounts) {
+  const auto [total, nParts] = GetParam();
+  rng::Stream s(total + nParts);
+  std::vector<std::size_t> counts(nParts);
+  for (auto& c : counts) c = static_cast<std::size_t>(s.below(40));
+  const auto out = allocateIterations(total, counts);
+  const std::uint64_t sum =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  const std::uint64_t outSum =
+      std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+  if (sum == 0) {
+    EXPECT_EQ(outSum, 0u);
+  } else {
+    EXPECT_EQ(outSum, total);
+    // No allocation can be off by more than 1 from the exact share.
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const double exact = static_cast<double>(total) *
+                           static_cast<double>(counts[i]) /
+                           static_cast<double>(sum);
+      EXPECT_NEAR(static_cast<double>(out[i]), exact, 1.0 + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AllocationSweep,
+    ::testing::Values(std::make_pair(std::uint64_t{1}, std::size_t{1}),
+                      std::make_pair(std::uint64_t{97}, std::size_t{4}),
+                      std::make_pair(std::uint64_t{1000}, std::size_t{7}),
+                      std::make_pair(std::uint64_t{12345}, std::size_t{16})));
+
+TEST(InPlaceSafetyMargin, CoversGridCellAndInteraction) {
+  img::Scene scene = img::generateScene(img::cellScene(128, 128, 5, 6.0, 4));
+  model::ModelState state(scene.image, priorParams(),
+                          model::LikelihoodParams{});
+  const double margin = inPlaceSafetyMargin(state);
+  // interactionRange = 2*rMax = 24 -> margin = 48.
+  EXPECT_NEAR(margin, 48.0, 1e-12);
+  EXPECT_GT(margin, state.prior().interactionRange());
+}
+
+}  // namespace
+}  // namespace mcmcpar::partition

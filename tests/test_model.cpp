@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "model/circle.hpp"
+#include "model/configuration.hpp"
+#include "model/spatial_grid.hpp"
+#include "rng/stream.hpp"
+
+namespace mcmcpar::model {
+namespace {
+
+TEST(Circle, OverlapAreaDisjoint) {
+  EXPECT_EQ(overlapArea(Circle{0, 0, 5}, Circle{20, 0, 5}), 0.0);
+}
+
+TEST(Circle, OverlapAreaIdentical) {
+  const Circle c{3, 4, 5};
+  EXPECT_NEAR(overlapArea(c, c), M_PI * 25.0, 1e-9);
+}
+
+TEST(Circle, OverlapAreaContained) {
+  EXPECT_NEAR(overlapArea(Circle{0, 0, 10}, Circle{1, 0, 2}), M_PI * 4.0, 1e-9);
+}
+
+TEST(Circle, OverlapAreaHalfwaySymmetric) {
+  const Circle a{0, 0, 5};
+  const Circle b{5, 0, 5};
+  const double lens = overlapArea(a, b);
+  EXPECT_GT(lens, 0.0);
+  EXPECT_LT(lens, M_PI * 25.0);
+  EXPECT_NEAR(lens, overlapArea(b, a), 1e-12);
+  // Known closed form for equal radii at distance d = r:
+  // 2 r^2 cos^-1(d/2r) - (d/2) sqrt(4r^2 - d^2).
+  const double expected =
+      2.0 * 25.0 * std::acos(0.5) - 2.5 * std::sqrt(100.0 - 25.0);
+  EXPECT_NEAR(lens, expected, 1e-9);
+}
+
+TEST(Circle, OverlapMonotoneInDistance) {
+  const Circle a{0, 0, 6};
+  double prev = overlapArea(a, Circle{0, 0, 6});
+  for (double d = 1.0; d <= 12.0; d += 1.0) {
+    const double cur = overlapArea(a, Circle{d, 0, 6});
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+  EXPECT_NEAR(prev, 0.0, 1e-12);
+}
+
+TEST(Circle, IntersectionPredicateMatchesArea) {
+  rng::Stream s(5);
+  for (int i = 0; i < 500; ++i) {
+    const Circle a{s.uniform(0, 50), s.uniform(0, 50), s.uniform(1, 8)};
+    const Circle b{s.uniform(0, 50), s.uniform(0, 50), s.uniform(1, 8)};
+    if (discsIntersect(a, b)) {
+      EXPECT_GE(overlapArea(a, b), 0.0);
+    } else {
+      EXPECT_EQ(overlapArea(a, b), 0.0);
+    }
+  }
+}
+
+TEST(SpatialGrid, InsertRemoveSize) {
+  SpatialGrid grid(100, 100, 10);
+  const Circle a{5, 5, 2}, b{95, 95, 2};
+  grid.insert(0, a);
+  grid.insert(1, b);
+  EXPECT_EQ(grid.size(), 2u);
+  grid.remove(0, a);
+  EXPECT_EQ(grid.size(), 1u);
+  grid.remove(1, b);
+  EXPECT_EQ(grid.size(), 0u);
+}
+
+TEST(SpatialGrid, RelocateMovesBuckets) {
+  SpatialGrid grid(100, 100, 10);
+  const Circle from{5, 5, 2}, to{75, 75, 2};
+  grid.insert(7, from);
+  grid.relocate(7, from, to);
+  bool foundNear = false;
+  grid.forEachCandidate(75, 75, 1, [&](CircleId id) { foundNear = id == 7; });
+  EXPECT_TRUE(foundNear);
+  bool foundOld = false;
+  grid.forEachCandidate(5, 5, 1, [&](CircleId id) { foundOld |= id == 7; });
+  EXPECT_FALSE(foundOld);
+}
+
+TEST(SpatialGrid, OutOfDomainCentresClampToEdgeBuckets) {
+  SpatialGrid grid(50, 50, 10);
+  const Circle outside{60.0, -5.0, 2};
+  grid.insert(3, outside);
+  bool found = false;
+  grid.forEachCandidate(49, 1, 15, [&](CircleId id) { found |= id == 3; });
+  EXPECT_TRUE(found);
+  grid.remove(3, outside);
+  EXPECT_EQ(grid.size(), 0u);
+}
+
+TEST(Configuration, InsertEraseReplaceLifecycle) {
+  Configuration cfg(100, 100, 20);
+  const CircleId a = cfg.insert(Circle{10, 10, 3});
+  const CircleId b = cfg.insert(Circle{40, 40, 4});
+  EXPECT_EQ(cfg.size(), 2u);
+  EXPECT_TRUE(cfg.isAlive(a));
+  cfg.replace(a, Circle{12, 10, 3});
+  EXPECT_EQ(cfg.get(a).x, 12);
+  cfg.erase(a);
+  EXPECT_FALSE(cfg.isAlive(a));
+  EXPECT_TRUE(cfg.isAlive(b));
+  EXPECT_EQ(cfg.size(), 1u);
+  EXPECT_TRUE(cfg.invariantsHold());
+}
+
+TEST(Configuration, SlotReuseAfterErase) {
+  Configuration cfg(100, 100, 20);
+  const CircleId a = cfg.insert(Circle{10, 10, 3});
+  cfg.erase(a);
+  const CircleId c = cfg.insert(Circle{20, 20, 3});
+  EXPECT_EQ(c, a);  // free list reuses the slot
+  EXPECT_TRUE(cfg.invariantsHold());
+}
+
+TEST(Configuration, NeighboursWithinExactDistance) {
+  Configuration cfg(200, 200, 25);
+  cfg.insert(Circle{50, 50, 5});
+  const CircleId far = cfg.insert(Circle{120, 50, 5});
+  const CircleId near = cfg.insert(Circle{58, 50, 5});
+  const auto hits = cfg.neighboursWithin(50, 50, 10);
+  EXPECT_EQ(hits.size(), 2u);  // self + near
+  const auto hitsExcl = cfg.neighboursWithin(50, 50, 10, near);
+  EXPECT_EQ(hitsExcl.size(), 1u);
+  (void)far;
+}
+
+TEST(Configuration, NeighbourQueryMatchesBruteForce) {
+  rng::Stream s(17);
+  Configuration cfg(300, 300, 24);
+  std::vector<std::pair<CircleId, Circle>> all;
+  for (int i = 0; i < 120; ++i) {
+    const Circle c{s.uniform(0, 300), s.uniform(0, 300), s.uniform(2, 10)};
+    all.emplace_back(cfg.insert(c), c);
+  }
+  for (int trial = 0; trial < 100; ++trial) {
+    const double qx = s.uniform(0, 300);
+    const double qy = s.uniform(0, 300);
+    const double dist = s.uniform(1, 24);
+    std::set<CircleId> brute;
+    for (const auto& [id, c] : all) {
+      const double dx = c.x - qx, dy = c.y - qy;
+      if (dx * dx + dy * dy <= dist * dist) brute.insert(id);
+    }
+    const auto fast = cfg.neighboursWithin(qx, qy, dist);
+    EXPECT_EQ(std::set<CircleId>(fast.begin(), fast.end()), brute);
+  }
+}
+
+TEST(Configuration, RandomAliveIsUniform) {
+  Configuration cfg(100, 100, 20);
+  std::vector<CircleId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(cfg.insert(Circle{10.0 + i * 10, 50, 3}));
+  }
+  rng::Stream s(23);
+  std::map<CircleId, int> counts;
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) counts[cfg.randomAlive(s)]++;
+  for (CircleId id : ids) {
+    EXPECT_NEAR(counts[id] / static_cast<double>(n), 0.125, 0.01);
+  }
+}
+
+TEST(Configuration, InvariantsUnderRandomOps) {
+  rng::Stream s(29);
+  Configuration cfg(256, 256, 24);
+  std::vector<CircleId> alive;
+  for (int step = 0; step < 3000; ++step) {
+    const double action = s.uniform();
+    if (alive.empty() || action < 0.4) {
+      alive.push_back(
+          cfg.insert(Circle{s.uniform(0, 256), s.uniform(0, 256), s.uniform(2, 9)}));
+    } else if (action < 0.7) {
+      const std::size_t k = static_cast<std::size_t>(s.below(alive.size()));
+      cfg.replace(alive[k],
+                  Circle{s.uniform(0, 256), s.uniform(0, 256), s.uniform(2, 9)});
+    } else {
+      const std::size_t k = static_cast<std::size_t>(s.below(alive.size()));
+      cfg.erase(alive[k]);
+      alive[k] = alive.back();
+      alive.pop_back();
+    }
+  }
+  EXPECT_TRUE(cfg.invariantsHold());
+  EXPECT_EQ(cfg.size(), alive.size());
+  EXPECT_EQ(cfg.snapshot().size(), alive.size());
+}
+
+}  // namespace
+}  // namespace mcmcpar::model

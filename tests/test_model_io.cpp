@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/model_io.hpp"
+
+namespace mcmcpar::model {
+namespace {
+
+TEST(ModelIo, RoundTripsExactDoubles) {
+  const std::vector<Circle> circles{
+      {1.5, 2.25, 3.125},
+      {0.1, 0.2, 0.3},  // not exactly representable: max_digits10 handles it
+      {1023.9999999999, 0.0000001, 8.0},
+  };
+  std::stringstream buf;
+  writeCirclesCsv(circles, buf);
+  const auto back = readCirclesCsv(buf);
+  ASSERT_EQ(back.size(), circles.size());
+  for (std::size_t i = 0; i < circles.size(); ++i) {
+    EXPECT_EQ(back[i].x, circles[i].x);
+    EXPECT_EQ(back[i].y, circles[i].y);
+    EXPECT_EQ(back[i].r, circles[i].r);
+  }
+}
+
+TEST(ModelIo, EmptyModelRoundTrips) {
+  std::stringstream buf;
+  writeCirclesCsv({}, buf);
+  EXPECT_TRUE(readCirclesCsv(buf).empty());
+}
+
+TEST(ModelIo, RejectsMissingHeader) {
+  std::stringstream buf("1,2,3\n");
+  EXPECT_THROW(readCirclesCsv(buf), ModelIoError);
+}
+
+TEST(ModelIo, RejectsShortRow) {
+  std::stringstream buf("x,y,r\n1,2\n");
+  EXPECT_THROW(readCirclesCsv(buf), ModelIoError);
+}
+
+TEST(ModelIo, RejectsNonNumeric) {
+  std::stringstream buf("x,y,r\n1,two,3\n");
+  EXPECT_THROW(readCirclesCsv(buf), ModelIoError);
+}
+
+TEST(ModelIo, ToleratesBlankLinesAndCrLf) {
+  std::stringstream buf("x,y,r\r\n1,2,3\r\n\n4,5,6\n");
+  const auto circles = readCirclesCsv(buf);
+  ASSERT_EQ(circles.size(), 2u);
+  EXPECT_EQ(circles[1].x, 4.0);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const std::vector<Circle> circles{{10, 20, 5}, {30, 40, 6}};
+  const std::string path = ::testing::TempDir() + "/model_io_test.csv";
+  writeCirclesCsv(circles, path);
+  const auto back = readCirclesCsv(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], circles[0]);
+  EXPECT_EQ(back[1], circles[1]);
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  EXPECT_THROW(readCirclesCsv(std::string("/nonexistent/path.csv")),
+               ModelIoError);
+}
+
+}  // namespace
+}  // namespace mcmcpar::model

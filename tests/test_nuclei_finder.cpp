@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.hpp"
+#include "core/nuclei_finder.hpp"
+#include "img/synth.hpp"
+
+namespace mcmcpar::core {
+namespace {
+
+FinderOptions baseOptions(FinderMethod method) {
+  FinderOptions opt;
+  opt.method = method;
+  opt.prior.radiusMean = 8.0;
+  opt.prior.radiusStd = 0.8;
+  opt.prior.radiusMin = 3.0;
+  opt.prior.radiusMax = 14.0;
+  opt.iterations = 12000;
+  opt.pipeline.prior = opt.prior;
+  opt.pipeline.iterationsBase = 1500;
+  opt.pipeline.iterationsPerCircle = 400;
+  opt.periodic.globalPhaseIterations = 40;
+  opt.seed = 3;
+  return opt;
+}
+
+img::Scene testScene(std::uint64_t seed) {
+  img::SceneSpec spec = img::cellScene(128, 128, 8, 8.0, seed);
+  spec.radiusStd = 0.5;
+  return img::generateScene(spec);
+}
+
+std::vector<model::Circle> truthToCircles(const img::Scene& scene) {
+  std::vector<model::Circle> out;
+  for (const auto& t : scene.truth) out.push_back(model::Circle{t.x, t.y, t.r});
+  return out;
+}
+
+class MethodSweep : public ::testing::TestWithParam<FinderMethod> {};
+
+TEST_P(MethodSweep, FindsMostArtifacts) {
+  const img::Scene scene = testScene(51);
+  const NucleiFinder finder(baseOptions(GetParam()));
+  const FinderResult result = finder.find(scene.image);
+  EXPECT_GT(result.seconds, 0.0);
+  const auto q =
+      analysis::scoreCircles(result.circles, truthToCircles(scene), 6.0);
+  EXPECT_GE(q.recall, 0.6) << "method " << static_cast<int>(GetParam());
+  EXPECT_GE(q.precision, 0.5) << "method " << static_cast<int>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, MethodSweep,
+                         ::testing::Values(FinderMethod::Sequential,
+                                           FinderMethod::Periodic,
+                                           FinderMethod::IntelligentPartition,
+                                           FinderMethod::BlindPartition));
+
+TEST(NucleiFinder, CountEstimationTracksImage) {
+  const img::Scene scene = testScene(53);
+  FinderOptions opt = baseOptions(FinderMethod::Sequential);
+  opt.estimateCount = true;
+  const NucleiFinder finder(opt);
+  const FinderResult result = finder.find(scene.image);
+  // With the eq. 5 estimate the count lands near the truth.
+  EXPECT_NEAR(static_cast<double>(result.circles.size()), 8.0, 4.0);
+}
+
+TEST(NucleiFinder, RgbEntryPointAppliesStainFilter) {
+  const img::Scene scene = testScene(55);
+  // Build a fake "stained" RGB image: intensity in the blue channel.
+  img::ImageRgb rgb(scene.image.width(), scene.image.height());
+  for (std::size_t i = 0; i < rgb.pixelCount(); ++i) {
+    const auto v = static_cast<std::uint8_t>(
+        std::min(1.0f, scene.image.pixels()[i]) * 255.0f);
+    rgb.pixels()[i] = img::Rgb{30, 30, v};
+  }
+  const NucleiFinder finder(baseOptions(FinderMethod::Sequential));
+  const FinderResult result = finder.findInRgb(rgb);
+  const auto q =
+      analysis::scoreCircles(result.circles, truthToCircles(scene), 6.0);
+  EXPECT_GE(q.recall, 0.5);
+}
+
+TEST(NucleiFinder, SequentialDiagnosticsPopulated) {
+  const img::Scene scene = testScene(57);
+  const NucleiFinder finder(baseOptions(FinderMethod::Sequential));
+  const FinderResult result = finder.find(scene.image);
+  EXPECT_EQ(result.diagnostics.totalProposed(), 12000u);
+  EXPECT_NE(result.logPosterior, 0.0);
+}
+
+TEST(NucleiFinder, DeterministicForSeed) {
+  const img::Scene scene = testScene(59);
+  const NucleiFinder finder(baseOptions(FinderMethod::Sequential));
+  const FinderResult a = finder.find(scene.image);
+  const FinderResult b = finder.find(scene.image);
+  ASSERT_EQ(a.circles.size(), b.circles.size());
+  EXPECT_EQ(a.logPosterior, b.logPosterior);
+}
+
+}  // namespace
+}  // namespace mcmcpar::core

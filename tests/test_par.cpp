@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "par/omp_support.hpp"
+#include "par/task_scheduler.hpp"
+#include "par/thread_pool.hpp"
+#include "par/virtual_clock.hpp"
+
+namespace mcmcpar::par {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallelFor(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallelFor(8,
+                       [](std::size_t i) {
+                         if (i == 3) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<long> sum{0};
+  pool.parallelFor(100,
+                   [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallelFor(20, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(TaskSchedule, MakespanOfKnownSchedule) {
+  TaskSchedule s;
+  s.perThread = {{0, 1}, {2}};
+  const std::vector<double> costs{1.0, 2.0, 2.5};
+  EXPECT_NEAR(s.makespan(costs), 3.0, 1e-12);
+}
+
+TEST(LptSchedule, BalancesClassicExample) {
+  // {7,6,5,4,3} on 2 threads: 7->t0, 6->t1, 5->t1(11), 4->t0(11), 3->14.
+  const std::vector<double> costs{7, 6, 5, 4, 3};
+  const auto schedule = lptSchedule(costs, 2);
+  EXPECT_NEAR(schedule.makespan(costs), 14.0, 1e-12);
+}
+
+TEST(LptSchedule, AssignsEveryTaskOnce) {
+  const std::vector<double> costs{3, 1, 4, 1, 5, 9, 2, 6};
+  const auto schedule = lptSchedule(costs, 3);
+  std::vector<int> seen(costs.size(), 0);
+  for (const auto& tasks : schedule.perThread) {
+    for (std::size_t t : tasks) seen[t]++;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(LptSchedule, RespectsLowerBoundAndApproximation) {
+  const std::vector<double> costs{8, 7, 6, 5, 4, 3, 2, 1, 1, 1};
+  for (unsigned threads = 1; threads <= 5; ++threads) {
+    const auto schedule = lptSchedule(costs, threads);
+    const double lb = makespanLowerBound(costs, threads);
+    EXPECT_GE(schedule.makespan(costs) + 1e-12, lb);
+    EXPECT_LE(schedule.makespan(costs), lb * 4.0 / 3.0 + 1e-9);
+  }
+}
+
+TEST(ListSchedule, SingleThreadIsSum) {
+  EXPECT_NEAR(listScheduleMakespan(std::vector<double>{1, 2, 3}, 1), 6.0, 1e-12);
+}
+
+TEST(ListSchedule, ManyThreadsIsMax) {
+  EXPECT_NEAR(listScheduleMakespan(std::vector<double>{1, 2, 3}, 8), 3.0, 1e-12);
+}
+
+TEST(ListSchedule, SubmissionOrderMatters) {
+  EXPECT_NEAR(listScheduleMakespan(std::vector<double>{4, 1, 1, 1, 1}, 2), 4.0,
+              1e-12);
+  EXPECT_NEAR(listScheduleMakespan(std::vector<double>{1, 1, 1, 1, 4}, 2), 6.0,
+              1e-12);
+}
+
+TEST(MakespanLowerBound, MaxOfAverageAndLargest) {
+  const std::vector<double> costs{10, 1, 1};
+  EXPECT_NEAR(makespanLowerBound(costs, 3), 10.0, 1e-12);
+  EXPECT_NEAR(makespanLowerBound(costs, 1), 12.0, 1e-12);
+}
+
+TEST(VirtualClock, SerialAdvance) {
+  VirtualClock clock;
+  clock.advance(1.5);
+  clock.advance(0.5);
+  EXPECT_NEAR(clock.now(), 2.0, 1e-12);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0.0);
+}
+
+TEST(VirtualClock, ParallelAdvanceUsesMakespan) {
+  VirtualClock clock;
+  const std::vector<double> costs{2.0, 1.0, 1.0};
+  clock.advanceParallel(costs, 2);
+  EXPECT_NEAR(clock.now(), 2.0, 1e-12);
+  clock.advanceParallel(costs, 1);
+  EXPECT_NEAR(clock.now(), 6.0, 1e-12);
+}
+
+TEST(WallTimer, NonNegativeElapsed) {
+  const WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(timer.seconds(), 0.0);
+}
+
+TEST(OmpSupport, ParallelForCoversIndices) {
+  std::vector<std::atomic<int>> hits(64);
+  ompParallelFor(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(OmpSupport, ReportsConfiguration) {
+#if defined(MCMCPAR_HAVE_OPENMP)
+  EXPECT_TRUE(ompAvailable());
+  EXPECT_GE(ompMaxThreads(), 1u);
+#else
+  EXPECT_FALSE(ompAvailable());
+  EXPECT_EQ(ompMaxThreads(), 1u);
+#endif
+}
+
+}  // namespace
+}  // namespace mcmcpar::par

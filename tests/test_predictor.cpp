@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/runtime_predictor.hpp"
+#include "core/virtual_executor.hpp"
+
+namespace mcmcpar::core {
+namespace {
+
+PredictionInput paperInput() {
+  PredictionInput in;
+  in.iterations = 500000;
+  in.qGlobal = 0.4;
+  in.tauGlobal = 4e-5;
+  in.tauLocal = 4e-5;
+  in.partitions = 4;
+  return in;
+}
+
+TEST(Predictor, SequentialBaseline) {
+  // N * tau when qg does not change the per-iteration cost.
+  EXPECT_NEAR(predictSequentialSeconds(paperInput()), 500000 * 4e-5, 1e-9);
+}
+
+TEST(Predictor, Eq2KnownValue) {
+  // N qg tau + N (1-qg) tau / s = 20 * 0.4 + 20 * 0.6 / 4 = 8 + 3 = 11 s.
+  EXPECT_NEAR(predictPeriodicSeconds(paperInput()), 11.0, 1e-9);
+}
+
+TEST(Predictor, Eq2ReductionAtPaperOperatingPoint) {
+  // The paper's §VII point: qg=0.4, s=4 predicts a 45% reduction.
+  const PredictionInput in = paperInput();
+  const double reduction = reductionPercent(predictSequentialSeconds(in),
+                                            predictPeriodicSeconds(in));
+  EXPECT_NEAR(reduction, 45.0, 1e-9);
+}
+
+TEST(Predictor, SpeculativeSpeedupClosedForm) {
+  EXPECT_NEAR(speculativeSpeedup(0.75, 1), 1.0, 1e-12);
+  EXPECT_NEAR(speculativeSpeedup(0.75, 4), (1 - 0.31640625) / 0.25, 1e-12);
+  EXPECT_NEAR(speculativeSpeedup(0.0, 8), 1.0, 1e-12);
+  EXPECT_NEAR(speculativeSpeedup(1.0, 8), 8.0, 1e-12);
+}
+
+TEST(Predictor, Eq3ReducesGlobalTermOnly) {
+  PredictionInput in = paperInput();
+  in.globalRejection = 0.75;
+  in.specLanesGlobal = 4;
+  const double base = predictPeriodicSeconds(in);
+  const double spec = predictPeriodicSpecGlobalSeconds(in);
+  // Local term unchanged (3 s); global term shrinks by the spec factor.
+  EXPECT_NEAR(spec, 8.0 / speculativeSpeedup(0.75, 4) + 3.0, 1e-9);
+  EXPECT_LT(spec, base);
+}
+
+TEST(Predictor, Eq4ClusterFormula) {
+  PredictionInput in = paperInput();
+  in.globalRejection = 0.75;
+  in.localRejection = 0.75;
+  in.specLanesLocal = 2;
+  const double t = speculativeSpeedup(0.75, 2);
+  EXPECT_NEAR(predictClusterSeconds(in), 8.0 / t + 3.0 / t, 1e-9);
+}
+
+TEST(Fig1, EndpointsAndShape) {
+  // qg = 0: fully parallel -> 1/s. qg = 1: fully sequential -> 1.
+  EXPECT_NEAR(fig1RelativeRuntime(0.0, 4), 0.25, 1e-12);
+  EXPECT_NEAR(fig1RelativeRuntime(1.0, 4), 1.0, 1e-12);
+  EXPECT_NEAR(fig1RelativeRuntime(0.4, 2), 0.4 + 0.3, 1e-12);
+  // More processes always at least as fast.
+  for (double qg = 0.0; qg <= 1.0; qg += 0.1) {
+    EXPECT_LE(fig1RelativeRuntime(qg, 16), fig1RelativeRuntime(qg, 8) + 1e-12);
+    EXPECT_LE(fig1RelativeRuntime(qg, 8), fig1RelativeRuntime(qg, 4) + 1e-12);
+  }
+}
+
+TEST(Fig1, SeriesCoversUnitInterval) {
+  const auto series = fig1Series(4, 11);
+  ASSERT_EQ(series.size(), 11u);
+  EXPECT_EQ(series.front().qGlobal, 0.0);
+  EXPECT_EQ(series.back().qGlobal, 1.0);
+  // Monotone increasing in qg for s > 1.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].relativeRuntime, series[i - 1].relativeRuntime);
+  }
+}
+
+TEST(Architectures, PaperPresetsExist) {
+  const auto presets = paperArchitectures();
+  ASSERT_EQ(presets.size(), 3u);
+  // Pentium-D-like: cheapest communication; Xeon-like: the most expensive.
+  EXPECT_LT(presets[0].overheadScale, presets[1].overheadScale);
+  EXPECT_LT(presets[1].overheadScale, presets[2].overheadScale);
+  EXPECT_EQ(presets[1].threads, 4u);  // Q6600-like is the quad
+}
+
+TEST(Architectures, AdjustedVirtualSeconds) {
+  PeriodicReport report;
+  report.virtualSeconds = 10.0;
+  report.overheadSeconds = 2.0;
+  EXPECT_NEAR(adjustedVirtualSeconds(report, 1.0), 10.0, 1e-12);
+  EXPECT_NEAR(adjustedVirtualSeconds(report, 2.0), 12.0, 1e-12);
+  EXPECT_NEAR(adjustedVirtualSeconds(report, 0.5), 9.0, 1e-12);
+}
+
+TEST(Architectures, ReductionPercent) {
+  EXPECT_NEAR(reductionPercent(100.0, 62.0), 38.0, 1e-12);
+  EXPECT_NEAR(reductionPercent(100.0, 127.0), -27.0, 1e-12);
+  EXPECT_EQ(reductionPercent(0.0, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace mcmcpar::core

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/prior.hpp"
+#include "rng/distributions.hpp"
+#include "rng/stream.hpp"
+
+namespace mcmcpar::model {
+namespace {
+
+PriorParams testParams() {
+  PriorParams p;
+  p.expectedCount = 20.0;
+  p.radiusMean = 6.0;
+  p.radiusStd = 1.0;
+  p.radiusMin = 2.0;
+  p.radiusMax = 12.0;
+  p.overlapPenalty = 5.0;
+  return p;
+}
+
+Configuration randomConfig(rng::Stream& s, int n, double extent = 200.0) {
+  Configuration cfg(extent, extent, 24.0);
+  for (int i = 0; i < n; ++i) {
+    cfg.insert(Circle{s.uniform(10, extent - 10), s.uniform(10, extent - 10),
+                      s.uniform(3, 10)});
+  }
+  return cfg;
+}
+
+TEST(CirclePrior, RadiusSupportBounds) {
+  const CirclePrior prior(testParams(), 200, 200);
+  EXPECT_TRUE(prior.radiusInSupport(6.0));
+  EXPECT_FALSE(prior.radiusInSupport(1.0));
+  EXPECT_FALSE(prior.radiusInSupport(13.0));
+  EXPECT_EQ(prior.logRadius(1.0), -std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(prior.logRadius(6.0), rng::logNormalPdf(6.0, 6.0, 1.0), 1e-12);
+}
+
+TEST(CirclePrior, PositionDensityIsUniform) {
+  const CirclePrior prior(testParams(), 100, 50);
+  EXPECT_NEAR(prior.logPosition(), -std::log(5000.0), 1e-12);
+}
+
+TEST(CirclePrior, CountTermIsPoisson) {
+  const CirclePrior prior(testParams(), 200, 200);
+  EXPECT_NEAR(prior.logCount(20), rng::logPoissonPmf(20, 20.0), 1e-12);
+}
+
+TEST(CirclePrior, PairPenaltyZeroWhenApart) {
+  const CirclePrior prior(testParams(), 200, 200);
+  EXPECT_EQ(prior.pairPenalty(Circle{0, 0, 5}, Circle{50, 0, 5}), 0.0);
+}
+
+TEST(CirclePrior, PairPenaltyFullOverlapEqualsKappa) {
+  const CirclePrior prior(testParams(), 200, 200);
+  const Circle c{30, 30, 5};
+  EXPECT_NEAR(prior.pairPenalty(c, c), -testParams().overlapPenalty, 1e-9);
+}
+
+TEST(CirclePrior, PenaltyAgainstAllMatchesBruteForce) {
+  rng::Stream s(41);
+  const CirclePrior prior(testParams(), 200, 200);
+  const Configuration cfg = randomConfig(s, 60);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Circle probe{s.uniform(10, 190), s.uniform(10, 190), s.uniform(3, 10)};
+    double brute = 0.0;
+    cfg.forEach([&](CircleId, const Circle& other) {
+      brute += prior.pairPenalty(probe, other);
+    });
+    EXPECT_NEAR(prior.penaltyAgainstAll(cfg, probe), brute, 1e-9);
+  }
+}
+
+/// The central property: every delta must equal full(after) - full(before).
+class PriorDeltaTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PriorDeltaTest, DeltaAddMatchesFullRecompute) {
+  rng::Stream s(100 + GetParam());
+  const CirclePrior prior(testParams(), 200, 200);
+  Configuration cfg = randomConfig(s, 25);
+  const Circle c{s.uniform(10, 190), s.uniform(10, 190), s.uniform(3, 10)};
+  const double before = prior.logPrior(cfg);
+  const double delta = prior.deltaAdd(cfg, c);
+  cfg.insert(c);
+  EXPECT_NEAR(prior.logPrior(cfg) - before, delta, 1e-9);
+}
+
+TEST_P(PriorDeltaTest, DeltaDeleteMatchesFullRecompute) {
+  rng::Stream s(200 + GetParam());
+  const CirclePrior prior(testParams(), 200, 200);
+  Configuration cfg = randomConfig(s, 25);
+  const CircleId id = cfg.randomAlive(s);
+  const double before = prior.logPrior(cfg);
+  const double delta = prior.deltaDelete(cfg, id);
+  cfg.erase(id);
+  EXPECT_NEAR(prior.logPrior(cfg) - before, delta, 1e-9);
+}
+
+TEST_P(PriorDeltaTest, DeltaReplaceMatchesFullRecompute) {
+  rng::Stream s(300 + GetParam());
+  const CirclePrior prior(testParams(), 200, 200);
+  Configuration cfg = randomConfig(s, 25);
+  const CircleId id = cfg.randomAlive(s);
+  const Circle to{s.uniform(10, 190), s.uniform(10, 190), s.uniform(3, 10)};
+  const double before = prior.logPrior(cfg);
+  const double delta = prior.deltaReplace(cfg, id, to);
+  cfg.replace(id, to);
+  EXPECT_NEAR(prior.logPrior(cfg) - before, delta, 1e-9);
+}
+
+TEST_P(PriorDeltaTest, DeltaMergeMatchesFullRecompute) {
+  rng::Stream s(400 + GetParam());
+  const CirclePrior prior(testParams(), 200, 200);
+  Configuration cfg = randomConfig(s, 25);
+  // Pick two distinct circles, merge to their average.
+  const CircleId a = cfg.aliveIds()[0];
+  const CircleId b = cfg.aliveIds()[1];
+  const Circle ca = cfg.get(a), cb = cfg.get(b);
+  const Circle m{(ca.x + cb.x) / 2, (ca.y + cb.y) / 2, (ca.r + cb.r) / 2};
+  const double before = prior.logPrior(cfg);
+  const double delta = prior.deltaMerge(cfg, a, b, m);
+  cfg.erase(a);
+  cfg.erase(b);
+  cfg.insert(m);
+  EXPECT_NEAR(prior.logPrior(cfg) - before, delta, 1e-9);
+}
+
+TEST_P(PriorDeltaTest, DeltaSplitMatchesFullRecompute) {
+  rng::Stream s(500 + GetParam());
+  const CirclePrior prior(testParams(), 200, 200);
+  Configuration cfg = randomConfig(s, 25);
+  const CircleId id = cfg.randomAlive(s);
+  const Circle c = cfg.get(id);
+  const Circle c1{c.x + 2, c.y + 1, std::max(2.5, c.r - 1)};
+  const Circle c2{c.x - 2, c.y - 1, std::max(2.5, c.r - 0.5)};
+  const double before = prior.logPrior(cfg);
+  const double delta = prior.deltaSplit(cfg, id, c1, c2);
+  cfg.erase(id);
+  cfg.insert(c1);
+  cfg.insert(c2);
+  EXPECT_NEAR(prior.logPrior(cfg) - before, delta, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PriorDeltaTest, ::testing::Range(0, 10));
+
+TEST(CirclePrior, MergeOfOverlappingPairRemovesPenaltyExactly) {
+  // Two heavily overlapping circles and nothing else: after the merge the
+  // pair penalty must vanish from the prior.
+  const PriorParams p = testParams();
+  const CirclePrior prior(p, 200, 200);
+  Configuration cfg(200, 200, 24);
+  const CircleId a = cfg.insert(Circle{50, 50, 6});
+  const CircleId b = cfg.insert(Circle{53, 50, 6});
+  const Circle m{51.5, 50, 6};
+  const double before = prior.logPrior(cfg);
+  const double delta = prior.deltaMerge(cfg, a, b, m);
+  cfg.erase(a);
+  cfg.erase(b);
+  cfg.insert(m);
+  EXPECT_NEAR(prior.logPrior(cfg), before + delta, 1e-9);
+}
+
+TEST(CirclePrior, SetExpectedCountChangesOnlyCountTerm) {
+  rng::Stream s(61);
+  CirclePrior prior(testParams(), 200, 200);
+  const Configuration cfg = randomConfig(s, 10);
+  const double before = prior.logPrior(cfg);
+  prior.setExpectedCount(40.0);
+  const double after = prior.logPrior(cfg);
+  EXPECT_NEAR(after - before,
+              rng::logPoissonPmf(10, 40.0) - rng::logPoissonPmf(10, 20.0),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace mcmcpar::model

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "img/disc_raster.hpp"
+#include "img/synth.hpp"
+#include "partition/prior_estimation.hpp"
+
+namespace mcmcpar::partition {
+namespace {
+
+TEST(EstimateCount, SingleHardDiscIsAboutOne) {
+  img::ImageF im(64, 64, 0.0f);
+  img::renderSoftDisc(im, 32, 32, 8.0, 1.0f, 0.0);
+  const auto est = estimateCount(im, 0.5f, 8.0);
+  EXPECT_NEAR(est.expectedCount, 1.0, 0.05);
+  EXPECT_NEAR(est.discArea, M_PI * 64.0, 1e-9);
+}
+
+TEST(EstimateCount, DisjointDiscsCountExactly) {
+  img::ImageF im(128, 128, 0.0f);
+  for (int i = 0; i < 4; ++i) {
+    img::renderSoftDisc(im, 20.0 + 28.0 * i, 64, 7.0, 1.0f, 0.0);
+  }
+  const auto est = estimateCount(im, 0.5f, 7.0);
+  EXPECT_NEAR(est.expectedCount, 4.0, 0.2);
+}
+
+TEST(EstimateCount, OverlappingDiscsUndercount) {
+  // The Table I effect: clumped beads share pixels, eq. 5 undershoots.
+  img::ImageF im(64, 64, 0.0f);
+  img::renderSoftDisc(im, 28, 32, 8.0, 1.0f, 0.0);
+  img::renderSoftDisc(im, 36, 32, 8.0, 1.0f, 0.0);
+  const auto est = estimateCount(im, 0.5f, 8.0);
+  EXPECT_LT(est.expectedCount, 1.95);
+  EXPECT_GT(est.expectedCount, 1.2);
+}
+
+TEST(EstimateCount, RectRestrictsTheCount) {
+  img::ImageF im(128, 64, 0.0f);
+  img::renderSoftDisc(im, 20, 32, 7.0, 1.0f, 0.0);
+  img::renderSoftDisc(im, 100, 32, 7.0, 1.0f, 0.0);
+  const auto left = estimateCount(im, 0.5f, 7.0, IRect{0, 0, 64, 64});
+  const auto right = estimateCount(im, 0.5f, 7.0, IRect{64, 0, 64, 64});
+  EXPECT_NEAR(left.expectedCount, 1.0, 0.1);
+  EXPECT_NEAR(right.expectedCount, 1.0, 0.1);
+}
+
+TEST(EstimateCount, WholeBeadsSceneNearTruth) {
+  const img::Scene scene = img::generateScene(img::beadsScene(17));
+  const auto est = estimateCount(scene.image, 0.5f, 8.0);
+  // 48 beads with some clumping: estimate lands in the mid-40s.
+  EXPECT_GT(est.expectedCount, 35.0);
+  EXPECT_LT(est.expectedCount, 62.0);
+}
+
+TEST(UniformAreaShare, ProportionalToArea) {
+  EXPECT_NEAR(uniformAreaShare(48.0, IRect{0, 0, 50, 100}, 100, 100), 24.0,
+              1e-9);
+  EXPECT_NEAR(uniformAreaShare(48.0, IRect{0, 0, 100, 100}, 100, 100), 48.0,
+              1e-9);
+  EXPECT_EQ(uniformAreaShare(48.0, IRect{0, 0, 10, 10}, 0, 0), 0.0);
+}
+
+TEST(UniformAreaShare, Table1DensityRow) {
+  // The paper's "# obj (density)" row: 48 objects x relative areas
+  // 0.147 / 0.624 / 0.226 = 7.08 / 29.97 / 10.86.
+  const int w = 512, h = 416;
+  EXPECT_NEAR(uniformAreaShare(48.0, IRect{0, 0, 75, h}, w, h), 7.03, 0.15);
+  EXPECT_NEAR(uniformAreaShare(48.0, IRect{75, 0, 340, h}, w, h), 31.9, 0.2);
+}
+
+}  // namespace
+}  // namespace mcmcpar::partition

