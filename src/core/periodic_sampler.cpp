@@ -90,6 +90,11 @@ SessionResult runLocalSessionSub(SubState& sub,
 
 }  // namespace
 
+rng::Stream partitionStream(const rng::Stream& master, std::uint64_t phase,
+                            std::uint64_t partition) noexcept {
+  return master.derive(phase).derive(partition + 1);
+}
+
 struct PeriodicSampler::Impl {
   model::ModelState& state;
   const mcmc::MoveRegistry& registry;
@@ -210,7 +215,7 @@ struct PeriodicSampler::Impl {
     std::vector<rng::Stream> streams;
     streams.reserve(partitions.size());
     for (std::size_t i = 0; i < partitions.size(); ++i) {
-      streams.push_back(master.derive(phaseCounter * 0x10000ULL + i + 1));
+      streams.push_back(partitionStream(master, phaseCounter, i));
     }
 
     const double setupSeconds = phaseTimer.seconds();

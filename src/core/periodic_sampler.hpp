@@ -98,6 +98,17 @@ struct PeriodicReport {
   std::uint64_t modifiableTotal = 0;    ///< sum over phases of modifiable counts
 };
 
+/// The per-(phase, partition) RNG stream used by the local phases.
+///
+/// Two-level derivation: the phase tag and the partition tag are mixed in
+/// separate derive() steps, so no (phase, partition) pair ever shares a
+/// stream with another — unlike the previous flat `phase * 0x10000 + i + 1`
+/// tag, which collided as soon as a phase had 65535+ partitions (e.g.
+/// (phase 0, partition 65536) vs (phase 1, partition 0)).
+[[nodiscard]] rng::Stream partitionStream(const rng::Stream& master,
+                                          std::uint64_t phase,
+                                          std::uint64_t partition) noexcept;
+
 /// The paper's periodic-partitioning MCMC driver (§V): alternates
 /// sequential global-move phases with partition-parallel local-move phases,
 /// re-randomising the partition grid every cycle and allocating local

@@ -1,6 +1,7 @@
 #include "par/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 namespace mcmcpar::par {
@@ -44,9 +45,16 @@ void ThreadPool::parallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{0};
   std::exception_ptr firstError;
   std::mutex errorMutex;
+
+  // Per-call completion latch. parallelFor must not wait on the global
+  // inFlight_ count: a nested call from inside fn runs on a worker whose
+  // own enclosing task is still in flight, so waiting for inFlight_ == 0
+  // would deadlock.
+  std::mutex doneMutex;
+  std::condition_variable doneCv;
+  std::size_t helpersLeft = 0;
 
   const auto body = [&] {
     for (;;) {
@@ -58,19 +66,90 @@ void ThreadPool::parallelFor(std::size_t n,
         const std::lock_guard lock(errorMutex);
         if (!firstError) firstError = std::current_exception();
       }
-      done.fetch_add(1, std::memory_order_acq_rel);
     }
   };
 
   // Each submitted wrapper and the calling thread all drain the index
   // counter, so the work balances dynamically whatever the pool size.
   const std::size_t helpers = std::min<std::size_t>(threadCount(), n);
-  for (std::size_t h = 0; h < helpers; ++h) submit(body);
+  {
+    const std::lock_guard lock(doneMutex);
+    helpersLeft = helpers;
+  }
+  // If submit() throws partway (bad_alloc), already-queued wrappers still
+  // reference this frame: account for the never-submitted rest, finish the
+  // work and the drain-wait as usual, and only then rethrow.
+  std::size_t submitted = 0;
+  std::exception_ptr submitError;
+  try {
+    for (; submitted < helpers; ++submitted) {
+      submit([&] {
+        body();
+        // Notify under the lock: the caller can only observe
+        // helpersLeft == 0 (and destroy the latch) after this wrapper
+        // released doneMutex.
+        const std::lock_guard lock(doneMutex);
+        --helpersLeft;
+        doneCv.notify_all();
+      });
+    }
+  } catch (...) {
+    submitError = std::current_exception();
+    const std::lock_guard lock(doneMutex);
+    helpersLeft -= helpers - submitted;
+  }
   body();
-  // The counter being exhausted does not mean the work is finished; spin on
-  // the completion count via the pool's wait (helpers finish as tasks).
-  wait();
+  // Drain queued pool tasks while waiting for the helpers, so that a nested
+  // parallelFor's helpers cannot starve when every worker is itself blocked
+  // inside an enclosing parallelFor. One task per iteration, re-checking the
+  // latch in between: once the helpers are done we return immediately
+  // instead of working through an unrelated queue backlog. The timed wait
+  // covers the window where a task is submitted after we found the queue
+  // empty.
+  for (;;) {
+    {
+      std::unique_lock lock(doneMutex);
+      if (helpersLeft == 0) break;
+    }
+    if (!runPendingTask()) {
+      std::unique_lock lock(doneMutex);
+      if (doneCv.wait_for(lock, std::chrono::milliseconds(1),
+                          [&] { return helpersLeft == 0; })) {
+        break;
+      }
+    }
+  }
   if (firstError) std::rethrow_exception(firstError);
+  if (submitError) std::rethrow_exception(submitError);
+}
+
+void ThreadPool::runTaskAndAccount(std::function<void()>& task) {
+  // The submit() contract: a fire-and-forget task that throws has no caller
+  // to land in — terminate deterministically rather than unwinding into a
+  // worker's jthread or an unrelated parallelFor (which would also leak
+  // inFlight_ and destroy the latch under running helpers).
+  try {
+    task();
+  } catch (...) {
+    std::terminate();
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    --inFlight_;
+  }
+  allDone_.notify_all();
+}
+
+bool ThreadPool::runPendingTask() {
+  std::function<void()> task;
+  {
+    const std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  runTaskAndAccount(task);
+  return true;
 }
 
 void ThreadPool::workerLoop(const std::stop_token& stop) {
@@ -88,12 +167,7 @@ void ThreadPool::workerLoop(const std::stop_token& stop) {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
-    {
-      const std::lock_guard lock(mutex_);
-      --inFlight_;
-    }
-    allDone_.notify_all();
+    runTaskAndAccount(task);
   }
 }
 

@@ -30,7 +30,10 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
-  /// Enqueue a fire-and-forget task.
+  /// Enqueue a fire-and-forget task. The task must not throw: it has no
+  /// caller to receive an exception, so one escaping terminates the process
+  /// whether a worker or a queue-draining parallelFor caller runs it. Use
+  /// parallelFor for work whose exceptions must propagate.
   void submit(std::function<void()> task);
 
   /// Block until all tasks submitted so far have finished.
@@ -38,10 +41,22 @@ class ThreadPool {
 
   /// Run fn(i) for every i in [0, n), distributing dynamically (one index
   /// per task; appropriate for coarse tasks like MCMC partitions). Blocks.
+  /// Reentrant: fn may itself call parallelFor on the same pool — the
+  /// waiting caller helps drain the task queue, so nested calls make
+  /// progress even when every worker is blocked in an enclosing call.
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
   void workerLoop(const std::stop_token& stop);
+
+  /// Run a dequeued task and settle the in-flight accounting; terminates if
+  /// the task throws (see the submit() contract). Shared by workerLoop and
+  /// runPendingTask so the execution protocol lives in one place.
+  void runTaskAndAccount(std::function<void()>& task);
+
+  /// Pop and run one queued task on the calling thread; false if the queue
+  /// was empty. Used by parallelFor to help while waiting.
+  bool runPendingTask();
 
   std::vector<std::jthread> workers_;
   std::queue<std::function<void()>> queue_;

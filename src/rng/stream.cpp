@@ -1,5 +1,6 @@
 #include "rng/stream.hpp"
 
+#include <array>
 #include <cmath>
 #include <numbers>
 
@@ -14,13 +15,25 @@ Stream Stream::substream(unsigned k) const noexcept {
 }
 
 Stream Stream::derive(std::uint64_t tag) const noexcept {
-  // Mix the four state words and the tag through SplitMix64 so that derived
-  // streams differ in all state bits even for adjacent tags.
+  // Absorb each of the four parent state words (plus the tag) through a
+  // chained SplitMix64, drawing one child state word per absorption step.
+  // Child word i therefore depends on parent words 0..i and the tag, so
+  // parents differing in any state word — including only the high ones —
+  // derive different children. (Folding the 256-bit state into a single
+  // 64-bit seed would confine all derived streams to a 2^64 subspace and
+  // let distinct parents collide.)
   const auto& s = gen_.state();
-  SplitMix64 mix(s[0] ^ (s[1] << 1) ^ (s[2] << 2) ^ (s[3] << 3));
-  std::uint64_t h = mix.next() ^ (tag * 0x9e3779b97f4a7c15ULL);
-  SplitMix64 mix2(h);
-  return Stream(Xoshiro256(mix2.next()));
+  std::array<std::uint64_t, 4> child;
+  std::uint64_t h = tag ^ 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < 4; ++i) {
+    SplitMix64 mix(h ^ s[i]);
+    h = mix.next();
+    child[i] = mix.next();
+  }
+  // Xoshiro256 requires a not-all-zero state (probability 2^-256, but free
+  // to guard).
+  if ((child[0] | child[1] | child[2] | child[3]) == 0) child[0] = 1;
+  return Stream(Xoshiro256(child));
 }
 
 double Stream::uniform() noexcept {

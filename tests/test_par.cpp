@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#if defined(MCMCPAR_HAVE_OPENMP)
+#include <omp.h>
+#endif
 
 #include "par/omp_support.hpp"
 #include "par/task_scheduler.hpp"
@@ -59,6 +65,78 @@ TEST(ThreadPool, ReusableAcrossRegions) {
     pool.parallelFor(20, [&](std::size_t) { total.fetch_add(1); });
   }
   EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForIsReentrant) {
+  // A nested parallelFor on the same pool must complete even when every
+  // worker is blocked inside the enclosing call (the waiting callers help
+  // drain the queue). This deadlocked before the per-call completion latch.
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.parallelFor(4, [&](std::size_t) {
+    pool.parallelFor(8, [&](std::size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPool, ReentrantOnSingleWorkerPool) {
+  ThreadPool pool(1);
+  std::atomic<int> inner{0};
+  pool.parallelFor(3, [&](std::size_t) {
+    pool.parallelFor(5, [&](std::size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 15);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesException) {
+  ThreadPool pool(2);
+  std::atomic<int> outerRuns{0};
+  EXPECT_THROW(
+      pool.parallelFor(4,
+                       [&](std::size_t) {
+                         outerRuns.fetch_add(1);
+                         pool.parallelFor(4, [](std::size_t j) {
+                           if (j == 2) throw std::runtime_error("inner boom");
+                         });
+                       }),
+      std::runtime_error);
+  // Every outer index still ran (exceptions are collected, not aborting).
+  EXPECT_EQ(outerRuns.load(), 4);
+}
+
+TEST(ThreadPool, StolenSubmittedTaskKeepsAccounting) {
+  // The worker is parked in the blocker, so parallelFor's drain loop steals
+  // the queued fire-and-forget task and runs it on the caller. The
+  // in-flight accounting must stay balanced (or the later wait() hangs).
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> stolen{0};
+  pool.submit([&] {
+    started.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  while (!started.load()) std::this_thread::yield();
+  pool.submit([&] { stolen.fetch_add(1); });
+  pool.parallelFor(2, [](std::size_t) {});
+  EXPECT_EQ(stolen.load(), 1);
+  release.store(true);
+  pool.wait();
+  std::atomic<int> count{0};
+  pool.parallelFor(4, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, PoolUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallelFor(
+                   4, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallelFor(16, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
 }
 
 TEST(TaskSchedule, MakespanOfKnownSchedule) {
@@ -137,7 +215,7 @@ TEST(VirtualClock, ParallelAdvanceUsesMakespan) {
 TEST(WallTimer, NonNegativeElapsed) {
   const WallTimer timer;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(timer.seconds(), 0.0);
 }
 
@@ -156,6 +234,27 @@ TEST(OmpSupport, ReportsConfiguration) {
   EXPECT_EQ(ompMaxThreads(), 1u);
 #endif
 }
+
+#if defined(MCMCPAR_HAVE_OPENMP)
+// The build claims OpenMP: ompAvailable() must agree, catching regressions
+// where the MCMCPAR_HAVE_OPENMP define silently drops out of the build and
+// LocalExecutor::InPlaceOmp degrades to serial.
+TEST(OmpSupport, BuildDefineImpliesRuntimeAvailability) {
+  EXPECT_TRUE(ompAvailable());
+}
+
+TEST(OmpSupport, ParallelForRunsInsideOmpRegion) {
+  // omp_get_level() > 0 inside the loop proves the pragma engaged instead
+  // of the serial fallback. (Unlike omp_in_parallel(), the level also
+  // counts regions the runtime made inactive, e.g. under OMP_THREAD_LIMIT=1
+  // on constrained machines.)
+  std::atomic<int> insideRegion{0};
+  ompParallelFor(
+      4, [&](std::size_t) { insideRegion.fetch_add(omp_get_level() > 0); },
+      2);
+  EXPECT_EQ(insideRegion.load(), 4);
+}
+#endif
 
 }  // namespace
 }  // namespace mcmcpar::par

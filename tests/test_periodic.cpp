@@ -32,6 +32,29 @@ struct Fixture {
   }
 };
 
+TEST(PartitionStream, OldFlatTagCollisionPairNowDistinct) {
+  // Regression: the flat tag `phase * 0x10000 + i + 1` made
+  // (phase 0, partition 65536) and (phase 1, partition 0) share a stream.
+  const rng::Stream master(4242);
+  rng::Stream a = partitionStream(master, 0, 65536);
+  rng::Stream b = partitionStream(master, 1, 0);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.bits() == b.bits());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(PartitionStream, DeterministicAndPairSensitive) {
+  const rng::Stream master(7);
+  rng::Stream a = partitionStream(master, 3, 2);
+  rng::Stream a2 = partitionStream(master, 3, 2);
+  EXPECT_EQ(a.bits(), a2.bits());
+  rng::Stream swapped = partitionStream(master, 2, 3);
+  rng::Stream c = partitionStream(master, 3, 2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (c.bits() == swapped.bits());
+  EXPECT_EQ(equal, 0);
+}
+
 PeriodicParams baseParams(LocalExecutor executor) {
   PeriodicParams p;
   p.totalIterations = 6000;

@@ -197,6 +197,39 @@ TEST(Stream, DeriveIsDeterministicAndTagSensitive) {
   EXPECT_EQ(equal, 0);
 }
 
+TEST(Stream, DerivePreservesFullParentState) {
+  // Regression: derive() used to fold the 256-bit parent state into one
+  // 64-bit word (s0 ^ s1<<1 ^ s2<<2 ^ s3<<3), so parents differing only in
+  // high state words could collide. Both pairs below collided under the old
+  // fold; derived streams must now differ.
+  const auto differs = [](const std::array<std::uint64_t, 4>& sa,
+                          const std::array<std::uint64_t, 4>& sb) {
+    Stream a = Stream(Xoshiro256(sa)).derive(1);
+    Stream b = Stream(Xoshiro256(sb)).derive(1);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += (a.bits() == b.bits());
+    return equal == 0;
+  };
+  // Old fold: {0,0,0,1} -> 1<<3 == {0,0,2,0} -> 2<<2.
+  EXPECT_TRUE(differs({0, 0, 0, 1}, {0, 0, 2, 0}));
+  // Old fold shifted s3's top bits out entirely: both folded to s0 == 5.
+  EXPECT_TRUE(differs({5, 0, 0, 1ULL << 61}, {5, 0, 0, 1ULL << 62}));
+}
+
+TEST(Stream, DeriveChainsAreIndependent) {
+  // Two-level derivation (used for (phase, partition) streams) must not
+  // collide with any single-level tag in a small scan window.
+  const Stream master(2026);
+  Stream chained = master.derive(3).derive(5);
+  for (std::uint64_t tag = 0; tag < 256; ++tag) {
+    Stream flat = master.derive(tag);
+    Stream c = chained;
+    int equal = 0;
+    for (int i = 0; i < 16; ++i) equal += (c.bits() == flat.bits());
+    EXPECT_LT(equal, 16) << "chained stream collides with flat tag " << tag;
+  }
+}
+
 TEST(Distributions, LogNormalPdfMatchesClosedForm) {
   // N(0,1) at x=0: 1/sqrt(2 pi).
   EXPECT_NEAR(logNormalPdf(0.0, 0.0, 1.0), std::log(1.0 / std::sqrt(2.0 * M_PI)),
