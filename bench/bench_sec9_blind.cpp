@@ -5,6 +5,10 @@
 // Paper numbers: corner relative runtimes 0.12 / 0.08 / 0.27 / 0.11;
 // total (4 processors) ~27% of the whole-image runtime ("reduced to 27% of
 // the original"), with no apparent partitioning anomalies.
+//
+// The blind pipeline runs through the engine façade ("blind" + key=value
+// options); the whole-image reference stays on core::runWholeImage, the
+// Table I "whole" column primitive.
 
 #include <algorithm>
 #include <iostream>
@@ -15,6 +19,7 @@
 #include "analysis/table_writer.hpp"
 #include "bench_common.hpp"
 #include "core/pipeline.hpp"
+#include "engine/registry.hpp"
 
 using namespace mcmcpar;
 
@@ -26,17 +31,24 @@ int main(int argc, char** argv) {
   std::printf("SEC9: blind partitioning (2x2 + 1.1r overlap) on the beads "
               "scene, %d runs\n\n", runs);
 
+  engine::Problem problem;
+  problem.filtered = &scene.image;
+  problem.prior.radiusMean = 8.0;
+  problem.prior.radiusStd = 0.6;
+  problem.prior.radiusMin = 4.0;
+  problem.prior.radiusMax = 13.0;
+
+  // The same model for the whole-image reference runs.
   core::PipelineParams params;
-  params.prior.radiusMean = 8.0;
-  params.prior.radiusStd = 0.6;
-  params.prior.radiusMin = 4.0;
-  params.prior.radiusMax = 13.0;
+  params.prior = problem.prior;
   params.iterationsBase = 2000;
   params.iterationsPerCircle = 600;
-  params.blind.gridX = 2;
-  params.blind.gridY = 2;
-  params.blind.overlapMargin = 1.1 * params.prior.radiusMean;
-  params.blind.mergeRadius = 5.0;
+
+  // §IX expands each partition by 1.1x the expected radius.
+  const std::vector<std::string> blindOptions = {
+      "grid-x=2", "grid-y=2",
+      "overlap=" + std::to_string(1.1 * problem.prior.radiusMean),
+      "merge-radius=5", "iters-base=2000", "iters-per-circle=600"};
 
   std::vector<model::Circle> truth;
   for (const auto& t : scene.truth) truth.push_back({t.x, t.y, t.r});
@@ -47,10 +59,16 @@ int main(int argc, char** argv) {
   partition::BlindMergeStats lastStats;
 
   for (int run = 0; run < runs; ++run) {
-    params.seed = opt.seed + 977 * (run + 1);
+    const std::uint64_t seed = opt.seed + 977 * (run + 1);
+    params.seed = seed;
     const core::PartitionRun whole = core::runWholeImage(scene.image, params);
-    const core::PipelineReport report =
-        core::runBlindPipeline(scene.image, params);
+
+    const engine::Engine eng(engine::ExecResources{1, false, seed});
+    // iterations=0: no per-partition cap — budgets come from the options.
+    const engine::RunReport result = eng.run(
+        "blind", problem, engine::RunBudget{0, 0}, {}, blindOptions);
+    const auto& report = std::get<core::PipelineReport>(result.extras);
+
     wholeRuntime.push(whole.runtimeToConverge);
     double longest = 0.0;
     for (std::size_t i = 0; i < report.partitions.size() && i < 4; ++i) {
@@ -59,11 +77,11 @@ int main(int argc, char** argv) {
       longest = std::max(longest, report.partitions[i].runtimeToConverge);
     }
     totalRelative.push(longest / std::max(whole.runtimeToConverge, 1e-12));
-    f1.push(analysis::scoreCircles(report.merged, truth, 6.0).f1);
+    f1.push(analysis::scoreCircles(result.circles, truth, 6.0).f1);
 
     // Anomaly audit along the blind cut lines.
     const auto audit = analysis::auditBoundaryAnomalies(
-        report.merged, truth, {scene.image.width() / 2.0},
+        result.circles, truth, {scene.image.width() / 2.0},
         {scene.image.height() / 2.0}, 6.0, 12.0, 5.0);
     duplicates.push(static_cast<double>(audit.duplicatePairsNearBoundary));
     lastStats = report.mergeStats;

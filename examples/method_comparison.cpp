@@ -1,10 +1,8 @@
-// Run all four processing strategies of the paper on the same image and
-// compare wall time and detection quality:
-//
-//   sequential            - conventional RJ-MCMC (baseline)
-//   periodic              - §V periodic partitioning (statistically pure)
-//   intelligent partition - §VIII pre-processor cuts (data permitting)
-//   blind partition       - §VIII overlapping grid + merge heuristics
+// Run every parallelisation architecture in the strategy registry on the
+// same image and compare wall time and detection quality. This is the
+// acceptance demo of the engine façade: the loop below contains *no*
+// strategy-specific setup code — each architecture is selected purely by
+// its registry name, and every row comes from the same RunReport type.
 //
 //   ./build/examples/method_comparison
 
@@ -12,7 +10,7 @@
 
 #include "analysis/metrics.hpp"
 #include "analysis/table_writer.hpp"
-#include "core/nuclei_finder.hpp"
+#include "engine/registry.hpp"
 #include "img/synth.hpp"
 
 using namespace mcmcpar;
@@ -37,42 +35,32 @@ int main() {
   std::printf("scene: %dx%d with %zu artifacts in 3 clusters\n\n", spec.width,
               spec.height, scene.truth.size());
 
-  const auto run = [&](core::FinderMethod method) {
-    core::FinderOptions options;
-    options.method = method;
-    options.prior.radiusMean = 8.0;
-    options.prior.radiusStd = 0.8;
-    options.prior.radiusMin = 4.0;
-    options.prior.radiusMax = 13.0;
-    options.iterations = 60000;
-    options.pipeline.iterationsBase = 2000;
-    options.pipeline.iterationsPerCircle = 700;
-    options.periodic.globalPhaseIterations = 52;
-    options.periodic.executor = core::LocalExecutor::SplitMergeSerial;
-    options.seed = 17;
-    return core::NucleiFinder(options).find(scene.image);
-  };
+  engine::Problem problem;
+  problem.filtered = &scene.image;
+  problem.prior.radiusMean = 8.0;
+  problem.prior.radiusStd = 0.8;
+  problem.prior.radiusMin = 4.0;
+  problem.prior.radiusMax = 13.0;
 
-  analysis::Table table(
-      {"method", "seconds", "found", "precision", "recall", "F1"});
-  const std::pair<const char*, core::FinderMethod> methods[] = {
-      {"sequential", core::FinderMethod::Sequential},
-      {"periodic", core::FinderMethod::Periodic},
-      {"intelligent", core::FinderMethod::IntelligentPartition},
-      {"blind", core::FinderMethod::BlindPartition},
-  };
-  for (const auto& [name, method] : methods) {
-    const core::FinderResult result = run(method);
+  const engine::Engine eng(engine::ExecResources{/*threads=*/0,
+                                                 /*useOpenMp=*/false,
+                                                 /*seed=*/17});
+  analysis::Table table({"strategy", "seconds", "iters", "found", "precision",
+                         "recall", "F1"});
+  for (const std::string& name : eng.registry().names()) {
+    const engine::RunReport result =
+        eng.run(name, problem, engine::RunBudget{60000, 0});
     const auto q = analysis::scoreCircles(result.circles, truth, 6.0);
-    table.addRow({name, analysis::Table::num(result.seconds, 3),
-                  analysis::Table::integer(static_cast<long long>(result.circles.size())),
-                  analysis::Table::num(q.precision, 3),
-                  analysis::Table::num(q.recall, 3),
-                  analysis::Table::num(q.f1, 3)});
+    table.addRow(
+        {name, analysis::Table::num(result.wallSeconds, 3),
+         analysis::Table::integer(static_cast<long long>(result.iterations)),
+         analysis::Table::integer(static_cast<long long>(result.circles.size())),
+         analysis::Table::num(q.precision, 3),
+         analysis::Table::num(q.recall, 3), analysis::Table::num(q.f1, 3)});
   }
   table.print(std::cout);
   std::printf(
-      "\nnote: on this single-core container the partition pipelines win by\n"
+      "\nnote: on a single-core container the partition pipelines win by\n"
       "doing *less work* (smaller statespaces per partition, eq. 5 priors);\n"
       "their further parallel speedup is modelled by the bench harness.\n");
   return 0;

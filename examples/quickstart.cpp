@@ -1,20 +1,21 @@
 // Quickstart: detect bright circular artifacts (stained cell nuclei) in an
-// image with the library's one-stop facade.
+// image through the engine façade — the shortest path into the library.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart [output-prefix]
 //
 // The example generates a synthetic micrograph (ground truth known), runs
-// the conventional sequential RJ-MCMC sampler, scores the result against
-// the truth and writes two images: the input and an overlay with the fitted
-// circles (found = green, truth = dim red).
+// the "serial" strategy from the registry (swap the name for "periodic",
+// "mc3", ... — nothing else changes), scores the result against the truth
+// and writes two images: the input and an overlay with the fitted circles
+// (found = green, truth = dim red).
 
 #include <cstdio>
 #include <string>
 
 #include "analysis/metrics.hpp"
-#include "core/nuclei_finder.hpp"
+#include "engine/registry.hpp"
 #include "img/overlay.hpp"
 #include "img/pnm_io.hpp"
 #include "img/synth.hpp"
@@ -31,44 +32,57 @@ int main(int argc, char** argv) {
   std::printf("generated %dx%d scene with %zu nuclei\n", scene.image.width(),
               scene.image.height(), scene.truth.size());
 
-  // 2. Configure the finder. The prior encodes what we know: nucleus size
+  // 2. Describe the problem. The prior encodes what we know: nucleus size
   //    distribution; the expected count is estimated from the image (eq. 5).
-  core::FinderOptions options;
-  options.method = core::FinderMethod::Sequential;
-  options.prior.radiusMean = 9.0;
-  options.prior.radiusStd = 1.0;
-  options.prior.radiusMin = 4.0;
-  options.prior.radiusMax = 15.0;
-  options.iterations = 60000;
-  options.seed = 7;
+  engine::Problem problem;
+  problem.filtered = &scene.image;
+  problem.prior.radiusMean = 9.0;
+  problem.prior.radiusStd = 1.0;
+  problem.prior.radiusMin = 4.0;
+  problem.prior.radiusMax = 15.0;
 
-  const core::NucleiFinder finder(options);
-  const core::FinderResult result = finder.find(scene.image);
+  // 3. Run any registered strategy by name on shared resources. RunHooks
+  //    gives live progress (and could cancel the run).
+  engine::Engine eng(engine::ExecResources{/*threads=*/0, /*useOpenMp=*/false,
+                                           /*seed=*/7});
+  engine::RunHooks hooks;
+  hooks.onProgress = [](const engine::RunProgress& p) {
+    if (p.total != 0 && p.done == p.total) {
+      std::printf("  %s finished (%llu iterations)\n", p.phase,
+                  static_cast<unsigned long long>(p.total));
+    }
+  };
+  const engine::RunReport report =
+      eng.run("serial", problem, engine::RunBudget{60000, 0}, hooks);
 
   std::printf("found %zu nuclei in %.2f s (log-posterior %.1f)\n",
-              result.circles.size(), result.seconds, result.logPosterior);
+              report.circles.size(), report.wallSeconds, report.logPosterior);
+  if (report.iterationsToConverge) {
+    std::printf("converged after ~%llu iterations\n",
+                static_cast<unsigned long long>(*report.iterationsToConverge));
+  }
 
-  // 3. Score against ground truth.
+  // 4. Score against ground truth.
   std::vector<model::Circle> truth;
   for (const auto& t : scene.truth) truth.push_back({t.x, t.y, t.r});
-  const auto quality = analysis::scoreCircles(result.circles, truth, 6.0);
+  const auto quality = analysis::scoreCircles(report.circles, truth, 6.0);
   std::printf("precision %.3f  recall %.3f  F1 %.3f  centre RMSE %.2f px\n",
               quality.precision, quality.recall, quality.f1,
               quality.centreRmse);
 
-  // 4. Acceptance statistics per move type.
-  for (const auto& [name, stats] : result.diagnostics.perMove()) {
+  // 5. Acceptance statistics per move type.
+  for (const auto& [name, stats] : report.diagnostics.perMove()) {
     std::printf("  %-12s proposed %8llu  accepted %6.1f%%\n", name.c_str(),
                 static_cast<unsigned long long>(stats.proposed),
                 100.0 * stats.acceptanceRate());
   }
 
-  // 5. Write the pictures.
+  // 6. Write the pictures.
   img::writePgm(img::toU8(scene.image), prefix + "_input.pgm");
   img::ImageRgb overlay = img::greyToRgb(scene.image);
   img::drawCircles(overlay, scene.truth, img::Rgb{96, 0, 0});
   std::vector<img::SceneCircle> found;
-  for (const auto& c : result.circles) found.push_back({c.x, c.y, c.r});
+  for (const auto& c : report.circles) found.push_back({c.x, c.y, c.r});
   img::drawCircles(overlay, found, img::Rgb{0, 255, 0});
   img::writePpm(overlay, prefix + "_overlay.ppm");
   std::printf("wrote %s_input.pgm and %s_overlay.ppm\n", prefix.c_str(),

@@ -6,6 +6,7 @@
 
 #include "core/split_merge.hpp"
 #include "mcmc/sampler.hpp"
+#include "par/concurrency.hpp"
 #include "par/omp_support.hpp"
 #include "par/task_scheduler.hpp"
 #include "par/virtual_clock.hpp"
@@ -109,7 +110,7 @@ struct PeriodicSampler::Impl {
       : state(s), registry(r), params(p), master(seed) {
     if (params.executor == LocalExecutor::InPlacePool ||
         params.executor == LocalExecutor::SplitMergePool) {
-      pool = std::make_unique<par::ThreadPool>(params.threads);
+      pool = par::makeThreadPool(params.threads);
     }
     if (params.specLanesGlobal > 1) {
       specExec = std::make_unique<spec::SpeculativeExecutor>(
@@ -329,7 +330,7 @@ struct PeriodicSampler::Impl {
     }
   }
 
-  PeriodicReport run() {
+  PeriodicReport run(const mcmc::RunHooks& hooks) {
     PeriodicReport report;
     par::VirtualClock vclock;
     const par::WallTimer wall;
@@ -343,6 +344,10 @@ struct PeriodicSampler::Impl {
     std::uint64_t done = 0;
     std::uint64_t nextTrace = params.traceInterval;
     while (done < params.totalIterations) {
+      if (hooks.cancelled()) {
+        report.cancelled = true;
+        break;
+      }
       const std::uint64_t beforeGlobal = report.globalIterations;
       runGlobalPhase(zg, phaseStream, report, vclock);
       done += report.globalIterations - beforeGlobal;
@@ -362,10 +367,12 @@ struct PeriodicSampler::Impl {
 
       ++report.phases;
       ++phaseCounter;
+      hooks.progress(done, params.totalIterations, "periodic-phase");
 
       if (params.traceInterval != 0 && done >= nextTrace) {
         report.diagnostics.tracePoint(done, state.logPosterior(),
                                       state.config().size());
+        hooks.trace(report.diagnostics.trace().back());
         nextTrace += params.traceInterval;
       }
       if (params.resyncPhaseInterval != 0 &&
@@ -390,6 +397,8 @@ PeriodicSampler::PeriodicSampler(model::ModelState& state,
 
 PeriodicSampler::~PeriodicSampler() = default;
 
-PeriodicReport PeriodicSampler::run() { return impl_->run(); }
+PeriodicReport PeriodicSampler::run(const mcmc::RunHooks& hooks) {
+  return impl_->run(hooks);
+}
 
 }  // namespace mcmcpar::core

@@ -5,6 +5,7 @@
 
 #include "mcmc/diagnostics.hpp"
 #include "mcmc/move_registry.hpp"
+#include "mcmc/run_hooks.hpp"
 #include "model/posterior.hpp"
 #include "par/thread_pool.hpp"
 #include "rng/stream.hpp"
@@ -96,6 +97,7 @@ struct PeriodicReport {
   double virtualSeconds = 0.0;          ///< modeled SMP wall time (if enabled)
   std::uint64_t partitionsProcessed = 0;
   std::uint64_t modifiableTotal = 0;    ///< sum over phases of modifiable counts
+  bool cancelled = false;               ///< stopped early via RunHooks
 };
 
 /// The per-(phase, partition) RNG stream used by the local phases.
@@ -123,7 +125,9 @@ class PeriodicSampler {
   PeriodicSampler& operator=(const PeriodicSampler&) = delete;
 
   /// Run until totalIterations logical iterations have been performed.
-  PeriodicReport run();
+  /// Cancellation is polled at phase boundaries; a cancelled run still
+  /// resynchronises the state and returns a consistent partial report.
+  PeriodicReport run(const mcmc::RunHooks& hooks = {});
 
  private:
   struct Impl;

@@ -35,8 +35,8 @@ void finaliseRuntimes(PipelineReport& report, unsigned threads) {
 
 PartitionRun runPartitionMcmc(const img::ImageF& filtered,
                               const partition::IRect& rect,
-                              const PipelineParams& params,
-                              std::uint64_t seed) {
+                              const PipelineParams& params, std::uint64_t seed,
+                              const mcmc::RunHooks& hooks) {
   PartitionRun run;
   run.rect = rect;
   run.relativeArea =
@@ -64,12 +64,15 @@ PartitionRun runPartitionMcmc(const img::ImageF& filtered,
       params.iterationsBase +
       params.iterationsPerCircle *
           static_cast<std::uint64_t>(std::llround(prior.expectedCount));
+  if (params.iterationsCap != 0) {
+    run.iterations = std::min(run.iterations, params.iterationsCap);
+  }
   const std::uint64_t traceEvery = std::max<std::uint64_t>(
       1, run.iterations / std::max<std::size_t>(params.tracePoints, 2));
 
   mcmc::Sampler sampler(state, registry, stream);
   const par::WallTimer timer;
-  sampler.run(run.iterations, traceEvery);
+  run.iterations = sampler.run(run.iterations, traceEvery, hooks);
   run.seconds = timer.seconds();
   run.timePerIteration =
       run.seconds / static_cast<double>(std::max<std::uint64_t>(run.iterations, 1));
@@ -85,6 +88,7 @@ PartitionRun runPartitionMcmc(const img::ImageF& filtered,
 
   run.circles = state.config().snapshot();
   run.finalLogPosterior = state.logPosterior();
+  run.diagnostics = sampler.diagnostics();
   return run;
 }
 
@@ -96,7 +100,8 @@ PartitionRun runWholeImage(const img::ImageF& filtered,
 }
 
 PipelineReport runIntelligentPipeline(const img::ImageF& filtered,
-                                      const PipelineParams& params) {
+                                      const PipelineParams& params,
+                                      const mcmc::RunHooks& hooks) {
   PipelineReport report;
 
   const par::WallTimer cutTimer;
@@ -104,9 +109,18 @@ PipelineReport runIntelligentPipeline(const img::ImageF& filtered,
   report.partitionerSeconds = cutTimer.seconds();
 
   for (std::size_t i = 0; i < cuts.partitions.size(); ++i) {
+    if (hooks.cancelled()) {
+      report.cancelled = true;
+      break;
+    }
     report.partitions.push_back(runPartitionMcmc(
-        filtered, cuts.partitions[i], params, params.seed + 101 * (i + 1)));
+        filtered, cuts.partitions[i], params, params.seed + 101 * (i + 1),
+        hooks));
+    hooks.progress(i + 1, cuts.partitions.size(), "partition");
   }
+  // Catch a cancellation that truncated the final partition's sampler run
+  // (the loop above would otherwise exit without polling again).
+  if (hooks.cancelled()) report.cancelled = true;
 
   // Intelligent cuts cross no artifact, so recombination is concatenation.
   const par::WallTimer mergeTimer;
@@ -116,12 +130,13 @@ PipelineReport runIntelligentPipeline(const img::ImageF& filtered,
   }
   report.mergeSeconds = mergeTimer.seconds();
 
-  finaliseRuntimes(report, 2);
+  finaliseRuntimes(report, params.loadBalancedThreads);
   return report;
 }
 
 PipelineReport runBlindPipeline(const img::ImageF& filtered,
-                                const PipelineParams& params) {
+                                const PipelineParams& params,
+                                const mcmc::RunHooks& hooks) {
   PipelineReport report;
 
   partition::BlindParams blind = params.blind;
@@ -133,21 +148,32 @@ PipelineReport runBlindPipeline(const img::ImageF& filtered,
       partition::makeBlindPartitions(filtered.width(), filtered.height(), blind);
   report.partitionerSeconds = setupTimer.seconds();
 
-  std::vector<std::vector<model::Circle>> perPartition;
+  // Sized to all partitions up front: a cancelled run leaves empty tails,
+  // which the merge treats as partitions that found nothing.
+  std::vector<std::vector<model::Circle>> perPartition(parts.size());
   for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (hooks.cancelled()) {
+      report.cancelled = true;
+      break;
+    }
     // MCMC sees the expanded rectangle so boundary artifacts can be fully
     // examined (fig. 4 top-left).
     report.partitions.push_back(runPartitionMcmc(
-        filtered, parts[i].expanded, params, params.seed + 211 * (i + 1)));
-    perPartition.push_back(report.partitions.back().circles);
+        filtered, parts[i].expanded, params, params.seed + 211 * (i + 1),
+        hooks));
+    perPartition[i] = report.partitions.back().circles;
+    hooks.progress(i + 1, parts.size(), "partition");
   }
+  // Catch a cancellation that truncated the final partition's sampler run
+  // (the loop above would otherwise exit without polling again).
+  if (hooks.cancelled()) report.cancelled = true;
 
   const par::WallTimer mergeTimer;
   report.merged =
       partition::mergeBlindResults(parts, perPartition, blind, &report.mergeStats);
   report.mergeSeconds = mergeTimer.seconds();
 
-  finaliseRuntimes(report, 2);
+  finaliseRuntimes(report, params.loadBalancedThreads);
   return report;
 }
 

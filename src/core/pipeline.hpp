@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "img/image.hpp"
+#include "mcmc/diagnostics.hpp"
 #include "mcmc/move_registry.hpp"
+#include "mcmc/run_hooks.hpp"
 #include "model/posterior.hpp"
 #include "partition/blind.hpp"
 #include "partition/intelligent.hpp"
@@ -29,6 +31,13 @@ struct PipelineParams {
   std::uint64_t iterationsBase = 2000;
   std::uint64_t iterationsPerCircle = 600;
 
+  /// Hard ceiling on any single (sub)image budget (0 = none); lets a caller
+  /// bound pipeline cost with one knob regardless of estimated counts.
+  std::uint64_t iterationsCap = 0;
+
+  /// Processor count for the LPT load-balanced runtime model (§IX).
+  unsigned loadBalancedThreads = 2;
+
   /// Trace cadence for convergence detection (points per run).
   std::size_t tracePoints = 200;
 
@@ -51,6 +60,7 @@ struct PartitionRun {
   double runtimeToConverge = 0.0;   ///< itersToConverge * timePerIteration
   std::vector<model::Circle> circles;  ///< final model, global coordinates
   double finalLogPosterior = 0.0;
+  mcmc::Diagnostics diagnostics;    ///< per-partition move stats + trace
 };
 
 /// End-to-end result of a partitioning pipeline.
@@ -67,6 +77,7 @@ struct PipelineReport {
   /// Wall time with `loadBalancedThreads` processors and LPT scheduling.
   double loadBalancedRuntime = 0.0;
   unsigned loadBalancedThreads = 2;
+  bool cancelled = false;           ///< stopped early via RunHooks
 };
 
 /// Run MCMC on one rectangular (sub)image with a re-estimated count prior;
@@ -74,7 +85,8 @@ struct PipelineReport {
 [[nodiscard]] PartitionRun runPartitionMcmc(const img::ImageF& filtered,
                                             const partition::IRect& rect,
                                             const PipelineParams& params,
-                                            std::uint64_t seed);
+                                            std::uint64_t seed,
+                                            const mcmc::RunHooks& hooks = {});
 
 /// Whole-image baseline (the Table I "whole" column).
 [[nodiscard]] PartitionRun runWholeImage(const img::ImageF& filtered,
@@ -84,12 +96,16 @@ struct PipelineReport {
 /// the image along empty rows/columns, each partition runs independent
 /// MCMC with its own estimated prior, and results are concatenated
 /// (boundaries cross no artifact, so recombination is trivial).
-[[nodiscard]] PipelineReport runIntelligentPipeline(const img::ImageF& filtered,
-                                                    const PipelineParams& params);
+/// Cancellation is polled between partitions (and inside each partition's
+/// sampler); already-finished partitions stay in the report.
+[[nodiscard]] PipelineReport runIntelligentPipeline(
+    const img::ImageF& filtered, const PipelineParams& params,
+    const mcmc::RunHooks& hooks = {});
 
 /// Blind partitioning (§VIII-IX): a simple grid with overlap margin, MCMC
 /// on each expanded partition, heuristic merge (fig. 4).
 [[nodiscard]] PipelineReport runBlindPipeline(const img::ImageF& filtered,
-                                              const PipelineParams& params);
+                                              const PipelineParams& params,
+                                              const mcmc::RunHooks& hooks = {});
 
 }  // namespace mcmcpar::core

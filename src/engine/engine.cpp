@@ -1,0 +1,26 @@
+#include "engine/engine.hpp"
+
+#include "engine/registry.hpp"
+
+namespace mcmcpar::engine {
+
+Engine::Engine(ExecResources resources, const StrategyRegistry* registry)
+    : resources_(resources),
+      registry_(registry != nullptr ? registry : &StrategyRegistry::builtin()) {
+}
+
+std::unique_ptr<Strategy> Engine::make(
+    const std::string& strategy,
+    const std::vector<std::string>& options) const {
+  return registry_->create(strategy, resources_, options);
+}
+
+RunReport Engine::run(const std::string& strategy, const Problem& problem,
+                      const RunBudget& budget, const RunHooks& hooks,
+                      const std::vector<std::string>& options) const {
+  const std::unique_ptr<Strategy> instance = make(strategy, options);
+  instance->prepare(problem);
+  return instance->run(budget, hooks);
+}
+
+}  // namespace mcmcpar::engine

@@ -1,0 +1,108 @@
+#include "engine/options.hpp"
+
+#include <charconv>
+
+namespace mcmcpar::engine {
+
+namespace {
+
+[[noreturn]] void badValue(const std::string& key, const std::string& value,
+                           const char* expected) {
+  throw EngineError("option '" + key + "': expected " + expected + ", got '" +
+                    value + "'");
+}
+
+}  // namespace
+
+OptionMap OptionMap::parse(const std::vector<std::string>& pairs) {
+  OptionMap map;
+  for (const std::string& pair : pairs) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw EngineError("malformed option '" + pair +
+                        "': expected key=value");
+    }
+    const std::string key = pair.substr(0, eq);
+    if (map.values_.count(key) != 0) {
+      throw EngineError("duplicate option '" + key + "'");
+    }
+    map.values_[key] = pair.substr(eq + 1);
+  }
+  return map;
+}
+
+std::string OptionMap::str(const std::string& key,
+                           const std::string& fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  return it->second;
+}
+
+std::uint64_t OptionMap::u64(const std::string& key,
+                             std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  std::uint64_t value = 0;
+  const std::string& text = it->second;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    badValue(key, text, "an unsigned integer");
+  }
+  return value;
+}
+
+unsigned OptionMap::uns(const std::string& key, unsigned fallback) const {
+  const std::uint64_t value = u64(key, fallback);
+  if (value > 0xFFFFFFFFull) {
+    badValue(key, values_.at(key), "a 32-bit unsigned integer");
+  }
+  return static_cast<unsigned>(value);
+}
+
+double OptionMap::dbl(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  const std::string& text = it->second;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) badValue(key, text, "a number");
+    return value;
+  } catch (const EngineError&) {
+    throw;
+  } catch (const std::exception&) {
+    badValue(key, text, "a number");
+  }
+}
+
+bool OptionMap::flag(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  const std::string& text = it->second;
+  if (text == "true" || text == "1" || text == "on" || text == "yes") {
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "off" || text == "no") {
+    return false;
+  }
+  badValue(key, text, "a boolean (true/false/1/0/on/off/yes/no)");
+}
+
+void OptionMap::requireConsumed(const std::string& context) const {
+  std::string unknown;
+  for (const auto& [key, value] : values_) {
+    if (consumed_.count(key) != 0) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += "'" + key + "'";
+  }
+  if (!unknown.empty()) {
+    throw EngineError(context + ": unknown option(s) " + unknown);
+  }
+}
+
+}  // namespace mcmcpar::engine

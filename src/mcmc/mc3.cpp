@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "par/concurrency.hpp"
+
 namespace mcmcpar::mcmc {
 
 bool temperedStep(model::ModelState& state, const MoveRegistry& registry,
@@ -37,6 +39,8 @@ struct Mc3Sampler::Impl {
        const Mc3Params& p, std::size_t initialCircles, std::uint64_t seed)
       : registry(reg), params(p), swapStream(rng::Stream(seed).derive(0xABBA)) {
     params.chains = std::max(params.chains, 1u);
+    // A zero interval would make run()'s step = min(0, remaining) spin.
+    params.swapInterval = std::max<std::uint64_t>(params.swapInterval, 1);
     const rng::Stream root(seed);
     for (unsigned k = 0; k < params.chains; ++k) {
       chains.push_back(
@@ -46,7 +50,7 @@ struct Mc3Sampler::Impl {
       betas.push_back(1.0 / (1.0 + k * params.heatStep));
     }
     if (params.parallelChains && params.chains > 1) {
-      pool = std::make_unique<par::ThreadPool>(params.threads);
+      pool = par::makeThreadPool(params.threads);
     }
   }
 
@@ -86,9 +90,11 @@ struct Mc3Sampler::Impl {
     }
   }
 
-  void run(std::uint64_t iterations, std::uint64_t traceInterval) {
+  std::uint64_t run(std::uint64_t iterations, std::uint64_t traceInterval,
+                    const RunHooks& hooks) {
     std::uint64_t done = 0;
     while (done < iterations) {
+      if (hooks.cancelled()) break;
       const std::uint64_t step =
           std::min<std::uint64_t>(params.swapInterval, iterations - done);
       stepInterval(step);
@@ -99,9 +105,12 @@ struct Mc3Sampler::Impl {
         coldDiagnostics.tracePoint(stats.iterationsPerChain,
                                    chains[0]->logPosterior(),
                                    chains[0]->config().size());
+        hooks.trace(coldDiagnostics.trace().back());
         nextTrace += traceInterval;
       }
+      hooks.progress(done, iterations, "mc3");
     }
+    return done;
   }
 };
 
@@ -115,8 +124,10 @@ Mc3Sampler::Mc3Sampler(const img::ImageF& filtered,
 
 Mc3Sampler::~Mc3Sampler() = default;
 
-void Mc3Sampler::run(std::uint64_t iterations, std::uint64_t traceInterval) {
-  impl_->run(iterations, traceInterval);
+std::uint64_t Mc3Sampler::run(std::uint64_t iterations,
+                              std::uint64_t traceInterval,
+                              const RunHooks& hooks) {
+  return impl_->run(iterations, traceInterval, hooks);
 }
 
 const model::ModelState& Mc3Sampler::coldChain() const {

@@ -6,6 +6,7 @@
 
 #include "mcmc/diagnostics.hpp"
 #include "mcmc/move_registry.hpp"
+#include "mcmc/run_hooks.hpp"
 #include "model/posterior.hpp"
 #include "par/thread_pool.hpp"
 #include "rng/stream.hpp"
@@ -72,7 +73,10 @@ class Mc3Sampler {
   Mc3Sampler& operator=(const Mc3Sampler&) = delete;
 
   /// Advance every chain by `iterations` iterations (swaps interleaved).
-  void run(std::uint64_t iterations, std::uint64_t traceInterval = 0);
+  /// Cancellation is polled at swap intervals; returns the per-chain
+  /// iterations performed by this call.
+  std::uint64_t run(std::uint64_t iterations, std::uint64_t traceInterval = 0,
+                    const RunHooks& hooks = {});
 
   /// The cold chain (inverse temperature 1) — the only one to sample.
   [[nodiscard]] const model::ModelState& coldChain() const;

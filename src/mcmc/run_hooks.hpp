@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mcmc/diagnostics.hpp"
+
+namespace mcmcpar::mcmc {
+
+/// A progress beat emitted by a driver: `done` of `total` logical iterations,
+/// currently inside the named phase ("sampling", "global", "local",
+/// "partition", ...).
+struct RunProgress {
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+  const char* phase = "";
+};
+
+/// Observer callbacks threaded through every execution driver (sequential
+/// sampler, speculative executor, (MC)^3, periodic sampler, partition
+/// pipelines). All members are optional; a default-constructed RunHooks is
+/// a no-op and costs one null check per observation point.
+///
+/// Drivers poll `cancelRequested` at their natural quantum (an iteration
+/// chunk, a speculative round, a swap interval, a phase, a partition) and
+/// stop at the next boundary, returning a consistent partial result.
+/// Cancellation must be sticky: once `cancelRequested` returns true it is
+/// expected to keep returning true (drivers may poll more than once while
+/// unwinding).
+struct RunHooks {
+  std::function<void(const RunProgress&)> onProgress;
+  std::function<void(const TracePoint&)> onTrace;
+  std::function<bool()> cancelRequested;
+
+  [[nodiscard]] bool cancelled() const {
+    return cancelRequested && cancelRequested();
+  }
+  void progress(std::uint64_t done, std::uint64_t total,
+                const char* phase) const {
+    if (onProgress) onProgress(RunProgress{done, total, phase});
+  }
+  void trace(const TracePoint& point) const {
+    if (onTrace) onTrace(point);
+  }
+};
+
+}  // namespace mcmcpar::mcmc

@@ -1,5 +1,7 @@
 #include "mcmc/sampler.hpp"
 
+#include <algorithm>
+
 namespace mcmcpar::mcmc {
 
 StepResult attemptMove(model::ModelState& state, const Move& move,
@@ -26,14 +28,28 @@ StepResult Sampler::step() {
   return result;
 }
 
-void Sampler::run(std::uint64_t iterations, std::uint64_t traceInterval) {
-  for (std::uint64_t i = 0; i < iterations; ++i) {
-    step();
-    if (traceInterval != 0 && iteration_ % traceInterval == 0) {
-      diagnostics_.tracePoint(iteration_, state_.logPosterior(),
-                              state_.config().size());
+std::uint64_t Sampler::run(std::uint64_t iterations,
+                           std::uint64_t traceInterval,
+                           const RunHooks& hooks) {
+  // Poll cancellation between chunks so the per-iteration cost stays a
+  // single branch on a null std::function.
+  constexpr std::uint64_t kChunk = 256;
+  std::uint64_t done = 0;
+  while (done < iterations) {
+    if (hooks.cancelled()) break;
+    const std::uint64_t chunk = std::min(kChunk, iterations - done);
+    for (std::uint64_t i = 0; i < chunk; ++i) {
+      step();
+      if (traceInterval != 0 && iteration_ % traceInterval == 0) {
+        diagnostics_.tracePoint(iteration_, state_.logPosterior(),
+                                state_.config().size());
+        hooks.trace(diagnostics_.trace().back());
+      }
     }
+    done += chunk;
+    hooks.progress(done, iterations, "sampling");
   }
+  return done;
 }
 
 }  // namespace mcmcpar::mcmc

@@ -4,6 +4,7 @@
 
 #include "mcmc/diagnostics.hpp"
 #include "mcmc/move_registry.hpp"
+#include "mcmc/run_hooks.hpp"
 #include "model/posterior.hpp"
 #include "rng/stream.hpp"
 
@@ -38,8 +39,11 @@ class Sampler {
   StepResult step();
 
   /// Run `iterations` iterations, recording a trace point every
-  /// `traceInterval` iterations (0 = no trace).
-  void run(std::uint64_t iterations, std::uint64_t traceInterval = 0);
+  /// `traceInterval` iterations (0 = no trace). Cancellation is polled
+  /// every few hundred iterations; returns the iterations performed by
+  /// this call (== `iterations` unless cancelled).
+  std::uint64_t run(std::uint64_t iterations, std::uint64_t traceInterval = 0,
+                    const RunHooks& hooks = {});
 
   [[nodiscard]] model::ModelState& state() noexcept { return state_; }
   [[nodiscard]] Diagnostics& diagnostics() noexcept { return diagnostics_; }

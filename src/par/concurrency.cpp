@@ -1,0 +1,19 @@
+#include "par/concurrency.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "par/thread_pool.hpp"
+
+namespace mcmcpar::par {
+
+unsigned resolveThreadCount(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::unique_ptr<ThreadPool> makeThreadPool(unsigned requested) {
+  return std::make_unique<ThreadPool>(resolveThreadCount(requested));
+}
+
+}  // namespace mcmcpar::par

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <memory>
+
+namespace mcmcpar::par {
+
+class ThreadPool;
+
+/// Resolve a user-facing thread-count knob: 0 means "all hardware threads"
+/// (never less than 1). Every `threads` field in the library routes through
+/// this one function so the convention cannot drift between subsystems.
+[[nodiscard]] unsigned resolveThreadCount(unsigned requested) noexcept;
+
+/// Build a ThreadPool with `resolveThreadCount(requested)` workers — the
+/// shared "0 = hardware threads -> make pool" step previously re-implemented
+/// by the periodic sampler, (MC)^3 and the engine executors.
+[[nodiscard]] std::unique_ptr<ThreadPool> makeThreadPool(unsigned requested);
+
+}  // namespace mcmcpar::par

@@ -4,12 +4,12 @@
 #include <chrono>
 #include <exception>
 
+#include "par/concurrency.hpp"
+
 namespace mcmcpar::par {
 
 ThreadPool::ThreadPool(unsigned threads) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  threads = resolveThreadCount(threads);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back(

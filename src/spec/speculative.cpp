@@ -75,9 +75,18 @@ std::uint64_t SpeculativeExecutor::round(MovePhase phase,
   return consumed;
 }
 
-void SpeculativeExecutor::run(std::uint64_t iterations, MovePhase phase) {
-  const std::uint64_t target = stats_.logicalIterations + iterations;
-  while (stats_.logicalIterations < target) round(phase);
+std::uint64_t SpeculativeExecutor::run(std::uint64_t iterations,
+                                       MovePhase phase,
+                                       const mcmc::RunHooks& hooks) {
+  const std::uint64_t start = stats_.logicalIterations;
+  const std::uint64_t target = start + iterations;
+  while (stats_.logicalIterations < target) {
+    if (hooks.cancelled()) break;
+    round(phase);
+    hooks.progress(stats_.logicalIterations - start, iterations,
+                   "speculative");
+  }
+  return stats_.logicalIterations - start;
 }
 
 double expectedConsumedPerRound(double rejectionProbability,

@@ -4,6 +4,7 @@
 
 #include "mcmc/diagnostics.hpp"
 #include "mcmc/move_registry.hpp"
+#include "mcmc/run_hooks.hpp"
 #include "mcmc/sampler.hpp"
 #include "par/thread_pool.hpp"
 
@@ -64,7 +65,10 @@ class SpeculativeExecutor {
                       const mcmc::SelectionContext& ctx = {});
 
   /// Advance the chain by at least `iterations` logical iterations.
-  void run(std::uint64_t iterations, MovePhase phase = MovePhase::Any);
+  /// Cancellation is polled between rounds; returns the logical iterations
+  /// consumed by this call.
+  std::uint64_t run(std::uint64_t iterations, MovePhase phase = MovePhase::Any,
+                    const mcmc::RunHooks& hooks = {});
 
   [[nodiscard]] const SpeculativeStats& stats() const noexcept { return stats_; }
   [[nodiscard]] mcmc::Diagnostics& diagnostics() noexcept { return diagnostics_; }

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "engine/registry.hpp"
+#include "img/synth.hpp"
+
+namespace mcmcpar::engine {
+namespace {
+
+img::Scene tinyScene(std::uint64_t seed) {
+  img::SceneSpec spec = img::cellScene(80, 80, 4, 8.0, seed);
+  spec.radiusStd = 0.5;
+  return img::generateScene(spec);
+}
+
+Problem tinyProblem(const img::Scene& scene) {
+  Problem problem;
+  problem.filtered = &scene.image;
+  problem.prior.radiusMean = 8.0;
+  problem.prior.radiusStd = 1.0;
+  problem.prior.radiusMin = 4.0;
+  problem.prior.radiusMax = 13.0;
+  return problem;
+}
+
+// ---------------------------------------------------------------------------
+// OptionMap
+// ---------------------------------------------------------------------------
+
+TEST(OptionMap, ParsesTypedValuesAndTracksConsumption) {
+  const OptionMap opts =
+      OptionMap::parse({"chains=6", "heat-step=0.25", "parallel=on", "tag=x"});
+  EXPECT_EQ(opts.uns("chains", 1), 6u);
+  EXPECT_DOUBLE_EQ(opts.dbl("heat-step", 0.0), 0.25);
+  EXPECT_TRUE(opts.flag("parallel", false));
+  EXPECT_THROW(opts.requireConsumed("test"), EngineError);  // 'tag' unread
+  EXPECT_EQ(opts.str("tag", ""), "x");
+  EXPECT_NO_THROW(opts.requireConsumed("test"));
+}
+
+TEST(OptionMap, DefaultsApplyWhenKeyAbsent) {
+  const OptionMap opts = OptionMap::parse({});
+  EXPECT_EQ(opts.u64("iterations", 42), 42u);
+  EXPECT_DOUBLE_EQ(opts.dbl("x", 1.5), 1.5);
+  EXPECT_FALSE(opts.flag("y", false));
+  EXPECT_EQ(opts.str("z", "fallback"), "fallback");
+}
+
+TEST(OptionMap, RejectsMalformedPairs) {
+  EXPECT_THROW(OptionMap::parse({"novalue"}), EngineError);
+  EXPECT_THROW(OptionMap::parse({"=5"}), EngineError);
+  EXPECT_THROW(OptionMap::parse({"a=1", "a=2"}), EngineError);
+}
+
+TEST(OptionMap, RejectsIllTypedValues) {
+  const OptionMap opts =
+      OptionMap::parse({"n=abc", "x=1.5zzz", "b=maybe", "big=99999999999"});
+  EXPECT_THROW((void)opts.u64("n", 0), EngineError);
+  EXPECT_THROW((void)opts.dbl("x", 0.0), EngineError);
+  EXPECT_THROW((void)opts.flag("b", false), EngineError);
+  EXPECT_THROW((void)opts.uns("big", 0), EngineError);  // > 32 bits
+}
+
+// ---------------------------------------------------------------------------
+// StrategyRegistry
+// ---------------------------------------------------------------------------
+
+TEST(StrategyRegistry, BuiltinContainsTheSixArchitectures) {
+  const StrategyRegistry& registry = StrategyRegistry::builtin();
+  for (const char* name : {"serial", "speculative", "mc3", "periodic", "blind",
+                           "intelligent"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_TRUE(registry.info(name).factory != nullptr) << name;
+  }
+  EXPECT_EQ(registry.names().size(), 6u);
+}
+
+TEST(StrategyRegistry, UnknownNameErrorListsRegisteredStrategies) {
+  const StrategyRegistry& registry = StrategyRegistry::builtin();
+  try {
+    (void)registry.create("sequental");  // typo on purpose
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("sequental"), std::string::npos) << message;
+    EXPECT_NE(message.find("'serial'"), std::string::npos) << message;
+    EXPECT_NE(message.find("'periodic'"), std::string::npos) << message;
+  }
+}
+
+TEST(StrategyRegistry, UnknownAndMalformedOptionsAreDescriptiveErrors) {
+  const StrategyRegistry& registry = StrategyRegistry::builtin();
+  // Unknown key for this strategy.
+  try {
+    (void)registry.create("serial", {}, {"lanes=4"});
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("serial"), std::string::npos) << message;
+    EXPECT_NE(message.find("lanes"), std::string::npos) << message;
+  }
+  // Malformed pair.
+  EXPECT_THROW((void)registry.create("mc3", {}, {"chains"}), EngineError);
+  // Well-formed key with a value of the wrong type.
+  EXPECT_THROW((void)registry.create("mc3", {}, {"chains=lots"}), EngineError);
+  // Domain validation inside the factory.
+  EXPECT_THROW((void)registry.create("speculative", {}, {"lanes=0"}),
+               EngineError);
+  EXPECT_THROW((void)registry.create("mc3", {}, {"swap-interval=0"}),
+               EngineError);
+  EXPECT_THROW((void)registry.create("periodic", {}, {"executor=warp"}),
+               EngineError);
+}
+
+TEST(StrategyRegistry, RunBeforePrepareIsAnError) {
+  const auto strategy = StrategyRegistry::builtin().create("serial");
+  auto run = [&] { (void)strategy->run(RunBudget{100, 0}); };
+  EXPECT_THROW(run(), EngineError);
+}
+
+TEST(StrategyRegistry, NullImageIsAnError) {
+  const auto strategy = StrategyRegistry::builtin().create("serial");
+  EXPECT_THROW(strategy->prepare(Problem{}), EngineError);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip: every registered strategy runs through the uniform interface
+// and yields a populated RunReport.
+// ---------------------------------------------------------------------------
+
+TEST(EngineRoundTrip, EveryRegisteredStrategyProducesAPopulatedRunReport) {
+  const img::Scene scene = tinyScene(11);
+  const Problem problem = tinyProblem(scene);
+  ExecResources resources;
+  resources.threads = 1;
+  resources.seed = 5;
+  const Engine engine(resources);
+
+  for (const std::string& name : engine.registry().names()) {
+    SCOPED_TRACE(name);
+    const RunReport report = engine.run(name, problem, RunBudget{1200, 0});
+
+    EXPECT_EQ(report.strategy, name);
+    EXPECT_FALSE(report.cancelled);
+    EXPECT_GT(report.iterations, 0u);
+    EXPECT_GT(report.wallSeconds, 0.0);
+    EXPECT_GE(report.threadsUsed, 1u);
+    // The chain proposed moves and recorded them.
+    EXPECT_GT(report.diagnostics.totalProposed(), 0u);
+    EXPECT_GT(report.acceptanceRate, 0.0);
+    EXPECT_LT(report.acceptanceRate, 1.0);
+    // A 4-artifact scene must end with a non-empty, sane model.
+    EXPECT_GT(report.circles.size(), 0u);
+    EXPECT_LT(report.circles.size(), 40u);
+    EXPECT_TRUE(std::isfinite(report.logPosterior));
+    EXPECT_NE(report.logPosterior, 0.0);
+  }
+}
+
+TEST(EngineRoundTrip, ExtrasVariantMatchesTheRegistryContract) {
+  const img::Scene scene = tinyScene(12);
+  const Problem problem = tinyProblem(scene);
+  const Engine engine(ExecResources{1, false, 7});
+
+  const auto holds = [&](const std::string& name, auto tag) {
+    const RunReport report = engine.run(name, problem, RunBudget{800, 0});
+    return std::holds_alternative<decltype(tag)>(report.extras);
+  };
+  EXPECT_TRUE(holds("serial", std::monostate{}));
+  EXPECT_TRUE(holds("speculative", spec::SpeculativeStats{}));
+  EXPECT_TRUE(holds("mc3", mcmc::Mc3Stats{}));
+  EXPECT_TRUE(holds("periodic", core::PeriodicReport{}));
+  EXPECT_TRUE(holds("blind", core::PipelineReport{}));
+  EXPECT_TRUE(holds("intelligent", core::PipelineReport{}));
+}
+
+TEST(EngineRoundTrip, StrategyOptionsReachTheDriver) {
+  const img::Scene scene = tinyScene(13);
+  const Problem problem = tinyProblem(scene);
+  const Engine engine(ExecResources{1, false, 7});
+
+  const RunReport report = engine.run("mc3", problem, RunBudget{600, 0}, {},
+                                      {"chains=2", "swap-interval=50"});
+  const auto& stats = std::get<mcmc::Mc3Stats>(report.extras);
+  EXPECT_EQ(stats.iterationsPerChain, 600u);
+  EXPECT_EQ(stats.swapProposed, 600u / 50u);
+}
+
+TEST(EngineRoundTrip, SameSeedIsReproducibleAcrossEngineCalls) {
+  const img::Scene scene = tinyScene(14);
+  const Problem problem = tinyProblem(scene);
+  const Engine engine(ExecResources{1, false, 21});
+
+  const RunReport a = engine.run("serial", problem, RunBudget{2000, 0});
+  const RunReport b = engine.run("serial", problem, RunBudget{2000, 0});
+  EXPECT_EQ(a.circles.size(), b.circles.size());
+  EXPECT_DOUBLE_EQ(a.logPosterior, b.logPosterior);
+}
+
+// ---------------------------------------------------------------------------
+// RunHooks: progress/trace observers and cancellation.
+// ---------------------------------------------------------------------------
+
+TEST(RunHooks, ProgressAndTraceObserversFire) {
+  const img::Scene scene = tinyScene(15);
+  const Problem problem = tinyProblem(scene);
+  const Engine engine(ExecResources{1, false, 3});
+
+  std::uint64_t progressBeats = 0;
+  std::uint64_t tracePoints = 0;
+  RunHooks hooks;
+  hooks.onProgress = [&](const RunProgress& p) {
+    EXPECT_LE(p.done, p.total);
+    ++progressBeats;
+  };
+  hooks.onTrace = [&](const mcmc::TracePoint&) { ++tracePoints; };
+
+  const RunReport report =
+      engine.run("serial", problem, RunBudget{2000, 500}, hooks);
+  EXPECT_FALSE(report.cancelled);
+  EXPECT_GT(progressBeats, 0u);
+  EXPECT_EQ(tracePoints, 4u);  // 2000 iterations / 500 cadence
+}
+
+// Cancellation must stop within one polling quantum and still return a
+// consistent partial report — for the serial baseline and for a parallel
+// strategy (periodic partitioning with its pool executor).
+class CancellationTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CancellationTest, MidRunCancellationYieldsConsistentPartialReport) {
+  const img::Scene scene = tinyScene(16);
+  const Problem problem = tinyProblem(scene);
+  // threads=2 exercises the pooled local executor for "periodic".
+  const Engine engine(ExecResources{2, false, 9});
+
+  // Allow a handful of polls, then request cancellation forever after.
+  std::atomic<int> polls{0};
+  RunHooks hooks;
+  hooks.cancelRequested = [&polls] { return ++polls > 3; };
+
+  const RunBudget budget{200000, 0};
+  const RunReport report = engine.run(GetParam(), problem, budget, hooks);
+
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_LT(report.iterations, budget.iterations);
+  // The partial report is still populated and internally consistent.
+  EXPECT_GT(report.iterations, 0u);
+  EXPECT_GT(report.diagnostics.totalProposed(), 0u);
+  EXPECT_FALSE(report.circles.empty());
+  EXPECT_TRUE(std::isfinite(report.logPosterior));
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialAndParallel, CancellationTest,
+                         ::testing::Values("serial", "periodic", "mc3",
+                                           "blind"));
+
+TEST(RunHooks, ImmediateCancellationStillReturnsAReport) {
+  const img::Scene scene = tinyScene(17);
+  const Problem problem = tinyProblem(scene);
+  const Engine engine(ExecResources{1, false, 9});
+
+  RunHooks hooks;
+  hooks.cancelRequested = [] { return true; };
+  const RunReport report =
+      engine.run("serial", problem, RunBudget{50000, 0}, hooks);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_EQ(report.iterations, 0u);
+}
+
+}  // namespace
+}  // namespace mcmcpar::engine

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <stdexcept>
@@ -10,6 +11,7 @@
 #include <omp.h>
 #endif
 
+#include "par/concurrency.hpp"
 #include "par/omp_support.hpp"
 #include "par/task_scheduler.hpp"
 #include "par/thread_pool.hpp"
@@ -17,6 +19,22 @@
 
 namespace mcmcpar::par {
 namespace {
+
+TEST(Concurrency, ResolveThreadCountMapsZeroToHardware) {
+  EXPECT_EQ(resolveThreadCount(1), 1u);
+  EXPECT_EQ(resolveThreadCount(7), 7u);
+  const unsigned hardware = resolveThreadCount(0);
+  EXPECT_GE(hardware, 1u);
+  EXPECT_EQ(hardware, std::max(1u, std::thread::hardware_concurrency()));
+}
+
+TEST(Concurrency, MakeThreadPoolHonoursResolution) {
+  const auto pool = makeThreadPool(2);
+  ASSERT_NE(pool, nullptr);
+  std::atomic<int> counter{0};
+  pool->parallelFor(8, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 8);
+}
 
 TEST(ThreadPool, RunsSubmittedTasks) {
   ThreadPool pool(2);

@@ -1,0 +1,328 @@
+// mcmcpar_run — the uniform CLI front-end of the engine façade: execute any
+// registered strategy (or all of them) on a synthetic scene or a PGM image
+// and print one comparable RunReport row per strategy. No strategy-specific
+// setup code lives here; everything flows through the string-keyed registry.
+//
+//   mcmcpar_run --list
+//   mcmcpar_run --strategy serial --iterations 20000
+//   mcmcpar_run --strategy all --iterations 5000 --width 192 --cells 10
+//   mcmcpar_run --strategy mc3 --opt chains=6 --opt swap-interval=50
+//   mcmcpar_run --strategy periodic --opt executor=split-serial --progress
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "analysis/table_writer.hpp"
+#include "engine/registry.hpp"
+#include "img/pnm_io.hpp"
+#include "img/synth.hpp"
+
+using namespace mcmcpar;
+
+namespace {
+
+struct CliOptions {
+  std::string strategy = "serial";
+  std::vector<std::string> strategyOptions;
+  engine::ExecResources resources;
+  engine::RunBudget budget{20000, 0};
+  int width = 192;
+  int height = 192;
+  int cells = 10;
+  double radius = 9.0;
+  std::string imagePath;  // when set, run on this PGM instead of a scene
+  bool list = false;
+  bool progress = false;
+  bool help = false;
+};
+
+void printUsage() {
+  std::printf(
+      "usage: mcmcpar_run [options]\n"
+      "  --list              print the strategy registry and exit\n"
+      "  --strategy NAME     strategy to run, or 'all' (default: serial)\n"
+      "  --opt key=value     strategy-specific option (repeatable)\n"
+      "  --iterations N      iteration budget (default: 20000)\n"
+      "  --trace N           trace cadence (default: ~200 points)\n"
+      "  --seed N            master seed (default: 1)\n"
+      "  --threads N         worker threads, 0 = hardware (default: 0)\n"
+      "  --omp               prefer OpenMP executors where available\n"
+      "  --width N/--height N/--cells N/--radius X  synthetic scene shape\n"
+      "  --image FILE.pgm    run on a PGM image instead of a synthetic scene\n"
+      "  --progress          print progress beats from RunHooks\n");
+}
+
+/// Strict numeric parsing: the whole token must convert, mirroring the
+/// engine's key=value validation (no silent "20k" -> 20 truncation).
+bool parseU64(const char* flag, const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: expected an unsigned integer, got '%s'\n", flag,
+                 text);
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+bool parseInt(const char* flag, const char* text, int& out) {
+  std::uint64_t value = 0;
+  if (!parseU64(flag, text, value) || value > 0x7FFFFFFFull) {
+    std::fprintf(stderr, "%s: expected a positive int, got '%s'\n", flag,
+                 text);
+    return false;
+  }
+  out = static_cast<int>(value);
+  return true;
+}
+
+bool parseDouble(const char* flag, const char* text, double& out) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: expected a number, got '%s'\n", flag, text);
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+std::optional<CliOptions> parseArgs(int argc, char** argv) {
+  CliOptions cli;
+  const auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value after %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--list") == 0) {
+      cli.list = true;
+    } else if (std::strcmp(arg, "--progress") == 0) {
+      cli.progress = true;
+    } else if (std::strcmp(arg, "--omp") == 0) {
+      cli.resources.useOpenMp = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      cli.help = true;
+      return cli;
+    } else if (std::strcmp(arg, "--strategy") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      cli.strategy = v;
+    } else if (std::strcmp(arg, "--opt") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      cli.strategyOptions.emplace_back(v);
+    } else if (std::strcmp(arg, "--iterations") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      if (!parseU64(arg, v, cli.budget.iterations)) return std::nullopt;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      if (!parseU64(arg, v, cli.budget.traceInterval)) return std::nullopt;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      if (!parseU64(arg, v, cli.resources.seed)) return std::nullopt;
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      int threads = 0;
+      if (!parseInt(arg, v, threads)) return std::nullopt;
+      cli.resources.threads = static_cast<unsigned>(threads);
+    } else if (std::strcmp(arg, "--width") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      if (!parseInt(arg, v, cli.width)) return std::nullopt;
+    } else if (std::strcmp(arg, "--height") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      if (!parseInt(arg, v, cli.height)) return std::nullopt;
+    } else if (std::strcmp(arg, "--cells") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      if (!parseInt(arg, v, cli.cells)) return std::nullopt;
+    } else if (std::strcmp(arg, "--radius") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      if (!parseDouble(arg, v, cli.radius)) return std::nullopt;
+    } else if (std::strcmp(arg, "--image") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      cli.imagePath = v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n\n", arg);
+      printUsage();
+      return std::nullopt;
+    }
+  }
+  return cli;
+}
+
+void printRegistry(const engine::StrategyRegistry& registry) {
+  analysis::Table table({"name", "paper", "extras", "summary"});
+  for (const std::string& name : registry.names()) {
+    const engine::StrategyInfo& info = registry.info(name);
+    table.addRow({info.name, info.paperSection, info.extrasType, info.summary});
+  }
+  table.print(std::cout);
+  std::printf("\nper-strategy options (--opt key=value):\n");
+  for (const std::string& name : registry.names()) {
+    const engine::StrategyInfo& info = registry.info(name);
+    std::printf("  %-12s %s\n", info.name.c_str(),
+                info.optionsHelp.empty() ? "-" : info.optionsHelp.c_str());
+  }
+}
+
+/// One line summarising the strategy-specific extras of a report.
+void printExtras(const engine::RunReport& report) {
+  if (const auto* spec =
+          std::get_if<spec::SpeculativeStats>(&report.extras)) {
+    std::printf("  [%s] %llu rounds, %.2f iters/round, %.0f%% waste\n",
+                report.strategy.c_str(),
+                static_cast<unsigned long long>(spec->rounds),
+                spec->meanConsumedPerRound(), 100.0 * spec->wasteFraction());
+  } else if (const auto* mc3 = std::get_if<mcmc::Mc3Stats>(&report.extras)) {
+    std::printf("  [%s] swap rate %.2f (%llu/%llu)\n", report.strategy.c_str(),
+                mc3->swapRate(),
+                static_cast<unsigned long long>(mc3->swapAccepted),
+                static_cast<unsigned long long>(mc3->swapProposed));
+  } else if (const auto* periodic =
+                 std::get_if<core::PeriodicReport>(&report.extras)) {
+    std::printf(
+        "  [%s] %llu phases, %llu global + %llu local iters, "
+        "overhead %.3f s\n",
+        report.strategy.c_str(),
+        static_cast<unsigned long long>(periodic->phases),
+        static_cast<unsigned long long>(periodic->globalIterations),
+        static_cast<unsigned long long>(periodic->localIterations),
+        periodic->overheadSeconds);
+  } else if (const auto* pipeline =
+                 std::get_if<core::PipelineReport>(&report.extras)) {
+    std::printf(
+        "  [%s] %zu partitions, parallel runtime %.3f s, "
+        "load-balanced (%u cpus) %.3f s\n",
+        report.strategy.c_str(), pipeline->partitions.size(),
+        pipeline->parallelRuntime, pipeline->loadBalancedThreads,
+        pipeline->loadBalancedRuntime);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<CliOptions> parsed = parseArgs(argc, argv);
+  if (!parsed) return 2;
+  const CliOptions& cli = *parsed;
+  if (cli.help) {
+    printUsage();
+    return 0;
+  }
+
+  const engine::StrategyRegistry& registry = engine::StrategyRegistry::builtin();
+  if (cli.list) {
+    printRegistry(registry);
+    return 0;
+  }
+
+  // The problem: a PGM from disk, or a synthetic scene with known truth.
+  img::ImageF image;
+  std::vector<model::Circle> truth;
+  if (!cli.imagePath.empty()) {
+    try {
+      image = img::toF(img::readPgm(cli.imagePath));
+    } catch (const img::PnmError& e) {
+      std::fprintf(stderr, "cannot read %s: %s\n", cli.imagePath.c_str(),
+                   e.what());
+      return 2;
+    }
+    std::printf("image: %s (%dx%d)\n\n", cli.imagePath.c_str(), image.width(),
+                image.height());
+  } else {
+    const img::SceneSpec spec = img::cellScene(
+        cli.width, cli.height, cli.cells, cli.radius, cli.resources.seed);
+    img::Scene scene = img::generateScene(spec);
+    image = std::move(scene.image);
+    for (const auto& t : scene.truth) truth.push_back({t.x, t.y, t.r});
+    std::printf("scene: %dx%d with %zu artifacts of radius ~%.1f\n\n",
+                cli.width, cli.height, truth.size(), cli.radius);
+  }
+
+  engine::Problem problem;
+  problem.filtered = &image;
+  problem.prior.radiusMean = cli.radius;
+  problem.prior.radiusStd = cli.radius / 8.0;
+  problem.prior.radiusMin = cli.radius / 2.0;
+  problem.prior.radiusMax = cli.radius * 1.8;
+
+  // Report progress once per decile; reset before each strategy.
+  auto lastDecile = std::make_shared<int>(-1);
+  engine::RunHooks hooks;
+  if (cli.progress) {
+    hooks.onProgress = [lastDecile](const engine::RunProgress& p) {
+      if (p.total == 0) return;
+      const int decile = static_cast<int>(10 * p.done / p.total);
+      if (decile != *lastDecile) {
+        *lastDecile = decile;
+        std::fprintf(stderr, "  ... %s %d%%\n", p.phase, decile * 10);
+      }
+    };
+  }
+
+  std::vector<std::string> toRun;
+  if (cli.strategy == "all") {
+    toRun = registry.names();
+    if (!cli.strategyOptions.empty()) {
+      std::fprintf(stderr,
+                   "--opt is strategy-specific and cannot be combined with "
+                   "--strategy all\n");
+      return 2;
+    }
+  } else {
+    toRun.push_back(cli.strategy);
+  }
+
+  const engine::Engine eng(cli.resources);
+  analysis::Table table({"strategy", "seconds", "iters", "accept", "circles",
+                         "logP", "converge@", truth.empty() ? "-" : "F1"});
+  std::vector<engine::RunReport> reports;
+  for (const std::string& name : toRun) {
+    *lastDecile = -1;
+    try {
+      engine::RunReport report =
+          eng.run(name, problem, cli.budget, hooks, cli.strategyOptions);
+      std::string f1 = "-";
+      if (!truth.empty()) {
+        f1 = analysis::Table::num(
+            analysis::scoreCircles(report.circles, truth, cli.radius * 0.75)
+                .f1,
+            3);
+      }
+      table.addRow(
+          {report.strategy, analysis::Table::num(report.wallSeconds, 3),
+           analysis::Table::integer(static_cast<long long>(report.iterations)),
+           analysis::Table::num(report.acceptanceRate, 3),
+           analysis::Table::integer(
+               static_cast<long long>(report.circles.size())),
+           analysis::Table::num(report.logPosterior, 1),
+           report.iterationsToConverge
+               ? analysis::Table::integer(
+                     static_cast<long long>(*report.iterationsToConverge))
+               : "-",
+           f1});
+      reports.push_back(std::move(report));
+    } catch (const engine::EngineError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  table.print(std::cout);
+  std::printf("\n");
+  for (const engine::RunReport& report : reports) printExtras(report);
+  return 0;
+}
