@@ -1,0 +1,128 @@
+// BATCH — measure engine::BatchRunner throughput: a manifest-sized mix of
+// jobs across the six strategies executed concurrently under one shared
+// thread budget. Emits BENCH_batch.json (jobs/sec plus latency
+// percentiles), the artifact the CI workflow uploads so the bench
+// trajectory has machine-readable data.
+//
+//   bench_batch_throughput [--runs=N] [--seed=N] [--paper-scale]
+//     --runs=N       jobs per strategy (default 2; paper-scale 4)
+//     --out=FILE     JSON output path (default BENCH_batch.json)
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/table_writer.hpp"
+#include "bench_common.hpp"
+#include "engine/batch.hpp"
+#include "engine/registry.hpp"
+#include "par/concurrency.hpp"
+
+using namespace mcmcpar;
+
+namespace {
+
+void writeJson(const std::string& path, const engine::BatchResult& result,
+               std::uint64_t iterations) {
+  const engine::BatchReport& batch = result.batch;
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"bench\": \"batch_throughput\",\n"
+      << "  \"jobs\": " << batch.jobs << ",\n"
+      << "  \"completed\": " << batch.completed << ",\n"
+      << "  \"failed\": " << batch.failed << ",\n"
+      << "  \"iterations_per_job\": " << iterations << ",\n"
+      << "  \"thread_budget\": " << batch.threadBudget << ",\n"
+      << "  \"concurrent_jobs\": " << batch.concurrentJobs << ",\n"
+      << "  \"wall_seconds\": " << batch.wallSeconds << ",\n"
+      << "  \"jobs_per_second\": " << batch.jobsPerSecond << ",\n"
+      << "  \"latency_p50_seconds\": " << batch.p50Seconds << ",\n"
+      << "  \"latency_p95_seconds\": " << batch.p95Seconds << ",\n"
+      << "  \"per_strategy\": {\n";
+  std::size_t emitted = 0;
+  for (const auto& [name, totals] : batch.perStrategy) {
+    out << "    \"" << name << "\": {\"jobs\": " << totals.jobs
+        << ", \"iterations\": " << totals.iterations
+        << ", \"wall_seconds\": " << totals.wallSeconds << "}"
+        << (++emitted < batch.perStrategy.size() ? ",\n" : "\n");
+  }
+  out << "  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string outPath = "BENCH_batch.json";
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      outPath = argv[i] + 6;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  const bench::Options opt = bench::parseOptions(
+      static_cast<int>(passthrough.size()), passthrough.data());
+  const int jobsPerStrategy =
+      opt.runs > 0 ? opt.runs : (opt.paperScale ? 4 : 2);
+  const int size = opt.paperScale ? 384 : 160;
+  const int cells = opt.paperScale ? 40 : 8;
+  const std::uint64_t iterations = opt.paperScale ? 60000 : 8000;
+
+  const img::Scene scene = img::generateScene(
+      img::cellScene(size, size, cells, 10.0, opt.seed));
+  engine::Problem problem;
+  problem.filtered = &scene.image;
+  problem.prior.radiusMean = 10.0;
+  problem.prior.radiusStd = 1.2;
+  problem.prior.radiusMin = 4.0;
+  problem.prior.radiusMax = 18.0;
+
+  std::vector<engine::BatchJob> jobs;
+  for (int round = 0; round < jobsPerStrategy; ++round) {
+    for (const std::string& name :
+         engine::StrategyRegistry::builtin().names()) {
+      engine::BatchJob job;
+      job.strategy = name;
+      job.problem = problem;
+      job.budget = engine::RunBudget{iterations, 0};
+      job.label = name + "#" + std::to_string(round);
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  engine::BatchOptions options;
+  options.resources.seed = opt.seed;
+  options.resources.threads = 0;  // whole machine, shared by the batch
+
+  std::printf("BATCH: %zu jobs (%d per strategy), %llu iters each, "
+              "%u-thread budget\n\n",
+              jobs.size(), jobsPerStrategy,
+              static_cast<unsigned long long>(iterations),
+              par::resolveThreadCount(0));
+
+  const engine::BatchResult result =
+      engine::BatchRunner().run(jobs, options);
+
+  const engine::BatchReport& batch = result.batch;
+  analysis::Table table({"strategy", "jobs", "iters", "seconds"});
+  for (const auto& [name, totals] : batch.perStrategy) {
+    table.addRow({name, analysis::Table::integer(
+                            static_cast<long long>(totals.jobs)),
+                  analysis::Table::integer(
+                      static_cast<long long>(totals.iterations)),
+                  analysis::Table::num(totals.wallSeconds, 3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n%zu/%zu jobs ok in %.3f s: %.2f jobs/s, "
+      "latency p50 %.3f s / p95 %.3f s\n",
+      batch.completed, batch.jobs, batch.wallSeconds, batch.jobsPerSecond,
+      batch.p50Seconds, batch.p95Seconds);
+
+  writeJson(outPath, result, iterations);
+  std::printf("wrote %s\n", outPath.c_str());
+  return batch.completed == batch.jobs ? 0 : 1;
+}

@@ -1,0 +1,228 @@
+#include "engine/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "engine/registry.hpp"
+#include "par/concurrency.hpp"
+#include "par/thread_pool.hpp"
+#include "par/virtual_clock.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace mcmcpar::engine {
+
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted latency list.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(p * static_cast<double>(sorted.size()))));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+}  // namespace
+
+std::uint64_t deriveJobSeed(std::uint64_t batchSeed,
+                            std::size_t jobIndex) noexcept {
+  // Chained SplitMix64 absorption: the batch seed is mixed through one
+  // bijection, the index through a second, so no (seed, index) pair can
+  // collide with another index under the same seed.
+  rng::SplitMix64 root(batchSeed);
+  rng::SplitMix64 mixed(root.next() +
+                        0x9E3779B97F4A7C15ULL *
+                            (static_cast<std::uint64_t>(jobIndex) + 1));
+  return mixed.next();
+}
+
+BatchRunner::BatchRunner(const StrategyRegistry* registry)
+    : registry_(registry != nullptr ? registry
+                                    : &StrategyRegistry::builtin()) {}
+
+BatchResult BatchRunner::run(const std::vector<BatchJob>& jobs,
+                             const BatchOptions& options,
+                             const BatchHooks& hooks) const {
+  const std::size_t n = jobs.size();
+  BatchResult result;
+  result.reports.resize(n);
+  result.batch.jobs = n;
+  result.batch.errors.assign(n, "");
+
+  const unsigned totalThreads =
+      par::resolveThreadCount(options.resources.threads);
+  unsigned concurrency = options.maxConcurrentJobs != 0
+                             ? options.maxConcurrentJobs
+                             : totalThreads;
+  concurrency = std::min(concurrency, totalThreads);
+  // Never more runners than jobs (an empty batch keeps one nominal runner
+  // and the serial path below spawns no pool at all).
+  const std::size_t jobCap = std::max<std::size_t>(n, 1);
+  if (jobCap < concurrency) concurrency = static_cast<unsigned>(jobCap);
+  concurrency = std::max(concurrency, 1u);
+  result.batch.threadBudget = totalThreads;
+  result.batch.concurrentJobs = concurrency;
+
+  // The shared budget: job-runner threads are charged up front, strategies
+  // lease their internal workers from the remainder.
+  par::PoolBudget budget(totalThreads);
+  const unsigned charged = budget.tryAcquire(concurrency);
+  (void)charged;  // concurrency <= totalThreads, so this always succeeds
+
+  // Validate and instantiate every strategy before any work starts: an
+  // unknown name or bad option fails the batch as one EngineError instead
+  // of surfacing halfway through a long run.
+  std::vector<std::unique_ptr<Strategy>> strategies;
+  strategies.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ExecResources resources = options.resources;
+    resources.poolBudget = &budget;
+    resources.seed = jobs[i].seed.value_or(
+        deriveJobSeed(options.resources.seed, i));
+    try {
+      strategies.push_back(
+          registry_->create(jobs[i].strategy, resources, jobs[i].options));
+    } catch (const EngineError& e) {
+      const std::string label =
+          jobs[i].label.empty() ? "" : " (" + jobs[i].label + ")";
+      throw EngineError("batch job #" + std::to_string(i) + label + ": " +
+                        e.what());
+    }
+  }
+
+  const par::WallTimer batchTimer;
+  std::atomic<bool> batchCancelled{false};
+  const auto shouldStop = [&]() -> bool {
+    if (batchCancelled.load(std::memory_order_relaxed)) return true;
+    const bool stop =
+        (hooks.cancelRequested && hooks.cancelRequested()) ||
+        (options.deadlineSeconds > 0.0 &&
+         batchTimer.seconds() >= options.deadlineSeconds);
+    if (stop) batchCancelled.store(true, std::memory_order_relaxed);
+    return stop;
+  };
+
+  std::mutex doneMutex;
+  std::vector<double> latencies(n, 0.0);
+  // char, not bool: concurrent jobs write distinct elements, and
+  // vector<bool>'s bit packing would make that a data race.
+  std::vector<char> executed(n, 0);
+
+  const auto runJob = [&](std::size_t i) {
+    RunReport& report = result.reports[i];
+    if (shouldStop()) {
+      // Never started: an empty cancelled report keeps the output vector
+      // index-aligned without inventing chain results.
+      report.strategy = jobs[i].strategy;
+      report.cancelled = true;
+      report.threadsUsed = 0;
+      if (hooks.onJobDone) {
+        const std::scoped_lock lock(doneMutex);
+        hooks.onJobDone(i, report);
+      }
+      return;
+    }
+
+    RunHooks jobHooks;
+    jobHooks.cancelRequested = shouldStop;
+    if (hooks.onJobProgress) {
+      jobHooks.onProgress = [&hooks, i](const RunProgress& p) {
+        hooks.onJobProgress(i, p);
+      };
+    }
+
+    const par::WallTimer jobTimer;
+    try {
+      strategies[i]->prepare(jobs[i].problem);
+      report = strategies[i]->run(jobs[i].budget, jobHooks);
+    } catch (const std::exception& e) {  // EngineError and anything else:
+      report = RunReport{};              // one bad job must not sink the batch
+      report.strategy = jobs[i].strategy;
+      report.threadsUsed = 0;
+      result.batch.errors[i] = e.what();
+    }
+    latencies[i] = jobTimer.seconds();
+    executed[i] = true;
+    if (hooks.onJobDone) {
+      const std::scoped_lock lock(doneMutex);
+      hooks.onJobDone(i, report);
+    }
+  };
+
+  if (concurrency <= 1) {
+    for (std::size_t i = 0; i < n; ++i) runJob(i);
+  } else {
+    // concurrency-1 workers plus the calling thread: parallelFor's caller
+    // helps drain the queue, so exactly `concurrency` jobs run at once.
+    par::ThreadPool pool(concurrency - 1);
+    pool.parallelFor(n, runJob);
+  }
+
+  // Aggregate.
+  BatchReport& batch = result.batch;
+  batch.wallSeconds = batchTimer.seconds();
+  std::vector<double> executedLatencies;
+  executedLatencies.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const RunReport& report = result.reports[i];
+    if (!batch.errors[i].empty()) {
+      ++batch.failed;
+    } else if (report.cancelled) {
+      ++batch.cancelled;
+    } else {
+      ++batch.completed;
+    }
+    if (!executed[i]) continue;
+    executedLatencies.push_back(latencies[i]);
+    StrategyTotals& totals = batch.perStrategy[jobs[i].strategy];
+    ++totals.jobs;
+    totals.iterations += report.iterations;
+    totals.wallSeconds += latencies[i];
+  }
+  std::sort(executedLatencies.begin(), executedLatencies.end());
+  batch.p50Seconds = percentile(executedLatencies, 0.50);
+  batch.p95Seconds = percentile(executedLatencies, 0.95);
+  if (batch.wallSeconds > 0.0) {
+    batch.jobsPerSecond =
+        static_cast<double>(executedLatencies.size()) / batch.wallSeconds;
+  }
+  return result;
+}
+
+std::vector<ManifestEntry> parseBatchManifest(std::istream& in) {
+  std::vector<ManifestEntry> entries;
+  std::string line;
+  std::size_t lineNumber = 0;
+  while (std::getline(in, line)) {
+    ++lineNumber;
+    std::istringstream tokens(line);
+    std::string first;
+    if (!(tokens >> first) || first.front() == '#') continue;
+    ManifestEntry entry;
+    entry.image = first;
+    if (!(tokens >> entry.strategy)) {
+      throw EngineError("manifest line " + std::to_string(lineNumber) +
+                        ": expected '<image> <strategy> [key=value ...]', "
+                        "got '" +
+                        line + "'");
+    }
+    std::string option;
+    while (tokens >> option) {
+      if (option.find('=') == std::string::npos) {
+        throw EngineError("manifest line " + std::to_string(lineNumber) +
+                          ": malformed option '" + option +
+                          "' (expected key=value)");
+      }
+      entry.options.push_back(option);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace mcmcpar::engine

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace mcmcpar::engine {
+
+class StrategyRegistry;
+
+/// One unit of work in a batch: an image (borrowed through Problem) run
+/// under one strategy with its own options and budget.
+struct BatchJob {
+  std::string strategy;  ///< registry key ("serial", "mc3", ...)
+  std::vector<std::string> options;  ///< strategy `key=value` options
+  Problem problem;
+  RunBudget budget;
+  std::string label;  ///< caller's tag (image path, request id); "" = index
+
+  /// Per-job master seed. Unset jobs derive a distinct seed from the batch
+  /// seed and the job index, so identical jobs still explore independently.
+  std::optional<std::uint64_t> seed;
+};
+
+/// Knobs of one BatchRunner::run call.
+struct BatchOptions {
+  /// Shared execution resources. `threads` is the *total* worker budget of
+  /// the whole batch (0 = hardware concurrency): jobs run concurrently
+  /// inside it, and strategies lease their internal workers from what is
+  /// left, so the box is never oversubscribed. `seed` is the batch master
+  /// seed that per-job seeds derive from.
+  ExecResources resources;
+
+  /// Upper bound on jobs in flight (0 = one per budgeted thread). Lowering
+  /// it below the thread budget leaves spare threads for strategies'
+  /// internal parallelism.
+  unsigned maxConcurrentJobs = 0;
+
+  /// Whole-batch wall-clock deadline in seconds (0 = none). Jobs still
+  /// running when it expires are cancelled at their next polling quantum;
+  /// jobs not yet started are skipped.
+  double deadlineSeconds = 0.0;
+};
+
+/// Observer callbacks of a batch run. All optional; callbacks may be
+/// invoked concurrently from different job threads, except onJobDone which
+/// is serialised by the runner.
+struct BatchHooks {
+  /// Per-job progress beat, forwarded from the strategy's RunHooks.
+  std::function<void(std::size_t jobIndex, const RunProgress&)> onJobProgress;
+
+  /// A job finished (completed, failed or cancelled); `report` is its final
+  /// RunReport. Serialised: never invoked concurrently.
+  std::function<void(std::size_t jobIndex, const RunReport& report)> onJobDone;
+
+  /// Cancels the whole batch (sticky, like RunHooks::cancelRequested):
+  /// running jobs stop at their next quantum, queued jobs never start.
+  std::function<bool()> cancelRequested;
+};
+
+/// Per-strategy roll-up of a batch.
+struct StrategyTotals {
+  std::size_t jobs = 0;
+  std::uint64_t iterations = 0;
+  double wallSeconds = 0.0;  ///< summed per-job latencies
+};
+
+/// Aggregate outcome of a batch: throughput, latency percentiles and
+/// per-strategy totals, plus index-aligned error messages for failed jobs.
+struct BatchReport {
+  std::size_t jobs = 0;
+  std::size_t completed = 0;  ///< ran their full budget
+  std::size_t cancelled = 0;  ///< stopped early or never started
+  std::size_t failed = 0;     ///< threw EngineError while running
+  double wallSeconds = 0.0;   ///< whole-batch wall time
+  double jobsPerSecond = 0.0;
+  double p50Seconds = 0.0;  ///< median per-job latency (executed jobs)
+  double p95Seconds = 0.0;  ///< nearest-rank 95th percentile latency
+  unsigned threadBudget = 0;    ///< resolved total worker budget
+  unsigned concurrentJobs = 0;  ///< resolved jobs-in-flight cap
+  std::map<std::string, StrategyTotals> perStrategy;
+  std::vector<std::string> errors;  ///< index-aligned; "" for non-failures
+};
+
+/// A batch outcome: one RunReport per submitted job, index-aligned with the
+/// input vector regardless of completion order, plus the aggregate.
+struct BatchResult {
+  std::vector<RunReport> reports;
+  BatchReport batch;
+};
+
+/// Executes N independent jobs concurrently under one shared thread budget.
+///
+/// Jobs are validated up front (unknown strategies or malformed options
+/// fail the whole batch before any work starts), dispatched in submission
+/// order over an internal par::ThreadPool, and reported in submission
+/// order. Each job runs under a wrapped RunHooks that forwards progress,
+/// honours the per-batch deadline and propagates batch cancellation; a
+/// cancelled batch keeps every already-finished report intact.
+class BatchRunner {
+ public:
+  /// `registry` defaults to the built-in six-strategy registry and is
+  /// borrowed (must outlive the runner).
+  explicit BatchRunner(const StrategyRegistry* registry = nullptr);
+
+  /// Run the batch. Throws EngineError if any job names an unknown
+  /// strategy or carries invalid options; failures *during* a job are
+  /// captured per job instead (BatchReport::errors).
+  [[nodiscard]] BatchResult run(const std::vector<BatchJob>& jobs,
+                                const BatchOptions& options = {},
+                                const BatchHooks& hooks = {}) const;
+
+ private:
+  const StrategyRegistry* registry_;
+};
+
+/// One line of a `mcmcpar_run --batch` manifest:
+///   <image.pgm | synth> <strategy> [key=value ...]
+/// Blank lines and lines starting with '#' are skipped.
+struct ManifestEntry {
+  std::string image;     ///< PGM path, or "synth" for the CLI scene
+  std::string strategy;  ///< registry key
+  std::vector<std::string> options;  ///< key=value strategy options
+};
+
+/// Parse a batch manifest. Throws EngineError naming the offending line on
+/// entries with fewer than two fields or option tokens without '='.
+[[nodiscard]] std::vector<ManifestEntry> parseBatchManifest(std::istream& in);
+
+/// The per-job seed rule used for jobs without an explicit seed: a
+/// SplitMix64-style mix of the batch seed and the job index, collision-free
+/// across indices. Exposed so tests and tools can predict it.
+[[nodiscard]] std::uint64_t deriveJobSeed(std::uint64_t batchSeed,
+                                          std::size_t jobIndex) noexcept;
+
+}  // namespace mcmcpar::engine

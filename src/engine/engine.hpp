@@ -19,6 +19,10 @@
 #include "model/prior.hpp"
 #include "spec/speculative.hpp"
 
+namespace mcmcpar::par {
+class PoolBudget;
+}  // namespace mcmcpar::par
+
 namespace mcmcpar::engine {
 
 /// Observer callbacks are shared with the low-level drivers; the engine
@@ -47,6 +51,11 @@ struct ExecResources {
   unsigned threads = 0;  ///< worker threads (0 = hardware, via par::resolveThreadCount)
   bool useOpenMp = false;  ///< prefer OpenMP over the library ThreadPool
   std::uint64_t seed = 1;
+
+  /// When set (borrowed, e.g. by BatchRunner), strategies resolve `threads`
+  /// through a par::PoolLease against this shared budget instead of the
+  /// whole machine, so concurrent jobs cannot oversubscribe the box.
+  par::PoolBudget* poolBudget = nullptr;
 };
 
 /// How much work to do, strategy-independent. Partition pipelines derive

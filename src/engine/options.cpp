@@ -23,8 +23,11 @@ OptionMap OptionMap::parse(const std::vector<std::string>& pairs) {
                         "': expected key=value");
     }
     const std::string key = pair.substr(0, eq);
-    if (map.values_.count(key) != 0) {
-      throw EngineError("duplicate option '" + key + "'");
+    const auto existing = map.values_.find(key);
+    if (existing != map.values_.end()) {
+      throw EngineError("option '" + key + "' given twice ('" + key + "=" +
+                        existing->second + "' and '" + pair +
+                        "'); each key may appear once");
     }
     map.values_[key] = pair.substr(eq + 1);
   }

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "engine/registry.hpp"
 #include "mcmc/convergence.hpp"
@@ -55,6 +56,14 @@ class StrategyBase : public Strategy {
     }
   }
 
+  /// Resolve the `threads` knob for this run: against the whole machine
+  /// when standalone, against the shared budget when running inside a
+  /// batch. Held for the duration of run() so concurrent jobs see the
+  /// reduced availability.
+  [[nodiscard]] par::PoolLease leaseThreads() const {
+    return par::PoolLease::acquire(resources_.poolBudget, resources_.threads);
+  }
+
   [[nodiscard]] std::size_t initialCircleCount() const {
     return static_cast<std::size_t>(std::llround(prior_.expectedCount));
   }
@@ -75,6 +84,31 @@ class StrategyBase : public Strategy {
   [[nodiscard]] RunReport baseReport() const {
     RunReport report;
     report.strategy = name_;
+    return report;
+  }
+
+  /// Run the plain sequential chain (the §II-III baseline) and fill every
+  /// common report field. Shared by SerialStrategy and the lanes=1
+  /// speculative path, which is documented to be bit-for-bit identical to
+  /// the serial run under the same seed.
+  [[nodiscard]] RunReport runSerialChain(const RunBudget& budget,
+                                         const RunHooks& hooks) const {
+    rng::Stream stream(resources_.seed);
+    model::ModelState state = makeState(stream);
+    mcmc::Sampler sampler(state, registry_, stream);
+
+    const par::WallTimer timer;
+    const std::uint64_t done =
+        sampler.run(budget.iterations, traceEvery(budget), hooks);
+
+    RunReport report = baseReport();
+    report.iterations = done;
+    report.wallSeconds = timer.seconds();
+    report.cancelled = done < budget.iterations;
+    report.circles = state.config().snapshot();
+    report.logPosterior = state.logPosterior();
+    report.diagnostics = sampler.diagnostics();
+    finaliseCommon(report);
     return report;
   }
 
@@ -104,23 +138,7 @@ class SerialStrategy final : public StrategyBase {
 
   RunReport run(const RunBudget& budget, const RunHooks& hooks) override {
     requirePrepared();
-    rng::Stream stream(resources_.seed);
-    model::ModelState state = makeState(stream);
-    mcmc::Sampler sampler(state, registry_, stream);
-
-    const par::WallTimer timer;
-    const std::uint64_t done =
-        sampler.run(budget.iterations, traceEvery(budget), hooks);
-
-    RunReport report = baseReport();
-    report.iterations = done;
-    report.wallSeconds = timer.seconds();
-    report.cancelled = done < budget.iterations;
-    report.circles = state.config().snapshot();
-    report.logPosterior = state.logPosterior();
-    report.diagnostics = sampler.diagnostics();
-    finaliseCommon(report);
-    return report;
+    return runSerialChain(budget, hooks);
   }
 };
 
@@ -140,12 +158,20 @@ class SpeculativeStrategy final : public StrategyBase {
 
   RunReport run(const RunBudget& budget, const RunHooks& hooks) override {
     requirePrepared();
+    // One lane means no speculation at all: every round is a single plain
+    // MH iteration. Route it through the exact serial driver so
+    // `speculative lanes=1` reproduces the `serial` chain bit for bit
+    // (tests/test_statistical_equivalence.cpp anchors on this).
+    if (lanes_ == 1) return runSerialDegenerate(budget, hooks);
     rng::Stream stream(resources_.seed);
     model::ModelState state = makeState(stream);
 
-    const unsigned workers = par::resolveThreadCount(resources_.threads);
+    const par::PoolLease lease = leaseThreads();
+    const unsigned workers = lease.threads();
     std::unique_ptr<par::ThreadPool> pool;
-    if (workers > 1 && lanes_ > 1) pool = par::makeThreadPool(workers);
+    // parallelFor also drains lanes on this (already-leased) thread, so the
+    // pool itself is one smaller than the lease: pool + caller == workers.
+    if (workers > 1 && lanes_ > 1) pool = par::makeThreadPool(workers - 1);
     spec::SpeculativeExecutor executor(state, registry_, lanes_,
                                        stream.derive(0x5BEC).bits(),
                                        pool.get());
@@ -196,6 +222,20 @@ class SpeculativeStrategy final : public StrategyBase {
   }
 
  private:
+  /// The lanes=1 path: the shared serial chain, reported with degenerate
+  /// speculation stats (one proposal per round, zero waste).
+  RunReport runSerialDegenerate(const RunBudget& budget,
+                                const RunHooks& hooks) const {
+    RunReport report = runSerialChain(budget, hooks);
+    spec::SpeculativeStats stats;
+    stats.rounds = report.iterations;
+    stats.logicalIterations = report.iterations;
+    stats.proposalsEvaluated = report.iterations;
+    stats.roundsWithAcceptance = report.diagnostics.aggregate().accepted;
+    report.extras = stats;
+    return report;
+  }
+
   unsigned lanes_;
 };
 
@@ -210,9 +250,12 @@ class Mc3Strategy final : public StrategyBase {
     params_.chains = options.uns("chains", 4);
     params_.heatStep = options.dbl("heat-step", 0.2);
     params_.swapInterval = options.u64("swap-interval", 100);
-    params_.threads = resources.threads;
-    params_.parallelChains =
-        options.flag("parallel", par::resolveThreadCount(resources.threads) > 1);
+    // The parallel-chains default depends on how many threads this run is
+    // actually granted, which under a shared budget is only known inside
+    // run(); remember whether the user forced it either way.
+    if (options.has("parallel")) {
+      parallelOverride_ = options.flag("parallel", false);
+    }
     if (params_.chains == 0) {
       throw EngineError("strategy '" + name_ + "': chains must be >= 1");
     }
@@ -224,8 +267,16 @@ class Mc3Strategy final : public StrategyBase {
 
   RunReport run(const RunBudget& budget, const RunHooks& hooks) override {
     requirePrepared();
+    const par::PoolLease lease = leaseThreads();
+    mcmc::Mc3Params params = params_;
+    params.parallelChains = parallelOverride_.value_or(lease.threads() > 1);
+    // The driver's chain-stepping parallelFor also runs on this thread, so
+    // its pool must be one smaller than the lease: pool + caller == lease.
+    params.threads = params.parallelChains && lease.threads() > 1
+                         ? lease.threads() - 1
+                         : lease.threads();
     mcmc::Mc3Sampler sampler(*problem_.filtered, prior_, problem_.likelihood,
-                             registry_, params_, initialCircleCount(),
+                             registry_, params, initialCircleCount(),
                              resources_.seed);
 
     const par::WallTimer timer;
@@ -239,11 +290,9 @@ class Mc3Strategy final : public StrategyBase {
     report.circles = sampler.coldChain().config().snapshot();
     report.logPosterior = sampler.coldChain().logPosterior();
     report.diagnostics = sampler.coldDiagnostics();
-    report.threadsUsed =
-        params_.parallelChains && params_.chains > 1
-            ? std::min(par::resolveThreadCount(resources_.threads),
-                       params_.chains)
-            : 1;
+    report.threadsUsed = params.parallelChains && params.chains > 1
+                             ? std::min(lease.threads(), params.chains)
+                             : 1;
     report.extras = sampler.stats();
     finaliseCommon(report);
     return report;
@@ -251,6 +300,7 @@ class Mc3Strategy final : public StrategyBase {
 
  private:
   mcmc::Mc3Params params_;
+  std::optional<bool> parallelOverride_;
 };
 
 // --------------------------------------------------------------------------
@@ -266,7 +316,7 @@ class PeriodicStrategy final : public StrategyBase {
     params_.specLanesGlobal = options.uns("spec-lanes", 1);
     params_.virtualThreads = options.uns("virtual-threads", 0);
     params_.resyncPhaseInterval = options.u64("resync", 64);
-    params_.threads = resources.threads;
+    // params_.threads is set in run() from the lease, not here.
 
     const std::string layout = options.str("layout", "cross");
     if (layout == "cross") {
@@ -282,13 +332,9 @@ class PeriodicStrategy final : public StrategyBase {
 
     const std::string executor = options.str("executor", "auto");
     if (executor == "auto") {
-      if (resources.useOpenMp) {
-        params_.executor = core::LocalExecutor::InPlaceOmp;
-      } else if (par::resolveThreadCount(resources.threads) > 1) {
-        params_.executor = core::LocalExecutor::InPlacePool;
-      } else {
-        params_.executor = core::LocalExecutor::Serial;
-      }
+      // Resolved in run(): the serial/pool choice depends on how many
+      // threads the lease actually grants.
+      autoExecutor_ = true;
     } else if (executor == "serial") {
       params_.executor = core::LocalExecutor::Serial;
     } else if (executor == "pool") {
@@ -312,7 +358,25 @@ class PeriodicStrategy final : public StrategyBase {
     rng::Stream stream(resources_.seed);
     model::ModelState state = makeState(stream);
 
+    const par::PoolLease lease = leaseThreads();
     core::PeriodicParams params = params_;
+    params.threads = lease.threads();
+    if (autoExecutor_) {
+      if (resources_.useOpenMp) {
+        params.executor = core::LocalExecutor::InPlaceOmp;
+      } else if (lease.threads() > 1) {
+        params.executor = core::LocalExecutor::InPlacePool;
+      } else {
+        params.executor = core::LocalExecutor::Serial;
+      }
+    }
+    // ThreadPool executors drain parallelFor on this thread too, so their
+    // pool is one smaller than the lease; an OpenMP team already counts the
+    // caller as its master thread.
+    const bool poolExecutor =
+        params.executor == core::LocalExecutor::InPlacePool ||
+        params.executor == core::LocalExecutor::SplitMergePool;
+    if (poolExecutor && params.threads > 1) --params.threads;
     params.totalIterations = budget.iterations;
     params.traceInterval = traceEvery(budget);
 
@@ -331,7 +395,7 @@ class PeriodicStrategy final : public StrategyBase {
       case core::LocalExecutor::InPlacePool:
       case core::LocalExecutor::InPlaceOmp:
       case core::LocalExecutor::SplitMergePool:
-        report.threadsUsed = par::resolveThreadCount(resources_.threads);
+        report.threadsUsed = lease.threads();
         break;
       default:
         report.threadsUsed = 1;
@@ -345,6 +409,7 @@ class PeriodicStrategy final : public StrategyBase {
 
  private:
   core::PeriodicParams params_;
+  bool autoExecutor_ = false;
 };
 
 // --------------------------------------------------------------------------
@@ -381,7 +446,15 @@ class PipelineStrategy final : public StrategyBase {
     params.intelligent.theta = problem_.theta;
     params.seed = resources_.seed;
     params.iterationsCap = budget.iterations;
+    // The pipelines execute partitions on the calling thread;
+    // loadBalancedThreads only feeds the §IX LPT runtime *model*, so cap it
+    // at the shared budget's total instead of leasing live workers away
+    // from concurrent jobs.
     params.loadBalancedThreads = par::resolveThreadCount(resources_.threads);
+    if (resources_.poolBudget != nullptr) {
+      params.loadBalancedThreads =
+          std::min(params.loadBalancedThreads, resources_.poolBudget->total());
+    }
 
     const par::WallTimer timer;
     core::PipelineReport pipeline =

@@ -16,4 +16,63 @@ std::unique_ptr<ThreadPool> makeThreadPool(unsigned requested) {
   return std::make_unique<ThreadPool>(resolveThreadCount(requested));
 }
 
+PoolBudget::PoolBudget(unsigned total)
+    : total_(resolveThreadCount(total)), available_(total_) {}
+
+unsigned PoolBudget::available() const {
+  const std::scoped_lock lock(mutex_);
+  return available_;
+}
+
+unsigned PoolBudget::tryAcquire(unsigned want) {
+  const std::scoped_lock lock(mutex_);
+  const unsigned granted = std::min(want, available_);
+  available_ -= granted;
+  return granted;
+}
+
+void PoolBudget::release(unsigned count) noexcept {
+  const std::scoped_lock lock(mutex_);
+  available_ = std::min(total_, available_ + count);
+}
+
+PoolLease PoolLease::acquire(PoolBudget* budget, unsigned requested) {
+  const unsigned want = resolveThreadCount(requested);
+  if (budget == nullptr) return PoolLease(nullptr, 0, want);
+  // The calling thread is charged to the budget by its owner; lease only
+  // the extra workers, and never more than the budget could ever hold.
+  const unsigned capped = std::min(want, budget->total());
+  const unsigned extras = capped > 1 ? budget->tryAcquire(capped - 1) : 0;
+  return PoolLease(budget, extras, 1 + extras);
+}
+
+PoolLease::PoolLease(PoolLease&& other) noexcept
+    : budget_(other.budget_),
+      granted_(other.granted_),
+      threads_(other.threads_) {
+  other.budget_ = nullptr;
+  other.granted_ = 0;
+  other.threads_ = 1;
+}
+
+PoolLease& PoolLease::operator=(PoolLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    budget_ = other.budget_;
+    granted_ = other.granted_;
+    threads_ = other.threads_;
+    other.budget_ = nullptr;
+    other.granted_ = 0;
+    other.threads_ = 1;
+  }
+  return *this;
+}
+
+void PoolLease::release() noexcept {
+  if (budget_ != nullptr && granted_ > 0) budget_->release(granted_);
+  budget_ = nullptr;
+  granted_ = 0;
+  threads_ = 1;
+}
+
 }  // namespace mcmcpar::par

@@ -24,7 +24,13 @@ ThreadPool::~ThreadPool() {
   }
   for (auto& w : workers_) w.request_stop();
   taskReady_.notify_all();
-  // jthread destructors join.
+  // Join here rather than in the jthread destructors: `workers_` is
+  // declared first, so its implicit join would run *after* mutex_ and the
+  // condition variables are destroyed — and a worker finishing its last
+  // task still notifies allDone_ on the way out (caught by TSan).
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {

@@ -15,6 +15,18 @@ double normalCdf(double z) noexcept {
 }
 }  // namespace
 
+double logGamma(double x) noexcept {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // std::lgamma writes the process-global `signgam`, a data race when
+  // concurrent chains evaluate Poisson priors; lgamma_r keeps the sign in a
+  // local instead.
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 double logNormalPdf(double x, double mu, double sigma) noexcept {
   const double z = (x - mu) / sigma;
   return -0.5 * z * z - std::log(sigma) - kLogSqrt2Pi;
@@ -23,7 +35,7 @@ double logNormalPdf(double x, double mu, double sigma) noexcept {
 double logPoissonPmf(std::uint64_t k, double mean) noexcept {
   if (mean <= 0.0) return k == 0 ? 0.0 : kNegInf;
   const auto kd = static_cast<double>(k);
-  return kd * std::log(mean) - mean - std::lgamma(kd + 1.0);
+  return kd * std::log(mean) - mean - logGamma(kd + 1.0);
 }
 
 double logUniformPdf(double x, double lo, double hi) noexcept {

@@ -11,6 +11,11 @@ namespace mcmcpar::rng {
 /// All log densities return -inf outside the support rather than throwing,
 /// because MCMC acceptance ratios treat out-of-support states as "reject".
 
+/// Thread-safe log-gamma: std::lgamma writes the process-global `signgam`
+/// on glibc/macOS (a data race between concurrent chains); this wrapper
+/// routes through lgamma_r there and std::lgamma elsewhere.
+[[nodiscard]] double logGamma(double x) noexcept;
+
 /// log N(x; mu, sigma). Precondition: sigma > 0.
 [[nodiscard]] double logNormalPdf(double x, double mu, double sigma) noexcept;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "rng/distributions.hpp"
 #include "rng/splitmix64.hpp"
 
 namespace mcmcpar::rng {
@@ -122,7 +123,8 @@ std::uint64_t Stream::poisson(double mean) noexcept {
     if (k < 0 || (us < 0.013 && v > us)) continue;
     const double logMean = std::log(mean);
     if (std::log(v * invAlpha / (a / (us * us) + b)) <=
-        static_cast<double>(k) * logMean - mean - std::lgamma(static_cast<double>(k) + 1.0)) {
+        static_cast<double>(k) * logMean - mean -
+            logGamma(static_cast<double>(k) + 1.0)) {
       return static_cast<std::uint64_t>(k);
     }
   }

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+#include "engine/batch.hpp"
+#include "engine/registry.hpp"
+#include "img/synth.hpp"
+#include "par/concurrency.hpp"
+
+namespace mcmcpar::engine {
+namespace {
+
+img::Scene tinyScene(std::uint64_t seed) {
+  img::SceneSpec spec = img::cellScene(80, 80, 4, 8.0, seed);
+  spec.radiusStd = 0.5;
+  return img::generateScene(spec);
+}
+
+Problem tinyProblem(const img::Scene& scene) {
+  Problem problem;
+  problem.filtered = &scene.image;
+  problem.prior.radiusMean = 8.0;
+  problem.prior.radiusStd = 1.0;
+  problem.prior.radiusMin = 4.0;
+  problem.prior.radiusMax = 13.0;
+  return problem;
+}
+
+BatchJob makeJob(const Problem& problem, std::string strategy,
+                 std::uint64_t iterations = 800) {
+  BatchJob job;
+  job.strategy = std::move(strategy);
+  job.problem = problem;
+  job.budget = RunBudget{iterations, 0};
+  return job;
+}
+
+// ---------------------------------------------------------------------------
+// Report ordering and the basic protocol.
+// ---------------------------------------------------------------------------
+
+TEST(BatchRunner, ReportsAreIndexAlignedWithSubmissionOrder) {
+  const img::Scene scene = tinyScene(31);
+  const Problem problem = tinyProblem(scene);
+  const std::vector<std::string> order = {"mc3",    "serial",      "blind",
+                                          "serial", "intelligent", "periodic"};
+  std::vector<BatchJob> jobs;
+  for (const std::string& name : order) jobs.push_back(makeJob(problem, name));
+
+  BatchOptions options;
+  options.resources.threads = 4;
+  const BatchResult result = BatchRunner().run(jobs, options);
+
+  ASSERT_EQ(result.reports.size(), order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(result.reports[i].strategy, order[i]) << i;
+    EXPECT_FALSE(result.reports[i].cancelled) << i;
+    EXPECT_GT(result.reports[i].iterations, 0u) << i;
+  }
+  EXPECT_EQ(result.batch.jobs, order.size());
+  EXPECT_EQ(result.batch.completed, order.size());
+  EXPECT_EQ(result.batch.failed, 0u);
+  EXPECT_EQ(result.batch.cancelled, 0u);
+  EXPECT_EQ(result.batch.perStrategy.at("serial").jobs, 2u);
+  EXPECT_GT(result.batch.jobsPerSecond, 0.0);
+  EXPECT_LE(result.batch.p50Seconds, result.batch.p95Seconds);
+}
+
+TEST(BatchRunner, EmptyBatchReturnsEmptyResult) {
+  const BatchResult result = BatchRunner().run({});
+  EXPECT_TRUE(result.reports.empty());
+  EXPECT_EQ(result.batch.jobs, 0u);
+  EXPECT_EQ(result.batch.completed, 0u);
+  EXPECT_EQ(result.batch.jobsPerSecond, 0.0);
+  EXPECT_EQ(result.batch.p95Seconds, 0.0);
+  EXPECT_TRUE(result.batch.perStrategy.empty());
+}
+
+TEST(BatchRunner, SingleJobMatchesDirectStrategyRun) {
+  const img::Scene scene = tinyScene(32);
+  const Problem problem = tinyProblem(scene);
+
+  BatchJob job = makeJob(problem, "serial", 2000);
+  job.seed = 21;
+  BatchOptions options;
+  options.resources.threads = 1;
+  const BatchResult viaBatch = BatchRunner().run({job}, options);
+
+  const Engine engine(ExecResources{1, false, 21});
+  const RunReport direct =
+      engine.run("serial", problem, RunBudget{2000, 0});
+
+  ASSERT_EQ(viaBatch.reports.size(), 1u);
+  const RunReport& batched = viaBatch.reports[0];
+  EXPECT_EQ(batched.iterations, direct.iterations);
+  EXPECT_EQ(batched.circles.size(), direct.circles.size());
+  EXPECT_DOUBLE_EQ(batched.logPosterior, direct.logPosterior);
+}
+
+TEST(BatchRunner, DerivedJobSeedsAreDistinctAndDeterministic) {
+  EXPECT_EQ(deriveJobSeed(1, 0), deriveJobSeed(1, 0));
+  EXPECT_NE(deriveJobSeed(1, 0), deriveJobSeed(1, 1));
+  EXPECT_NE(deriveJobSeed(1, 0), deriveJobSeed(2, 0));
+
+  // Two identical jobs without explicit seeds must not duplicate work: the
+  // derived seeds differ, so the chains explore independently.
+  const img::Scene scene = tinyScene(33);
+  const Problem problem = tinyProblem(scene);
+  const std::vector<BatchJob> jobs = {makeJob(problem, "serial", 1500),
+                                      makeJob(problem, "serial", 1500)};
+  BatchOptions options;
+  options.resources.threads = 1;
+  const BatchResult result = BatchRunner().run(jobs, options);
+  EXPECT_NE(result.reports[0].logPosterior, result.reports[1].logPosterior);
+}
+
+// ---------------------------------------------------------------------------
+// Validation and per-job failure isolation.
+// ---------------------------------------------------------------------------
+
+TEST(BatchRunner, UnknownStrategyFailsTheBatchUpFrontNamingTheJob) {
+  const img::Scene scene = tinyScene(34);
+  const Problem problem = tinyProblem(scene);
+  std::vector<BatchJob> jobs = {makeJob(problem, "serial")};
+  jobs.push_back(makeJob(problem, "warp"));
+  jobs[1].label = "bad-job";
+  try {
+    (void)BatchRunner().run(jobs);
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("#1"), std::string::npos) << message;
+    EXPECT_NE(message.find("bad-job"), std::string::npos) << message;
+    EXPECT_NE(message.find("warp"), std::string::npos) << message;
+  }
+}
+
+TEST(BatchRunner, RuntimeFailureIsCapturedPerJobNotPropagated) {
+  const img::Scene scene = tinyScene(35);
+  const Problem problem = tinyProblem(scene);
+  std::vector<BatchJob> jobs = {makeJob(problem, "serial")};
+  jobs.push_back(makeJob(Problem{}, "serial"));  // null image: fails prepare()
+  BatchOptions options;
+  options.resources.threads = 1;
+
+  const BatchResult result = BatchRunner().run(jobs, options);
+  EXPECT_EQ(result.batch.completed, 1u);
+  EXPECT_EQ(result.batch.failed, 1u);
+  EXPECT_TRUE(result.batch.errors[0].empty());
+  EXPECT_NE(result.batch.errors[1].find("null"), std::string::npos)
+      << result.batch.errors[1];
+  EXPECT_GT(result.reports[0].iterations, 0u);
+  EXPECT_EQ(result.reports[1].iterations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation and deadlines.
+// ---------------------------------------------------------------------------
+
+TEST(BatchRunner, MidBatchCancellationKeepsCompletedReportsIntact) {
+  const img::Scene scene = tinyScene(36);
+  const Problem problem = tinyProblem(scene);
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(makeJob(problem, "serial", 1000));
+
+  // Serial execution (one job in flight) and a cancel flag raised after the
+  // second job reports done: jobs 0-1 complete, jobs 2-3 never start.
+  std::atomic<std::size_t> doneCount{0};
+  BatchOptions options;
+  options.resources.threads = 1;
+  options.maxConcurrentJobs = 1;
+  BatchHooks hooks;
+  hooks.onJobDone = [&doneCount](std::size_t, const RunReport&) {
+    ++doneCount;
+  };
+  hooks.cancelRequested = [&doneCount] { return doneCount >= 2; };
+
+  const BatchResult result = BatchRunner().run(jobs, options, hooks);
+  EXPECT_EQ(result.batch.completed, 2u);
+  EXPECT_EQ(result.batch.cancelled, 2u);
+  EXPECT_EQ(result.batch.failed, 0u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_FALSE(result.reports[i].cancelled) << i;
+    EXPECT_EQ(result.reports[i].iterations, 1000u) << i;
+    EXPECT_FALSE(result.reports[i].circles.empty()) << i;
+    EXPECT_TRUE(std::isfinite(result.reports[i].logPosterior)) << i;
+  }
+  for (std::size_t i = 2; i < 4; ++i) {
+    EXPECT_TRUE(result.reports[i].cancelled) << i;
+    EXPECT_EQ(result.reports[i].iterations, 0u) << i;
+    EXPECT_EQ(result.reports[i].strategy, "serial") << i;
+  }
+}
+
+TEST(BatchRunner, DeadlineCancelsLongJobsButReturnsConsistentReports) {
+  const img::Scene scene = tinyScene(37);
+  const Problem problem = tinyProblem(scene);
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back(makeJob(problem, "serial", 50'000'000));
+  }
+  BatchOptions options;
+  options.resources.threads = 2;
+  options.deadlineSeconds = 0.05;
+
+  const BatchResult result = BatchRunner().run(jobs, options);
+  EXPECT_EQ(result.batch.completed, 0u);
+  EXPECT_EQ(result.batch.cancelled, 3u);
+  for (const RunReport& report : result.reports) {
+    EXPECT_TRUE(report.cancelled);
+    EXPECT_LT(report.iterations, 50'000'000u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The shared thread budget.
+// ---------------------------------------------------------------------------
+
+TEST(BatchRunner, FullyLoadedBudgetForcesJobsSerialInternally) {
+  // 2 budgeted threads, 2 jobs in flight: no spare threads, so a strategy
+  // that would normally spawn an internal pool must run single-threaded.
+  const img::Scene scene = tinyScene(38);
+  const Problem problem = tinyProblem(scene);
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    BatchJob job = makeJob(problem, "speculative", 600);
+    job.options = {"lanes=4"};
+    jobs.push_back(std::move(job));
+  }
+  BatchOptions options;
+  options.resources.threads = 2;
+
+  const BatchResult result = BatchRunner().run(jobs, options);
+  EXPECT_EQ(result.batch.threadBudget, 2u);
+  EXPECT_EQ(result.batch.concurrentJobs, 2u);
+  for (const RunReport& report : result.reports) {
+    EXPECT_FALSE(report.cancelled);
+    EXPECT_EQ(report.threadsUsed, 1u);
+  }
+}
+
+TEST(BatchRunner, SpareBudgetFlowsToRunningJobsInternalWorkers) {
+  // 4 budgeted threads but one job in flight: the running job leases the 3
+  // spare threads for its lanes.
+  const img::Scene scene = tinyScene(39);
+  const Problem problem = tinyProblem(scene);
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 2; ++i) {
+    BatchJob job = makeJob(problem, "speculative", 600);
+    job.options = {"lanes=4"};
+    jobs.push_back(std::move(job));
+  }
+  BatchOptions options;
+  options.resources.threads = 4;
+  options.maxConcurrentJobs = 1;
+
+  const BatchResult result = BatchRunner().run(jobs, options);
+  EXPECT_EQ(result.batch.concurrentJobs, 1u);
+  for (const RunReport& report : result.reports) {
+    EXPECT_FALSE(report.cancelled);
+    EXPECT_EQ(report.threadsUsed, 4u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent stress: many jobs, shared pool, observer callbacks from job
+// threads. Run under -DMCMCPAR_SANITIZE=thread in CI to prove race-freedom.
+// ---------------------------------------------------------------------------
+
+TEST(BatchRunner, ConcurrentJobsStressIsCleanAndComplete) {
+  const img::Scene scene = tinyScene(40);
+  const Problem problem = tinyProblem(scene);
+  const std::vector<std::string> names = {"serial", "speculative", "mc3",
+                                          "periodic"};
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 12; ++i) {
+    BatchJob job = makeJob(problem, names[i % names.size()], 500);
+    if (job.strategy == "speculative") job.options = {"lanes=3"};
+    jobs.push_back(std::move(job));
+  }
+
+  std::atomic<std::uint64_t> progressBeats{0};
+  std::atomic<std::size_t> doneJobs{0};
+  BatchOptions options;
+  options.resources.threads = 4;
+  BatchHooks hooks;
+  hooks.onJobProgress = [&progressBeats](std::size_t, const RunProgress&) {
+    ++progressBeats;
+  };
+  hooks.onJobDone = [&doneJobs](std::size_t, const RunReport&) { ++doneJobs; };
+
+  const BatchResult result = BatchRunner().run(jobs, options, hooks);
+  EXPECT_EQ(result.batch.completed, jobs.size());
+  EXPECT_EQ(doneJobs.load(), jobs.size());
+  EXPECT_GT(progressBeats.load(), 0u);
+  for (const RunReport& report : result.reports) {
+    EXPECT_GT(report.iterations, 0u);
+    EXPECT_TRUE(std::isfinite(report.logPosterior));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest parsing.
+// ---------------------------------------------------------------------------
+
+TEST(BatchManifest, ParsesJobsSkippingBlanksAndComments) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "cells.pgm serial\n"
+      "  synth mc3 chains=2 swap-interval=50\n"
+      "other.pgm blind grid-x=2\n");
+  const std::vector<ManifestEntry> entries = parseBatchManifest(in);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].image, "cells.pgm");
+  EXPECT_EQ(entries[0].strategy, "serial");
+  EXPECT_TRUE(entries[0].options.empty());
+  EXPECT_EQ(entries[1].image, "synth");
+  EXPECT_EQ(entries[1].options,
+            (std::vector<std::string>{"chains=2", "swap-interval=50"}));
+  EXPECT_EQ(entries[2].strategy, "blind");
+}
+
+TEST(BatchManifest, RejectsShortLinesAndMalformedOptionsWithLineNumbers) {
+  {
+    std::istringstream in("cells.pgm serial\njust-an-image\n");
+    try {
+      (void)parseBatchManifest(in);
+      FAIL() << "expected EngineError";
+    } catch (const EngineError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    std::istringstream in("cells.pgm mc3 chains\n");
+    try {
+      (void)parseBatchManifest(in);
+      FAIL() << "expected EngineError";
+    } catch (const EngineError& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("line 1"), std::string::npos) << message;
+      EXPECT_NE(message.find("chains"), std::string::npos) << message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcmcpar::engine

@@ -54,6 +54,24 @@ TEST(OptionMap, RejectsMalformedPairs) {
   EXPECT_THROW(OptionMap::parse({"a=1", "a=2"}), EngineError);
 }
 
+TEST(OptionMap, DuplicateKeyErrorNamesBothConflictingValues) {
+  // `--opt chains=4 --opt chains=8` must fail loudly with both values, not
+  // silently keep one of them.
+  try {
+    (void)OptionMap::parse({"chains=4", "heat-step=0.2", "chains=8"});
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("chains"), std::string::npos) << message;
+    EXPECT_NE(message.find("chains=4"), std::string::npos) << message;
+    EXPECT_NE(message.find("chains=8"), std::string::npos) << message;
+  }
+  // The same guard through the registry's option channel.
+  EXPECT_THROW((void)StrategyRegistry::builtin().create(
+                   "mc3", {}, {"chains=4", "chains=8"}),
+               EngineError);
+}
+
 TEST(OptionMap, RejectsIllTypedValues) {
   const OptionMap opts =
       OptionMap::parse({"n=abc", "x=1.5zzz", "b=maybe", "big=99999999999"});

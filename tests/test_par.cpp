@@ -36,6 +36,74 @@ TEST(Concurrency, MakeThreadPoolHonoursResolution) {
   EXPECT_EQ(counter.load(), 8);
 }
 
+TEST(PoolBudget, AcquireAndReleaseRoundTrip) {
+  PoolBudget budget(4);
+  EXPECT_EQ(budget.total(), 4u);
+  EXPECT_EQ(budget.available(), 4u);
+  EXPECT_EQ(budget.tryAcquire(3), 3u);
+  EXPECT_EQ(budget.available(), 1u);
+  // Over-asking grants only what is left; an empty budget grants 0.
+  EXPECT_EQ(budget.tryAcquire(5), 1u);
+  EXPECT_EQ(budget.tryAcquire(1), 0u);
+  budget.release(4);
+  EXPECT_EQ(budget.available(), 4u);
+  // Releasing more than was taken can never exceed the total.
+  budget.release(99);
+  EXPECT_EQ(budget.available(), 4u);
+}
+
+TEST(PoolBudget, ZeroMeansHardwareLikeEveryOtherThreadsKnob) {
+  const PoolBudget budget(0);
+  EXPECT_EQ(budget.total(), resolveThreadCount(0));
+}
+
+TEST(PoolLease, UnbudgetedLeaseIsResolveThreadCount) {
+  const PoolLease machine = PoolLease::acquire(nullptr, 0);
+  EXPECT_EQ(machine.threads(), resolveThreadCount(0));
+  const PoolLease fixed = PoolLease::acquire(nullptr, 6);
+  EXPECT_EQ(fixed.threads(), 6u);
+}
+
+TEST(PoolLease, BudgetedLeaseGrantsCallerPlusAvailableExtras) {
+  PoolBudget budget(4);
+  {
+    // First job wants 4: the caller is pre-paid, 3 extras leave the budget.
+    const PoolLease first = PoolLease::acquire(&budget, 4);
+    EXPECT_EQ(first.threads(), 4u);
+    EXPECT_EQ(budget.available(), 1u);
+    // Second concurrent job wants 4 too but only 1 extra is left.
+    const PoolLease second = PoolLease::acquire(&budget, 4);
+    EXPECT_EQ(second.threads(), 2u);
+    EXPECT_EQ(budget.available(), 0u);
+    // A drained budget still grants the calling thread.
+    const PoolLease third = PoolLease::acquire(&budget, 4);
+    EXPECT_EQ(third.threads(), 1u);
+  }
+  // RAII: all extras returned on scope exit.
+  EXPECT_EQ(budget.available(), 4u);
+}
+
+TEST(PoolLease, RequestIsCappedAtBudgetTotal) {
+  PoolBudget budget(2);
+  const PoolLease lease = PoolLease::acquire(&budget, 16);
+  EXPECT_EQ(lease.threads(), 2u);
+  EXPECT_EQ(budget.available(), 1u);  // only the one extra was leased
+}
+
+TEST(PoolLease, MoveTransfersTheGrant) {
+  PoolBudget budget(3);
+  PoolLease a = PoolLease::acquire(&budget, 3);
+  EXPECT_EQ(a.threads(), 3u);  // caller + the 2 leased extras
+  EXPECT_EQ(budget.available(), 1u);
+  PoolLease b = std::move(a);
+  EXPECT_EQ(b.threads(), 3u);
+  EXPECT_EQ(a.threads(), 1u);  // moved-from: an unbudgeted caller-only lease
+  b.release();
+  EXPECT_EQ(budget.available(), 3u);
+  b.release();  // idempotent
+  EXPECT_EQ(budget.available(), 3u);
+}
+
 TEST(ThreadPool, RunsSubmittedTasks) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};

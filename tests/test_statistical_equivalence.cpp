@@ -1,0 +1,185 @@
+// Statistical-equivalence harness (ISSUE 3): the paper's parallel
+// architectures trade wall-clock for *statistical* fidelity, so every
+// parallel strategy is validated against the serial chain it replaces —
+// exactly for the degenerate speculative case, and through posterior
+// tail summaries (mean circle count, mean log-posterior) within tolerance
+// bands of a long serial reference run for the genuinely parallel ones.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "engine/registry.hpp"
+#include "img/synth.hpp"
+
+namespace mcmcpar::engine {
+namespace {
+
+constexpr std::uint64_t kReferenceIterations = 30000;
+constexpr std::uint64_t kSeed = 71;
+
+img::Scene equivalenceScene() {
+  img::SceneSpec spec = img::cellScene(96, 96, 6, 7.0, 29);
+  spec.radiusStd = 0.6;
+  return img::generateScene(spec);
+}
+
+Problem sceneProblem(const img::Scene& scene) {
+  Problem problem;
+  problem.filtered = &scene.image;
+  problem.prior.radiusMean = 7.0;
+  problem.prior.radiusStd = 1.0;
+  problem.prior.radiusMin = 3.5;
+  problem.prior.radiusMax = 12.0;
+  return problem;
+}
+
+/// Posterior summaries over the tail (second half) of a trace: the chain's
+/// stationary behaviour with the burn-in discarded.
+struct TailSummary {
+  double meanLogP = 0.0;
+  double meanCircles = 0.0;
+  std::size_t points = 0;
+};
+
+TailSummary tailSummary(const std::vector<mcmc::TracePoint>& trace) {
+  TailSummary summary;
+  const std::size_t start = trace.size() / 2;
+  for (std::size_t i = start; i < trace.size(); ++i) {
+    summary.meanLogP += trace[i].logPosterior;
+    summary.meanCircles += static_cast<double>(trace[i].circleCount);
+    ++summary.points;
+  }
+  if (summary.points > 0) {
+    summary.meanLogP /= static_cast<double>(summary.points);
+    summary.meanCircles /= static_cast<double>(summary.points);
+  }
+  return summary;
+}
+
+/// The shared serial reference: one long fixed-seed run per test binary.
+const RunReport& serialReference() {
+  static const RunReport report = [] {
+    static const img::Scene scene = equivalenceScene();
+    const Engine engine(ExecResources{1, false, kSeed});
+    return engine.run("serial", sceneProblem(scene),
+                      RunBudget{kReferenceIterations, 0});
+  }();
+  return report;
+}
+
+/// Tolerance bands around the serial reference. The bands are regression
+/// tripwires, not precision claims: wide enough for MCMC sampling noise,
+/// narrow enough to catch a strategy whose chain targets the wrong
+/// distribution (e.g. a broken merge or a biased partition scheme).
+/// `logPFraction` is per strategy — measured deviations on this fixed seed
+/// are ~0.2-0.4% for speculative/mc3/blind/intelligent and ~4% for
+/// periodic (the §V boundary bias the paper itself discusses), so each
+/// band sits a few-fold above its strategy's observed noise.
+void expectWithinBands(const char* what, double circles, double logP,
+                       double logPFraction) {
+  const TailSummary ref = tailSummary(serialReference().diagnostics.trace());
+  ASSERT_GT(ref.points, 10u);
+  EXPECT_NEAR(circles, ref.meanCircles, 2.0) << what;
+  EXPECT_NEAR(logP, ref.meanLogP, logPFraction * std::abs(ref.meanLogP))
+      << what;
+}
+
+// ---------------------------------------------------------------------------
+// (a) Exact reproduction: speculation with a single lane is plain MH, so the
+// engine routes it through the very same serial driver — same seed, same
+// chain, bit-for-bit identical final state.
+// ---------------------------------------------------------------------------
+
+TEST(StatisticalEquivalence, SingleLaneSpeculativeReproducesSerialExactly) {
+  const img::Scene scene = equivalenceScene();
+  const Problem problem = sceneProblem(scene);
+  const Engine engine(ExecResources{1, false, kSeed});
+  const RunBudget budget{8000, 0};
+
+  const RunReport serial = engine.run("serial", problem, budget);
+  const RunReport speculative =
+      engine.run("speculative", problem, budget, {}, {"lanes=1"});
+
+  EXPECT_EQ(speculative.iterations, serial.iterations);
+  EXPECT_DOUBLE_EQ(speculative.logPosterior, serial.logPosterior);
+  ASSERT_EQ(speculative.circles.size(), serial.circles.size());
+  for (std::size_t i = 0; i < serial.circles.size(); ++i) {
+    EXPECT_DOUBLE_EQ(speculative.circles[i].x, serial.circles[i].x) << i;
+    EXPECT_DOUBLE_EQ(speculative.circles[i].y, serial.circles[i].y) << i;
+    EXPECT_DOUBLE_EQ(speculative.circles[i].r, serial.circles[i].r) << i;
+  }
+  // The degenerate stats: one proposal per round, zero speculation waste.
+  const auto& stats = std::get<spec::SpeculativeStats>(speculative.extras);
+  EXPECT_EQ(stats.rounds, speculative.iterations);
+  EXPECT_EQ(stats.proposalsEvaluated, speculative.iterations);
+  EXPECT_EQ(stats.wasteFraction(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// (b) Statistical equivalence: each parallel strategy's posterior tail must
+// land inside the serial reference's tolerance bands.
+// ---------------------------------------------------------------------------
+
+TEST(StatisticalEquivalence, MultiLaneSpeculativeTailMatchesSerial) {
+  static const img::Scene scene = equivalenceScene();
+  const Engine engine(ExecResources{2, false, kSeed + 1});
+  const RunReport report =
+      engine.run("speculative", sceneProblem(scene),
+                 RunBudget{kReferenceIterations, 0}, {}, {"lanes=4"});
+  const TailSummary tail = tailSummary(report.diagnostics.trace());
+  ASSERT_GT(tail.points, 10u);
+  expectWithinBands("speculative lanes=4", tail.meanCircles, tail.meanLogP,
+                    0.01);
+}
+
+TEST(StatisticalEquivalence, Mc3ColdChainTailMatchesSerial) {
+  static const img::Scene scene = equivalenceScene();
+  const Engine engine(ExecResources{1, false, kSeed + 2});
+  const RunReport report = engine.run(
+      "mc3", sceneProblem(scene), RunBudget{kReferenceIterations, 0}, {},
+      {"chains=3", "swap-interval=100"});
+  const TailSummary tail = tailSummary(report.diagnostics.trace());
+  ASSERT_GT(tail.points, 10u);
+  expectWithinBands("mc3", tail.meanCircles, tail.meanLogP, 0.01);
+}
+
+TEST(StatisticalEquivalence, PeriodicPartitioningTailMatchesSerial) {
+  static const img::Scene scene = equivalenceScene();
+  const Engine engine(ExecResources{2, false, kSeed + 3});
+  const RunReport report =
+      engine.run("periodic", sceneProblem(scene),
+                 RunBudget{kReferenceIterations, 0}, {}, {"phase=130"});
+  const TailSummary tail = tailSummary(report.diagnostics.trace());
+  ASSERT_GT(tail.points, 10u);
+  expectWithinBands("periodic", tail.meanCircles, tail.meanLogP, 0.08);
+}
+
+// The partitioning pipelines report per-partition traces whose iteration
+// axes are not comparable to the whole-image chain; their contract is the
+// *recombined* model, so the final circle count and whole-image posterior
+// are held against the reference bands instead.
+
+TEST(StatisticalEquivalence, BlindPipelineFinalModelMatchesSerial) {
+  static const img::Scene scene = equivalenceScene();
+  const Engine engine(ExecResources{1, false, kSeed + 4});
+  const RunReport report = engine.run(
+      "blind", sceneProblem(scene), RunBudget{kReferenceIterations, 0}, {},
+      {"grid-x=2", "grid-y=2"});
+  expectWithinBands("blind", static_cast<double>(report.circles.size()),
+                    report.logPosterior, 0.02);
+}
+
+TEST(StatisticalEquivalence, IntelligentPipelineFinalModelMatchesSerial) {
+  static const img::Scene scene = equivalenceScene();
+  const Engine engine(ExecResources{1, false, kSeed + 5});
+  const RunReport report =
+      engine.run("intelligent", sceneProblem(scene),
+                 RunBudget{kReferenceIterations, 0});
+  expectWithinBands("intelligent", static_cast<double>(report.circles.size()),
+                    report.logPosterior, 0.01);
+}
+
+}  // namespace
+}  // namespace mcmcpar::engine

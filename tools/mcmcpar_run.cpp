@@ -8,6 +8,7 @@
 //   mcmcpar_run --strategy all --iterations 5000 --width 192 --cells 10
 //   mcmcpar_run --strategy mc3 --opt chains=6 --opt swap-interval=50
 //   mcmcpar_run --strategy periodic --opt executor=split-serial --progress
+//   mcmcpar_run --batch jobs.txt --threads 8 --iterations 10000
 
 #include <cerrno>
 #include <cstdio>
@@ -19,8 +20,12 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <map>
+
 #include "analysis/metrics.hpp"
 #include "analysis/table_writer.hpp"
+#include "engine/batch.hpp"
 #include "engine/registry.hpp"
 #include "img/pnm_io.hpp"
 #include "img/synth.hpp"
@@ -39,6 +44,9 @@ struct CliOptions {
   int cells = 10;
   double radius = 9.0;
   std::string imagePath;  // when set, run on this PGM instead of a scene
+  std::string batchPath;  // when set, run the manifest through BatchRunner
+  unsigned maxJobs = 0;   // --jobs: concurrent-job cap (0 = thread budget)
+  double deadline = 0.0;  // --deadline: whole-batch wall limit in seconds
   bool list = false;
   bool progress = false;
   bool help = false;
@@ -57,7 +65,11 @@ void printUsage() {
       "  --omp               prefer OpenMP executors where available\n"
       "  --width N/--height N/--cells N/--radius X  synthetic scene shape\n"
       "  --image FILE.pgm    run on a PGM image instead of a synthetic scene\n"
-      "  --progress          print progress beats from RunHooks\n");
+      "  --progress          print progress beats from RunHooks\n"
+      "  --batch FILE        run a job manifest through BatchRunner; each\n"
+      "                      line is '<image.pgm|synth> <strategy> [k=v ...]'\n"
+      "  --jobs N            batch: concurrent-job cap (0 = thread budget)\n"
+      "  --deadline X        batch: wall-clock deadline in seconds\n");
 }
 
 /// Strict numeric parsing: the whole token must convert, mirroring the
@@ -154,6 +166,17 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
     } else if (std::strcmp(arg, "--image") == 0) {
       if ((v = value(i)) == nullptr) return std::nullopt;
       cli.imagePath = v;
+    } else if (std::strcmp(arg, "--batch") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      cli.batchPath = v;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      int jobs = 0;
+      if (!parseInt(arg, v, jobs)) return std::nullopt;
+      cli.maxJobs = static_cast<unsigned>(jobs);
+    } else if (std::strcmp(arg, "--deadline") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      if (!parseDouble(arg, v, cli.deadline)) return std::nullopt;
     } else {
       std::fprintf(stderr, "unknown option: %s\n\n", arg);
       printUsage();
@@ -212,6 +235,129 @@ void printExtras(const engine::RunReport& report) {
   }
 }
 
+/// The circle prior every run shares, sized from the CLI radius knob.
+engine::Problem makeProblem(const img::ImageF& image, const CliOptions& cli) {
+  engine::Problem problem;
+  problem.filtered = &image;
+  problem.prior.radiusMean = cli.radius;
+  problem.prior.radiusStd = cli.radius / 8.0;
+  problem.prior.radiusMin = cli.radius / 2.0;
+  problem.prior.radiusMax = cli.radius * 1.8;
+  return problem;
+}
+
+/// --batch: parse the manifest, load each distinct image once, run every
+/// job through BatchRunner under one shared thread budget, and print the
+/// per-job table plus the aggregate BatchReport.
+int runBatch(const CliOptions& cli) {
+  std::ifstream manifest(cli.batchPath);
+  if (!manifest) {
+    std::fprintf(stderr, "cannot open manifest %s\n", cli.batchPath.c_str());
+    return 2;
+  }
+  std::vector<engine::ManifestEntry> entries;
+  try {
+    entries = engine::parseBatchManifest(manifest);
+  } catch (const engine::EngineError& e) {
+    std::fprintf(stderr, "%s: %s\n", cli.batchPath.c_str(), e.what());
+    return 2;
+  }
+
+  // One image per distinct manifest path ("synth" = the CLI scene); the map
+  // is node-based, so Problem's borrowed pointers stay stable.
+  std::map<std::string, img::ImageF> images;
+  for (const engine::ManifestEntry& entry : entries) {
+    if (images.count(entry.image) != 0) continue;
+    if (entry.image == "synth") {
+      img::Scene scene = img::generateScene(img::cellScene(
+          cli.width, cli.height, cli.cells, cli.radius, cli.resources.seed));
+      images.emplace(entry.image, std::move(scene.image));
+    } else {
+      try {
+        images.emplace(entry.image, img::toF(img::readPgm(entry.image)));
+      } catch (const img::PnmError& e) {
+        std::fprintf(stderr, "cannot read %s: %s\n", entry.image.c_str(),
+                     e.what());
+        return 2;
+      }
+    }
+  }
+
+  std::vector<engine::BatchJob> jobs;
+  jobs.reserve(entries.size());
+  for (const engine::ManifestEntry& entry : entries) {
+    engine::BatchJob job;
+    job.strategy = entry.strategy;
+    job.options = entry.options;
+    job.problem = makeProblem(images.at(entry.image), cli);
+    job.budget = cli.budget;
+    job.label = entry.image;
+    jobs.push_back(std::move(job));
+  }
+
+  engine::BatchOptions options;
+  options.resources = cli.resources;
+  options.maxConcurrentJobs = cli.maxJobs;
+  options.deadlineSeconds = cli.deadline;
+
+  engine::BatchHooks hooks;
+  if (cli.progress) {
+    hooks.onJobDone = [](std::size_t index, const engine::RunReport& report) {
+      std::fprintf(stderr, "  job %zu (%s) %s\n", index,
+                   report.strategy.c_str(),
+                   report.cancelled ? "cancelled" : "done");
+    };
+  }
+
+  engine::BatchResult result;
+  try {
+    result = engine::BatchRunner().run(jobs, options, hooks);
+  } catch (const engine::EngineError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  analysis::Table table(
+      {"#", "image", "strategy", "status", "seconds", "iters", "circles",
+       "logP"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const engine::RunReport& report = result.reports[i];
+    const char* status = !result.batch.errors[i].empty() ? "failed"
+                         : report.cancelled              ? "cancelled"
+                                                         : "ok";
+    const auto circles = static_cast<long long>(report.circles.size());
+    table.addRow(
+        {analysis::Table::integer(static_cast<long long>(i)), jobs[i].label,
+         report.strategy, status, analysis::Table::num(report.wallSeconds, 3),
+         analysis::Table::integer(static_cast<long long>(report.iterations)),
+         analysis::Table::integer(circles),
+         analysis::Table::num(report.logPosterior, 1)});
+  }
+  table.print(std::cout);
+
+  const engine::BatchReport& batch = result.batch;
+  std::printf(
+      "\nbatch: %zu jobs (%zu ok, %zu cancelled, %zu failed) in %.3f s\n"
+      "       %.2f jobs/s, latency p50 %.3f s / p95 %.3f s, "
+      "%u threads budgeted, %u jobs in flight\n",
+      batch.jobs, batch.completed, batch.cancelled, batch.failed,
+      batch.wallSeconds, batch.jobsPerSecond, batch.p50Seconds,
+      batch.p95Seconds, batch.threadBudget, batch.concurrentJobs);
+  for (const auto& [name, totals] : batch.perStrategy) {
+    std::printf("       %-12s %zu job(s), %llu iters, %.3f s\n", name.c_str(),
+                totals.jobs,
+                static_cast<unsigned long long>(totals.iterations),
+                totals.wallSeconds);
+  }
+  for (std::size_t i = 0; i < batch.errors.size(); ++i) {
+    if (!batch.errors[i].empty()) {
+      std::fprintf(stderr, "job %zu failed: %s\n", i,
+                   batch.errors[i].c_str());
+    }
+  }
+  return batch.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -228,6 +374,7 @@ int main(int argc, char** argv) {
     printRegistry(registry);
     return 0;
   }
+  if (!cli.batchPath.empty()) return runBatch(cli);
 
   // The problem: a PGM from disk, or a synthetic scene with known truth.
   img::ImageF image;
@@ -252,12 +399,7 @@ int main(int argc, char** argv) {
                 cli.width, cli.height, truth.size(), cli.radius);
   }
 
-  engine::Problem problem;
-  problem.filtered = &image;
-  problem.prior.radiusMean = cli.radius;
-  problem.prior.radiusStd = cli.radius / 8.0;
-  problem.prior.radiusMin = cli.radius / 2.0;
-  problem.prior.radiusMax = cli.radius * 1.8;
+  const engine::Problem problem = makeProblem(image, cli);
 
   // Report progress once per decile; reset before each strategy.
   auto lastDecile = std::make_shared<int>(-1);
