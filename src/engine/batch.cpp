@@ -54,8 +54,17 @@ BatchResult BatchRunner::run(const std::vector<BatchJob>& jobs,
   result.batch.jobs = n;
   result.batch.errors.assign(n, "");
 
-  const unsigned totalThreads =
-      par::resolveThreadCount(options.resources.threads);
+  // Either a private budget for this one call, or the caller's long-lived
+  // one (serve::Server runs batch after batch against a single budget).
+  std::optional<par::PoolBudget> ownedBudget;
+  par::PoolBudget* budgetPtr = options.sharedBudget;
+  if (budgetPtr == nullptr) {
+    ownedBudget.emplace(options.resources.threads);
+    budgetPtr = &*ownedBudget;
+  }
+  par::PoolBudget& budget = *budgetPtr;
+
+  const unsigned totalThreads = budget.total();
   unsigned concurrency = options.maxConcurrentJobs != 0
                              ? options.maxConcurrentJobs
                              : totalThreads;
@@ -65,14 +74,23 @@ BatchResult BatchRunner::run(const std::vector<BatchJob>& jobs,
   const std::size_t jobCap = std::max<std::size_t>(n, 1);
   if (jobCap < concurrency) concurrency = static_cast<unsigned>(jobCap);
   concurrency = std::max(concurrency, 1u);
-  result.batch.threadBudget = totalThreads;
-  result.batch.concurrentJobs = concurrency;
 
   // The shared budget: job-runner threads are charged up front, strategies
-  // lease their internal workers from the remainder.
-  par::PoolBudget budget(totalThreads);
+  // lease their internal workers from the remainder. A shared budget may be
+  // partially drained by concurrent holders — run with what it grants (at
+  // least the calling thread) and return it on every exit path.
   const unsigned charged = budget.tryAcquire(concurrency);
-  (void)charged;  // concurrency <= totalThreads, so this always succeeds
+  if (options.sharedBudget != nullptr) {
+    concurrency = std::max(charged, 1u);
+  }
+  struct BudgetReturn {
+    par::PoolBudget& budget;
+    unsigned charged;
+    ~BudgetReturn() { budget.release(charged); }
+  } budgetReturn{budget, charged};
+
+  result.batch.threadBudget = totalThreads;
+  result.batch.concurrentJobs = concurrency;
 
   // Validate and instantiate every strategy before any work starts: an
   // unknown name or bad option fails the batch as one EngineError instead
@@ -194,6 +212,71 @@ BatchResult BatchRunner::run(const std::vector<BatchJob>& jobs,
   return result;
 }
 
+RunReport BatchRunner::runOne(const BatchJob& job,
+                              const ExecResources& resources,
+                              const RunHooks& hooks) const {
+  ExecResources jobResources = resources;
+  if (job.seed) jobResources.seed = *job.seed;
+  const std::unique_ptr<Strategy> strategy =
+      registry_->create(job.strategy, jobResources, job.options);
+  strategy->prepare(job.problem);
+  return strategy->run(job.budget, hooks);
+}
+
+namespace {
+
+/// Parse the value of a job directive token `@key=value`; errors name the
+/// directive exactly as written ("option '@iters': expected ...").
+std::uint64_t directiveU64(const std::string& key, const std::string& value) {
+  const OptionMap parsed = OptionMap::parse({key + "=" + value});
+  return parsed.u64(key, 0);
+}
+
+}  // namespace
+
+ManifestEntry parseManifestLine(const std::string& line) {
+  std::istringstream tokens(line);
+  ManifestEntry entry;
+  if (!(tokens >> entry.image) || !(tokens >> entry.strategy)) {
+    throw EngineError(
+        "expected '<image.pgm|synth> <strategy> [@directive=value ...] "
+        "[key=value ...]', got '" +
+        line + "'");
+  }
+  std::string token;
+  while (tokens >> token) {
+    if (token.front() != '@') {
+      entry.options.push_back(token);
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq < 2) {
+      throw EngineError("malformed job directive '" + token +
+                        "': expected @directive=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "@iters") {
+      entry.iterations = directiveU64(key, value);
+    } else if (key == "@seed") {
+      entry.seed = directiveU64(key, value);
+    } else if (key == "@trace") {
+      entry.trace = directiveU64(key, value);
+    } else if (key == "@label") {
+      entry.label = value;
+    } else {
+      throw EngineError("unknown job directive '" + key +
+                        "' (expected @iters, @seed, @trace or @label)");
+    }
+  }
+  // Validate option tokens through the same parser --opt uses, so a stray
+  // trailing token fails right here with the identical descriptive message
+  // instead of being deferred (strategy-unknown keys still surface at
+  // creation via OptionMap::requireConsumed).
+  (void)OptionMap::parse(entry.options);
+  return entry;
+}
+
 std::vector<ManifestEntry> parseBatchManifest(std::istream& in) {
   std::vector<ManifestEntry> entries;
   std::string line;
@@ -203,24 +286,12 @@ std::vector<ManifestEntry> parseBatchManifest(std::istream& in) {
     std::istringstream tokens(line);
     std::string first;
     if (!(tokens >> first) || first.front() == '#') continue;
-    ManifestEntry entry;
-    entry.image = first;
-    if (!(tokens >> entry.strategy)) {
-      throw EngineError("manifest line " + std::to_string(lineNumber) +
-                        ": expected '<image> <strategy> [key=value ...]', "
-                        "got '" +
-                        line + "'");
+    try {
+      entries.push_back(parseManifestLine(line));
+    } catch (const EngineError& e) {
+      throw EngineError("manifest line " + std::to_string(lineNumber) + ": " +
+                        e.what());
     }
-    std::string option;
-    while (tokens >> option) {
-      if (option.find('=') == std::string::npos) {
-        throw EngineError("manifest line " + std::to_string(lineNumber) +
-                          ": malformed option '" + option +
-                          "' (expected key=value)");
-      }
-      entry.options.push_back(option);
-    }
-    entries.push_back(std::move(entry));
   }
   return entries;
 }

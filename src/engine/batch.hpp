@@ -10,6 +10,10 @@
 
 #include "engine/engine.hpp"
 
+namespace mcmcpar::par {
+class PoolBudget;
+}  // namespace mcmcpar::par
+
 namespace mcmcpar::engine {
 
 class StrategyRegistry;
@@ -46,6 +50,14 @@ struct BatchOptions {
   /// running when it expires are cancelled at their next polling quantum;
   /// jobs not yet started are skipped.
   double deadlineSeconds = 0.0;
+
+  /// When set (borrowed), the batch charges its job-runner threads against
+  /// this long-lived budget instead of constructing a private one, and
+  /// returns them when the run ends — the reusable-budget lifecycle a
+  /// persistent front-end needs to run batch after batch against one
+  /// PoolBudget. `resources.threads` is ignored in favour of the budget's
+  /// total.
+  par::PoolBudget* sharedBudget = nullptr;
 };
 
 /// Observer callbacks of a batch run. All optional; callbacks may be
@@ -116,21 +128,45 @@ class BatchRunner {
                                 const BatchOptions& options = {},
                                 const BatchHooks& hooks = {}) const;
 
+  /// The incremental-admission path: execute one job on the calling thread
+  /// against shared resources, without the whole-batch barrier of run().
+  /// Long-running front-ends (serve::Server) call this from persistent
+  /// workers, passing a `resources.poolBudget` reused across requests.
+  /// Unlike run(), every failure — unknown strategy, bad options, a failure
+  /// mid-run — throws EngineError; the caller owns per-job capture.
+  [[nodiscard]] RunReport runOne(const BatchJob& job,
+                                 const ExecResources& resources,
+                                 const RunHooks& hooks = {}) const;
+
  private:
   const StrategyRegistry* registry_;
 };
 
-/// One line of a `mcmcpar_run --batch` manifest:
-///   <image.pgm | synth> <strategy> [key=value ...]
-/// Blank lines and lines starting with '#' are skipped.
+/// One job line — the shared grammar of `mcmcpar_run --batch` manifests and
+/// the serve protocol's SUBMIT payload (normative spec: docs/PROTOCOL.md):
+///   <image.pgm | synth> <strategy> [@directive=value ...] [key=value ...]
+/// `@`-prefixed tokens are job-level directives (@iters, @seed, @trace,
+/// @label); bare key=value tokens go to the strategy. Blank lines and lines
+/// starting with '#' are skipped by the manifest reader.
 struct ManifestEntry {
-  std::string image;     ///< PGM path, or "synth" for the CLI scene
+  std::string image;     ///< PGM path, or "synth" for the front-end's scene
   std::string strategy;  ///< registry key
   std::vector<std::string> options;  ///< key=value strategy options
+  std::optional<std::uint64_t> iterations;  ///< @iters: per-job budget
+  std::optional<std::uint64_t> seed;        ///< @seed: per-job master seed
+  std::optional<std::uint64_t> trace;       ///< @trace: trace cadence
+  std::string label;  ///< @label: caller's tag ("" = image path)
 };
 
-/// Parse a batch manifest. Throws EngineError naming the offending line on
-/// entries with fewer than two fields or option tokens without '='.
+/// Parse one job line. Throws EngineError on fewer than two fields, unknown
+/// or malformed `@` directives, and malformed option tokens — option tokens
+/// are validated through the same OptionMap parser the CLI's --opt flag
+/// uses, so a stray trailing token fails here with the identical message
+/// instead of surfacing later (or never).
+[[nodiscard]] ManifestEntry parseManifestLine(const std::string& line);
+
+/// Parse a batch manifest: parseManifestLine on every non-blank,
+/// non-comment line, with "manifest line N:" prefixed to any error.
 [[nodiscard]] std::vector<ManifestEntry> parseBatchManifest(std::istream& in);
 
 /// The per-job seed rule used for jobs without an explicit seed: a

@@ -31,9 +31,22 @@ unsigned PoolBudget::tryAcquire(unsigned want) {
   return granted;
 }
 
+unsigned PoolBudget::tryAcquireFor(unsigned want,
+                                   std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  if (want == 0) return 0;
+  released_.wait_for(lock, timeout, [this] { return available_ > 0; });
+  const unsigned granted = std::min(want, available_);
+  available_ -= granted;
+  return granted;
+}
+
 void PoolBudget::release(unsigned count) noexcept {
-  const std::scoped_lock lock(mutex_);
-  available_ = std::min(total_, available_ + count);
+  {
+    const std::scoped_lock lock(mutex_);
+    available_ = std::min(total_, available_ + count);
+  }
+  released_.notify_all();
 }
 
 PoolLease PoolLease::acquire(PoolBudget* budget, unsigned requested) {

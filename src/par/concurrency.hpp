@@ -1,5 +1,7 @@
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 
@@ -47,11 +49,21 @@ class PoolBudget {
   /// which pairs the grant with an RAII release.
   [[nodiscard]] unsigned tryAcquire(unsigned want);
 
-  /// Return `count` previously acquired threads to the budget.
+  /// Like tryAcquire, but when the budget is empty it blocks until another
+  /// holder releases or `timeout` elapses; returns the granted count (0 only
+  /// on timeout). Long-running front-ends use this to park idle workers
+  /// outside the budget — releasing their thread between jobs so running
+  /// strategies can lease it — and reacquire it when the next job arrives.
+  [[nodiscard]] unsigned tryAcquireFor(unsigned want,
+                                       std::chrono::milliseconds timeout);
+
+  /// Return `count` previously acquired threads to the budget and wake
+  /// tryAcquireFor waiters.
   void release(unsigned count) noexcept;
 
  private:
   mutable std::mutex mutex_;
+  std::condition_variable released_;
   unsigned total_;
   unsigned available_;
 };

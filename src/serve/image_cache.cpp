@@ -1,0 +1,101 @@
+#include "serve/image_cache.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "img/pnm_io.hpp"
+
+namespace mcmcpar::serve {
+
+namespace {
+
+/// File identity at one instant: mtime (ns) and byte size. Throws PnmError
+/// on stat failure so callers see one error type for "cannot use this path".
+std::pair<std::int64_t, std::uintmax_t> fileIdentity(const std::string& path) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) {
+    throw img::PnmError("cannot stat '" + path + "': " + ec.message());
+  }
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw img::PnmError("cannot stat '" + path + "': " + ec.message());
+  }
+  const std::int64_t mtimeNs =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          mtime.time_since_epoch())
+          .count();
+  return {mtimeNs, size};
+}
+
+}  // namespace
+
+ImageCache::ImageCache(std::size_t capacityBytes)
+    : capacityBytes_(capacityBytes) {}
+
+std::shared_ptr<const img::ImageF> ImageCache::get(const std::string& path) {
+  const auto [mtimeNs, fileSize] = fileIdentity(path);
+
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = index_.find(path);
+    if (it != index_.end() && it->second->mtimeNs == mtimeNs &&
+        it->second->fileSize == fileSize) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
+      return it->second->image;
+    }
+  }
+
+  // Miss or stale: decode outside the lock (PGM reads can be slow and must
+  // not serialise concurrent hits on other paths).
+  auto image = std::make_shared<const img::ImageF>(
+      img::toF(img::readPgm(path)));
+  const std::size_t bytes = image->pixelCount() * sizeof(float);
+
+  const std::scoped_lock lock(mutex_);
+  ++misses_;
+  const auto it = index_.find(path);
+  if (it != index_.end()) {  // drop the stale (or racing) entry
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  if (capacityBytes_ != 0 && bytes > capacityBytes_) {
+    return image;  // would evict everything and still not fit: pass through
+  }
+  lru_.push_front(Entry{path, image, mtimeNs, fileSize, bytes});
+  index_[path] = lru_.begin();
+  bytes_ += bytes;
+  while (capacityBytes_ != 0 && bytes_ > capacityBytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.path);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return image;
+}
+
+ImageCacheStats ImageCache::stats() const {
+  const std::scoped_lock lock(mutex_);
+  ImageCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  stats.capacityBytes = capacityBytes_;
+  return stats;
+}
+
+void ImageCache::clear() {
+  const std::scoped_lock lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace mcmcpar::serve

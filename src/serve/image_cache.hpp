@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "img/image.hpp"
+
+namespace mcmcpar::serve {
+
+/// Cache counters; a consistent snapshot under the cache mutex.
+struct ImageCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;      ///< loads (first sight or revalidation)
+  std::uint64_t evictions = 0;   ///< LRU entries dropped for capacity
+  std::size_t entries = 0;
+  std::size_t bytes = 0;         ///< resident pixel bytes
+  std::size_t capacityBytes = 0;
+};
+
+/// A thread-safe LRU cache of decoded images keyed by path + mtime + size.
+///
+/// The serving front-end amortises PGM decode across requests: the first
+/// request for a path pays the read, later ones hit the cache, and a file
+/// that changed on disk (different mtime or byte size) is transparently
+/// reloaded. Entries hand out shared_ptr snapshots, so eviction never
+/// invalidates an image a running job still borrows.
+class ImageCache {
+ public:
+  /// Hold at most `capacityBytes` of decoded pixels (0 = unbounded). An
+  /// image larger than the whole capacity is returned uncached.
+  explicit ImageCache(std::size_t capacityBytes);
+
+  ImageCache(const ImageCache&) = delete;
+  ImageCache& operator=(const ImageCache&) = delete;
+
+  /// Fetch the decoded image at `path`, loading it on a miss. Throws
+  /// img::PnmError on unreadable or malformed files.
+  [[nodiscard]] std::shared_ptr<const img::ImageF> get(
+      const std::string& path);
+
+  [[nodiscard]] ImageCacheStats stats() const;
+
+  /// Drop every entry (counters survive).
+  void clear();
+
+ private:
+  struct Entry {
+    std::string path;
+    std::shared_ptr<const img::ImageF> image;
+    std::int64_t mtimeNs = 0;    ///< file mtime at load time
+    std::uintmax_t fileSize = 0; ///< file byte size at load time
+    std::size_t bytes = 0;       ///< decoded pixel bytes
+  };
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t capacityBytes_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace mcmcpar::serve

@@ -1,0 +1,233 @@
+#include "serve/job_queue.hpp"
+
+#include <utility>
+
+#include "engine/options.hpp"
+
+namespace mcmcpar::serve {
+
+const char* toString(JobState state) noexcept {
+  switch (state) {
+    case JobState::Queued:
+      return "queued";
+    case JobState::Running:
+      return "running";
+    case JobState::Done:
+      return "done";
+    case JobState::Failed:
+      return "failed";
+    case JobState::Cancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+bool isTerminal(JobState state) noexcept {
+  return state == JobState::Done || state == JobState::Failed ||
+         state == JobState::Cancelled;
+}
+
+JobQueue::JobQueue(std::size_t retainLimit) : retainLimit_(retainLimit) {}
+
+std::uint64_t JobQueue::submit(JobSpec spec) {
+  std::uint64_t id = 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (closed_) {
+      throw engine::EngineError("server is shutting down; job rejected");
+    }
+    id = nextId_++;
+    Record record;
+    record.spec = std::move(spec);
+    record.admitted = std::chrono::steady_clock::now();
+    records_.emplace(id, std::move(record));
+    pending_.push_back(id);
+    ++counts_.submitted;
+    ++counts_.queued;
+  }
+  jobReady_.notify_one();
+  return id;
+}
+
+std::optional<std::uint64_t> JobQueue::waitNext(
+    std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  jobReady_.wait_for(lock, timeout,
+                     [this] { return !pending_.empty() || closed_; });
+  while (!pending_.empty()) {
+    const std::uint64_t id = pending_.front();
+    pending_.pop_front();
+    auto& record = records_.at(id);
+    if (record.state != JobState::Queued) continue;  // cancelled while queued
+    record.state = JobState::Running;
+    --counts_.queued;
+    ++counts_.running;
+    return id;
+  }
+  return std::nullopt;
+}
+
+CancelOutcome JobQueue::cancel(std::uint64_t id) {
+  std::unique_lock lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return CancelOutcome::Unknown;
+  Record& record = it->second;
+  record.cancelRequested = true;
+  if (isTerminal(record.state)) return CancelOutcome::AlreadyTerminal;
+  if (record.state == JobState::Running) return CancelOutcome::RunningFlagged;
+  // Queued: terminal right away, with an empty cancelled report.
+  record.state = JobState::Cancelled;
+  record.report.strategy = record.spec.strategy;
+  record.report.cancelled = true;
+  record.report.threadsUsed = 0;
+  record.latencySeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    record.admitted)
+          .count();
+  --counts_.queued;
+  ++counts_.cancelled;
+  terminal_.push_back(id);
+  pruneLocked();
+  lock.unlock();
+  idle_.notify_all();
+  return CancelOutcome::QueuedCancelled;
+}
+
+bool JobQueue::cancelRequested(std::uint64_t id) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = records_.find(id);
+  return it != records_.end() && it->second.cancelRequested;
+}
+
+void JobQueue::progress(std::uint64_t id, std::uint64_t done,
+                        std::uint64_t total) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return;
+  it->second.progressDone = done;
+  it->second.progressTotal = total;
+}
+
+void JobQueue::finish(std::uint64_t id, engine::RunReport report,
+                      std::string error) {
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = records_.find(id);
+    if (it == records_.end()) return;
+    Record& record = it->second;
+    if (record.state != JobState::Running) return;
+    --counts_.running;
+    if (!error.empty()) {
+      record.state = JobState::Failed;
+      ++counts_.failed;
+    } else if (report.cancelled || record.cancelRequested) {
+      record.state = JobState::Cancelled;
+      ++counts_.cancelled;
+    } else {
+      record.state = JobState::Done;
+      ++counts_.done;
+    }
+    record.report = std::move(report);
+    record.error = std::move(error);
+    record.latencySeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      record.admitted)
+            .count();
+    terminal_.push_back(id);
+    pruneLocked();
+  }
+  idle_.notify_all();
+}
+
+std::optional<JobStatus> JobQueue::status(std::uint64_t id) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  const Record& record = it->second;
+  JobStatus status;
+  status.id = id;
+  status.state = record.state;
+  status.image = record.spec.image;
+  status.strategy = record.spec.strategy;
+  status.label = record.spec.label.empty() ? record.spec.image
+                                           : record.spec.label;
+  status.progressDone = record.progressDone;
+  status.progressTotal = record.progressTotal;
+  status.latencySeconds = record.latencySeconds;
+  status.error = record.error;
+  return status;
+}
+
+std::optional<JobSpec> JobQueue::spec(std::uint64_t id) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.spec;
+}
+
+std::vector<std::uint64_t> JobQueue::activeIds() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, record] : records_) {
+    if (!isTerminal(record.state)) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::optional<engine::RunReport> JobQueue::result(std::uint64_t id) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end() || !isTerminal(it->second.state)) {
+    return std::nullopt;
+  }
+  return it->second.report;
+}
+
+JobCounts JobQueue::counts() const {
+  const std::scoped_lock lock(mutex_);
+  return counts_;
+}
+
+void JobQueue::close() {
+  {
+    const std::scoped_lock lock(mutex_);
+    closed_ = true;
+  }
+  jobReady_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  const std::scoped_lock lock(mutex_);
+  return closed_;
+}
+
+void JobQueue::cancelAll() {
+  std::vector<std::uint64_t> active;
+  {
+    const std::scoped_lock lock(mutex_);
+    for (const auto& [id, record] : records_) {
+      if (!isTerminal(record.state)) active.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : active) (void)cancel(id);
+}
+
+bool JobQueue::waitIdle(double timeoutSeconds) {
+  std::unique_lock lock(mutex_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeoutSeconds));
+  return idle_.wait_until(lock, deadline, [this] {
+    return counts_.queued == 0 && counts_.running == 0;
+  });
+}
+
+void JobQueue::pruneLocked() {
+  while (retainLimit_ != 0 && terminal_.size() > retainLimit_) {
+    records_.erase(terminal_.front());
+    terminal_.pop_front();
+  }
+}
+
+}  // namespace mcmcpar::serve

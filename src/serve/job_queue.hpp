@@ -1,0 +1,159 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/batch.hpp"
+
+namespace mcmcpar::serve {
+
+/// What a client submits: one job line of the shared manifest grammar
+/// (docs/PROTOCOL.md) — image, strategy, strategy options and the
+/// job-level @directives.
+using JobSpec = engine::ManifestEntry;
+
+/// Lifecycle of one admitted job.
+enum class JobState {
+  Queued,     ///< admitted, waiting for a worker
+  Running,    ///< a worker is executing it
+  Done,       ///< ran its full budget
+  Failed,     ///< threw while preparing or running
+  Cancelled,  ///< cancelled while queued, mid-run, or by shutdown
+};
+
+[[nodiscard]] const char* toString(JobState state) noexcept;
+[[nodiscard]] bool isTerminal(JobState state) noexcept;
+
+/// A light status snapshot (no RunReport copy; see JobQueue::result).
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::Queued;
+  std::string image;
+  std::string strategy;
+  std::string label;
+  std::uint64_t progressDone = 0;
+  std::uint64_t progressTotal = 0;
+  double latencySeconds = 0.0;  ///< admission -> terminal (0 while active)
+  std::string error;            ///< Failed only
+};
+
+/// Aggregate queue counters.
+struct JobCounts {
+  std::uint64_t submitted = 0;
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+};
+
+/// What JobQueue::cancel found, so the caller can emit the right event.
+enum class CancelOutcome {
+  Unknown,          ///< no such job
+  AlreadyTerminal,  ///< nothing to do
+  QueuedCancelled,  ///< went straight to Cancelled, never ran
+  RunningFlagged,   ///< sticky flag raised; the worker stops at its quantum
+};
+
+/// The admission queue of the serving front-end: jobs enter continuously
+/// (no whole-batch barrier), workers pull them FIFO, observers read status
+/// snapshots by id. All methods are thread-safe.
+///
+/// Terminal records are retained for RESULT queries, capped at
+/// `retainLimit` (oldest forgotten first) so a long-running server does not
+/// grow without bound.
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t retainLimit = 4096);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Admit a job; returns its id (ids start at 1 and never repeat).
+  /// Throws engine::EngineError once close() has been called.
+  [[nodiscard]] std::uint64_t submit(JobSpec spec);
+
+  /// Block until a queued job is available (marking it Running and
+  /// returning its id), the timeout elapses (nullopt), or the queue is
+  /// closed *and* empty (nullopt forever after).
+  [[nodiscard]] std::optional<std::uint64_t> waitNext(
+      std::chrono::milliseconds timeout);
+
+  /// Request cancellation. Queued jobs become Cancelled immediately;
+  /// running jobs get a sticky flag their RunHooks polls.
+  CancelOutcome cancel(std::uint64_t id);
+
+  /// The sticky per-job cancel flag (true also once the queue is draining
+  /// hard via cancelAll).
+  [[nodiscard]] bool cancelRequested(std::uint64_t id) const;
+
+  /// Record a progress beat of a running job.
+  void progress(std::uint64_t id, std::uint64_t done, std::uint64_t total);
+
+  /// Move a Running job to its terminal state: Failed when `error` is
+  /// non-empty, Cancelled when the report says so, Done otherwise.
+  void finish(std::uint64_t id, engine::RunReport report, std::string error);
+
+  [[nodiscard]] std::optional<JobStatus> status(std::uint64_t id) const;
+
+  /// The submitted spec of a known job (workers read it to build the run).
+  [[nodiscard]] std::optional<JobSpec> spec(std::uint64_t id) const;
+
+  /// Ids not yet terminal, in admission order (shutdown cancels these).
+  [[nodiscard]] std::vector<std::uint64_t> activeIds() const;
+
+  /// The final RunReport of a terminal job (nullopt while queued/running or
+  /// for unknown/forgotten ids).
+  [[nodiscard]] std::optional<engine::RunReport> result(
+      std::uint64_t id) const;
+
+  [[nodiscard]] JobCounts counts() const;
+
+  /// Stop admitting (submit() throws from now on); waiters drain what is
+  /// already queued.
+  void close();
+  [[nodiscard]] bool closed() const;
+
+  /// Cancel everything still queued and flag everything running — the
+  /// drain-timeout escalation path of shutdown.
+  void cancelAll();
+
+  /// Block until nothing is queued or running, or `timeoutSeconds` elapses;
+  /// true when drained.
+  [[nodiscard]] bool waitIdle(double timeoutSeconds);
+
+ private:
+  struct Record {
+    JobSpec spec;
+    JobState state = JobState::Queued;
+    bool cancelRequested = false;
+    std::uint64_t progressDone = 0;
+    std::uint64_t progressTotal = 0;
+    std::chrono::steady_clock::time_point admitted;
+    double latencySeconds = 0.0;
+    std::string error;
+    engine::RunReport report;
+  };
+
+  void pruneLocked();
+
+  mutable std::mutex mutex_;
+  std::condition_variable jobReady_;  ///< submit -> waitNext
+  std::condition_variable idle_;      ///< finish -> waitIdle
+  std::map<std::uint64_t, Record> records_;
+  std::deque<std::uint64_t> pending_;   ///< FIFO of Queued ids
+  std::deque<std::uint64_t> terminal_;  ///< retention order for pruning
+  std::size_t retainLimit_;
+  std::uint64_t nextId_ = 1;
+  JobCounts counts_;
+  bool closed_ = false;
+};
+
+}  // namespace mcmcpar::serve

@@ -1,0 +1,113 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mcmcpar::serve::protocol {
+
+namespace {
+
+/// Shortest round-trippable formatting for JSON numbers (printf %g keeps
+/// the payloads compact; full precision is not needed for latencies).
+std::string num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jobJson(const JobStatus& status,
+                    const engine::RunReport& report) {
+  std::ostringstream out;
+  out << "{\"id\": " << status.id                                      //
+      << ", \"label\": \"" << jsonEscape(status.label) << "\""         //
+      << ", \"image\": \"" << jsonEscape(status.image) << "\""         //
+      << ", \"strategy\": \"" << jsonEscape(status.strategy) << "\""   //
+      << ", \"state\": \"" << toString(status.state) << "\""           //
+      << ", \"latency_seconds\": " << num(status.latencySeconds)       //
+      << ", \"wall_seconds\": " << num(report.wallSeconds)             //
+      << ", \"iterations\": " << report.iterations                     //
+      << ", \"acceptance\": " << num(report.acceptanceRate)            //
+      << ", \"circles\": " << report.circles.size()                    //
+      << ", \"log_posterior\": " << num(report.logPosterior)           //
+      << ", \"threads_used\": " << report.threadsUsed                  //
+      << ", \"cancelled\": " << (report.cancelled ? "true" : "false")  //
+      << ", \"error\": \"" << jsonEscape(status.error) << "\"}";
+  return out.str();
+}
+
+std::string statsJson(const ServerStats& stats) {
+  std::ostringstream out;
+  out << "{\"submitted\": " << stats.jobs.submitted                  //
+      << ", \"queued\": " << stats.jobs.queued                       //
+      << ", \"running\": " << stats.jobs.running                     //
+      << ", \"done\": " << stats.jobs.done                           //
+      << ", \"failed\": " << stats.jobs.failed                       //
+      << ", \"cancelled\": " << stats.jobs.cancelled                 //
+      << ", \"cache_hits\": " << stats.cache.hits                    //
+      << ", \"cache_misses\": " << stats.cache.misses                //
+      << ", \"cache_evictions\": " << stats.cache.evictions          //
+      << ", \"cache_entries\": " << stats.cache.entries              //
+      << ", \"cache_bytes\": " << stats.cache.bytes                  //
+      << ", \"thread_budget\": " << stats.threadBudget               //
+      << ", \"budget_available\": " << stats.budgetAvailable         //
+      << ", \"workers\": " << stats.workers                          //
+      << ", \"uptime_seconds\": " << num(stats.uptimeSeconds)        //
+      << ", \"draining\": " << (stats.draining ? "true" : "false")   //
+      << "}";
+  return out.str();
+}
+
+std::string okLine(const std::string& payload) {
+  return payload.empty() ? "OK" : "OK " + payload;
+}
+
+std::string errLine(const std::string& code, const std::string& message) {
+  return "ERR " + code + " " + message;
+}
+
+std::string eventLine(const JobEvent& event) {
+  std::ostringstream out;
+  out << "EVENT " << event.id << " " << toString(event.type);
+  if (event.type == JobEvent::Type::Progress) {
+    out << " " << event.done << " " << event.total;
+  }
+  return out.str();
+}
+
+}  // namespace mcmcpar::serve::protocol

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/server.hpp"
+
+/// Wire-format helpers of the serve job protocol. The normative
+/// specification — command grammar, event stream, error codes, the JSON
+/// result schema and the manifest grammar — lives in docs/PROTOCOL.md; the
+/// server tests assert against the strings produced here.
+namespace mcmcpar::serve::protocol {
+
+/// Machine-readable error codes carried by `ERR <code> <message>` replies.
+inline constexpr const char* kErrBadRequest = "BAD_REQUEST";
+inline constexpr const char* kErrBadJob = "BAD_JOB";
+inline constexpr const char* kErrUnknownJob = "UNKNOWN_JOB";
+inline constexpr const char* kErrPending = "PENDING";
+inline constexpr const char* kErrShuttingDown = "SHUTTING_DOWN";
+
+/// JSON string escaping (quotes, backslashes, control characters).
+[[nodiscard]] std::string jsonEscape(const std::string& text);
+
+/// One job's terminal outcome as single-line JSON — the RESULT payload and
+/// one element of a watch-mode result file.
+[[nodiscard]] std::string jobJson(const JobStatus& status,
+                                  const engine::RunReport& report);
+
+/// Server counters as single-line JSON — the STATS payload.
+[[nodiscard]] std::string statsJson(const ServerStats& stats);
+
+/// `OK ...` / `ERR <code> <message>` reply lines.
+[[nodiscard]] std::string okLine(const std::string& payload);
+[[nodiscard]] std::string errLine(const std::string& code,
+                                  const std::string& message);
+
+/// `EVENT <id> <TYPE> [done total]` stream lines (WAIT).
+[[nodiscard]] std::string eventLine(const JobEvent& event);
+
+}  // namespace mcmcpar::serve::protocol

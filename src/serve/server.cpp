@@ -1,0 +1,252 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "engine/registry.hpp"
+
+namespace mcmcpar::serve {
+
+using namespace std::chrono_literals;
+
+const char* toString(JobEvent::Type type) noexcept {
+  switch (type) {
+    case JobEvent::Type::Admitted:
+      return "ADMITTED";
+    case JobEvent::Type::Started:
+      return "STARTED";
+    case JobEvent::Type::Progress:
+      return "PROGRESS";
+    case JobEvent::Type::Done:
+      return "DONE";
+    case JobEvent::Type::Failed:
+      return "FAILED";
+    case JobEvent::Type::Cancelled:
+      return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      budget_(options.threads),
+      cache_(options.cacheBytes),
+      queue_(options.retainJobs),
+      started_(std::chrono::steady_clock::now()) {
+  img::Scene scene = img::generateScene(
+      img::cellScene(options_.synthWidth, options_.synthHeight,
+                     options_.synthCells, options_.radius, options_.seed));
+  synthImage_ = std::make_shared<const img::ImageF>(std::move(scene.image));
+
+  unsigned workers = options_.maxConcurrentJobs != 0
+                         ? options_.maxConcurrentJobs
+                         : budget_.total();
+  workers = std::clamp(workers, 1u, budget_.total());
+  workerCount_ = workers;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back(
+        [this](const std::stop_token& stop) { workerLoop(stop); });
+  }
+}
+
+Server::~Server() { shutdown(0.0); }
+
+std::shared_ptr<const img::ImageF> Server::resolveImage(
+    const std::string& path) {
+  if (path == "synth") return synthImage_;
+  return cache_.get(path);
+}
+
+std::uint64_t Server::submit(const JobSpec& spec) {
+  // Resolve the image and validate strategy + options at admission, so a
+  // bad request fails the submitter with a descriptive error instead of
+  // failing later on a worker thread.
+  std::shared_ptr<const img::ImageF> image = resolveImage(spec.image);
+  (void)engine::StrategyRegistry::builtin().create(
+      spec.strategy, engine::ExecResources{}, spec.options);
+
+  std::uint64_t id = 0;
+  {
+    // Hold imageMutex_ across admission so a worker that dequeues the job
+    // immediately blocks here until its image is pinned.
+    const std::scoped_lock lock(imageMutex_);
+    id = queue_.submit(spec);
+    jobImages_.emplace(id, std::move(image));
+  }
+  emit(JobEvent{JobEvent::Type::Admitted, id, 0, 0});
+  return id;
+}
+
+std::uint64_t Server::submitLine(const std::string& line) {
+  return submit(engine::parseManifestLine(line));
+}
+
+CancelOutcome Server::cancel(std::uint64_t id) {
+  const CancelOutcome outcome = queue_.cancel(id);
+  if (outcome == CancelOutcome::QueuedCancelled) {
+    {
+      const std::scoped_lock lock(imageMutex_);
+      jobImages_.erase(id);
+    }
+    emit(JobEvent{JobEvent::Type::Cancelled, id, 0, 0});
+  }
+  return outcome;
+}
+
+std::optional<JobStatus> Server::status(std::uint64_t id) const {
+  return queue_.status(id);
+}
+
+std::optional<engine::RunReport> Server::result(std::uint64_t id) const {
+  return queue_.result(id);
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.jobs = queue_.counts();
+  stats.cache = cache_.stats();
+  stats.threadBudget = budget_.total();
+  stats.budgetAvailable = budget_.available();
+  stats.workers = workerCount_;  // workers_ itself is mutated by shutdown
+  stats.uptimeSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - started_)
+                            .count();
+  stats.draining = queue_.closed();
+  return stats;
+}
+
+std::uint64_t Server::subscribe(std::function<void(const JobEvent&)> fn) {
+  const std::unique_lock lock(listenerMutex_);
+  const std::uint64_t token = nextListener_++;
+  listeners_.emplace(token, std::move(fn));
+  return token;
+}
+
+void Server::unsubscribe(std::uint64_t token) {
+  // Unique over the emit()s' shared locks: returning implies no callback
+  // is mid-flight, so the subscriber may tear down whatever it captured.
+  const std::unique_lock lock(listenerMutex_);
+  listeners_.erase(token);
+}
+
+void Server::emit(const JobEvent& event) {
+  const std::shared_lock lock(listenerMutex_);
+  for (const auto& [token, fn] : listeners_) fn(event);
+}
+
+void Server::workerLoop(const std::stop_token& stop) {
+  while (!stop.stop_requested()) {
+    const std::optional<std::uint64_t> next = queue_.waitNext(100ms);
+    if (!next) {
+      if (queue_.closed()) break;  // drained and no more admissions
+      continue;
+    }
+    const std::uint64_t id = *next;
+    const std::optional<JobSpec> spec = queue_.spec(id);
+    std::shared_ptr<const img::ImageF> image;
+    {
+      const std::scoped_lock lock(imageMutex_);
+      const auto it = jobImages_.find(id);
+      if (it != jobImages_.end()) image = it->second;
+    }
+
+    // Reacquire this worker's thread from the long-lived budget (released
+    // below when the job ends, so idle workers leave their thread leasable
+    // by running strategies). A cancel while waiting aborts the wait.
+    bool charged = false;
+    if (spec && image != nullptr) {
+      while (!queue_.cancelRequested(id)) {
+        if (budget_.tryAcquireFor(1, 100ms) == 1) {
+          charged = true;
+          break;
+        }
+      }
+    }
+
+    engine::RunReport report;
+    std::string error;
+    if (charged && spec && image != nullptr) {
+      emit(JobEvent{JobEvent::Type::Started, id, 0, 0});
+
+      engine::BatchJob job;
+      job.strategy = spec->strategy;
+      job.options = spec->options;
+      job.problem.filtered = image.get();
+      job.problem.prior.radiusMean = options_.radius;
+      job.problem.prior.radiusStd = options_.radius / 8.0;
+      job.problem.prior.radiusMin = options_.radius / 2.0;
+      job.problem.prior.radiusMax = options_.radius * 1.8;
+      job.budget = options_.defaultBudget;
+      if (spec->iterations) job.budget.iterations = *spec->iterations;
+      if (spec->trace) job.budget.traceInterval = *spec->trace;
+      job.seed = spec->seed;
+
+      engine::ExecResources resources;
+      resources.threads = options_.threads;
+      resources.useOpenMp = options_.useOpenMp;
+      resources.poolBudget = &budget_;
+      resources.seed = engine::deriveJobSeed(options_.seed, id);
+
+      engine::RunHooks hooks;
+      hooks.cancelRequested = [this, id] {
+        return queue_.cancelRequested(id);
+      };
+      // Record every beat (STATUS stays fine-grained) but fan events out
+      // only on decile changes, so hot strategies don't hammer listeners.
+      hooks.onProgress = [this, id,
+                          lastDecile = -1](const engine::RunProgress& p)
+          mutable {
+        queue_.progress(id, p.done, p.total);
+        const int decile =
+            p.total == 0 ? -1 : static_cast<int>(10 * p.done / p.total);
+        if (decile == lastDecile) return;
+        lastDecile = decile;
+        emit(JobEvent{JobEvent::Type::Progress, id, p.done, p.total});
+      };
+
+      try {
+        report = runner_.runOne(job, resources, hooks);
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+    } else {
+      // Cancelled before it could start (or admission raced shutdown).
+      report.strategy = spec ? spec->strategy : "";
+      report.cancelled = true;
+      report.threadsUsed = 0;
+    }
+    if (charged) budget_.release(1);
+
+    queue_.finish(id, std::move(report), std::move(error));
+    {
+      const std::scoped_lock lock(imageMutex_);
+      jobImages_.erase(id);
+    }
+    const std::optional<JobStatus> finished = queue_.status(id);
+    JobEvent::Type type = JobEvent::Type::Done;
+    if (finished && finished->state == JobState::Failed) {
+      type = JobEvent::Type::Failed;
+    } else if (finished && finished->state == JobState::Cancelled) {
+      type = JobEvent::Type::Cancelled;
+    }
+    emit(JobEvent{type, id, 0, 0});
+  }
+}
+
+void Server::shutdown(double drainTimeoutSeconds) {
+  const std::scoped_lock lock(shutdownMutex_);
+  if (stopped_) return;
+  queue_.close();
+  if (drainTimeoutSeconds > 0.0) {
+    (void)queue_.waitIdle(drainTimeoutSeconds);
+  }
+  // Grace expired (or none): cancel queued jobs outright and flag running
+  // ones; workers observe the sticky flags at their next quantum.
+  for (const std::uint64_t id : queue_.activeIds()) (void)cancel(id);
+  workers_.clear();  // jthread join: waits for in-flight jobs to settle
+  stopped_ = true;
+}
+
+}  // namespace mcmcpar::serve

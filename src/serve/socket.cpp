@@ -1,0 +1,440 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <iterator>
+#include <sstream>
+
+#include "engine/options.hpp"
+#include "img/pnm_io.hpp"
+#include "serve/protocol.hpp"
+
+namespace mcmcpar::serve {
+
+namespace {
+
+/// Receive timeout applied to every server-side connection so handler
+/// threads poll the stopping flag instead of blocking in recv forever.
+constexpr int kPollMillis = 200;
+
+void setRecvTimeout(int fd, long millis) {
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool sendAll(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n =
+        ::send(fd, text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool sendLine(int fd, const std::string& line) {
+  return sendAll(fd, line + "\n");
+}
+
+/// Parse a strict decimal job id; false on anything else.
+bool parseId(const std::string& text, std::uint64_t& id) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  id = value;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SocketFrontend
+// ---------------------------------------------------------------------------
+
+SocketFrontend::SocketFrontend(Server& server, std::uint16_t port,
+                               std::function<void()> onShutdown)
+    : server_(server), onShutdown_(std::move(onShutdown)) {
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0) {
+    throw ProtocolError(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listenFd_, 64) < 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw ProtocolError("cannot listen on 127.0.0.1:" + std::to_string(port) +
+                        ": " + reason);
+  }
+  socklen_t len = sizeof(addr);
+  (void)getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  setRecvTimeout(listenFd_, kPollMillis);  // accept() polls via SO_RCVTIMEO
+
+  acceptor_ = std::jthread([this] { acceptLoop(); });
+}
+
+SocketFrontend::~SocketFrontend() { stop(); }
+
+void SocketFrontend::stop() {
+  if (stopping_.exchange(true)) return;
+  const int fd = listenFd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::list<std::unique_ptr<Connection>> connections;
+  {
+    const std::scoped_lock lock(connectionsMutex_);
+    connections.swap(connections_);
+  }
+  connections.clear();  // joins: handlers see stopping_ within kPollMillis
+}
+
+void SocketFrontend::acceptLoop() {
+  while (!stopping_.load()) {
+    const int listenFd = listenFd_.load();
+    if (listenFd < 0) break;
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      continue;  // EAGAIN (poll tick) or transient error
+    }
+    setRecvTimeout(fd, kPollMillis);
+    const std::scoped_lock lock(connectionsMutex_);
+    // Reap handlers that already finished (their join is instantaneous).
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      it = (*it)->done.load() ? connections_.erase(it) : std::next(it);
+    }
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    connection->thread = std::jthread([this, fd, raw] {
+      handleConnection(fd);
+      raw->done.store(true);
+    });
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void SocketFrontend::handleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool keepOpen = true;
+  while (keepOpen && !stopping_.load()) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n == 0) break;  // client closed
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          continue;  // poll tick: re-check stopping_
+        }
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::string reply = dispatch(line, fd, keepOpen);
+    if (!reply.empty() && !sendLine(fd, reply)) break;
+  }
+  ::close(fd);
+}
+
+std::string SocketFrontend::dispatch(const std::string& line, int fd,
+                                     bool& keepOpen) {
+  std::istringstream tokens(line);
+  std::string command;
+  tokens >> command;
+
+  if (command == "PING") return protocol::okLine("pong");
+
+  if (command == "SUBMIT") {
+    std::string payload;
+    std::getline(tokens, payload);
+    try {
+      const std::uint64_t id = server_.submitLine(payload);
+      return protocol::okLine(std::to_string(id));
+    } catch (const engine::EngineError& e) {
+      return protocol::errLine(server_.draining() ? protocol::kErrShuttingDown
+                                                  : protocol::kErrBadJob,
+                               e.what());
+    } catch (const img::PnmError& e) {
+      return protocol::errLine(protocol::kErrBadJob, e.what());
+    }
+  }
+
+  if (command == "STATUS" || command == "RESULT" || command == "CANCEL" ||
+      command == "WAIT") {
+    std::string idText;
+    tokens >> idText;
+    std::uint64_t id = 0;
+    if (!parseId(idText, id)) {
+      return protocol::errLine(protocol::kErrBadRequest,
+                               "expected '" + command + " <id>'");
+    }
+    const std::optional<JobStatus> status = server_.status(id);
+    if (!status) {
+      return protocol::errLine(protocol::kErrUnknownJob,
+                               "no such job " + idText);
+    }
+
+    if (command == "STATUS") {
+      return protocol::okLine(idText + " " + toString(status->state) + " " +
+                              std::to_string(status->progressDone) + " " +
+                              std::to_string(status->progressTotal));
+    }
+    if (command == "RESULT") {
+      const std::optional<engine::RunReport> report = server_.result(id);
+      if (!report) {
+        return protocol::errLine(
+            protocol::kErrPending,
+            "job " + idText + " is " + toString(status->state));
+      }
+      return protocol::okLine(idText + " " + protocol::jobJson(*status,
+                                                               *report));
+    }
+    if (command == "CANCEL") {
+      switch (server_.cancel(id)) {
+        case CancelOutcome::QueuedCancelled:
+          return protocol::okLine(idText + " cancelled");
+        case CancelOutcome::RunningFlagged:
+          return protocol::okLine(idText + " cancelling");
+        case CancelOutcome::AlreadyTerminal:
+          return protocol::okLine(idText + " already-terminal");
+        case CancelOutcome::Unknown:
+          break;
+      }
+      return protocol::errLine(protocol::kErrUnknownJob,
+                               "no such job " + idText);
+    }
+
+    // WAIT: subscribe, stream events for this id until a terminal one.
+    // Only this connection thread writes to the socket; the listener just
+    // enqueues, so event ordering is preserved and writes never interleave.
+    std::mutex eventMutex;
+    std::condition_variable eventReady;
+    std::deque<JobEvent> events;
+    const std::uint64_t token =
+        server_.subscribe([&, id](const JobEvent& event) {
+          if (event.id != id) return;
+          {
+            const std::scoped_lock lock(eventMutex);
+            events.push_back(event);
+          }
+          eventReady.notify_one();
+        });
+
+    std::string finalState;
+    bool vanished = false;  // pruned from retention while we waited
+    // The job may already be terminal (subscribe raced the finish): emit
+    // the synthetic terminal event from its recorded state.
+    int lastDecile = -1;
+    while (finalState.empty() && !stopping_.load()) {
+      const std::optional<JobStatus> now = server_.status(id);
+      if (!now) {
+        vanished = true;
+        break;
+      }
+      if (isTerminal(now->state)) {
+        std::unique_lock lock(eventMutex);
+        if (events.empty()) {
+          JobEvent event;
+          event.id = id;
+          event.type = now->state == JobState::Done ? JobEvent::Type::Done
+                       : now->state == JobState::Failed
+                           ? JobEvent::Type::Failed
+                           : JobEvent::Type::Cancelled;
+          events.push_back(event);
+        }
+      }
+      std::unique_lock lock(eventMutex);
+      eventReady.wait_for(lock, std::chrono::milliseconds(kPollMillis),
+                          [&] { return !events.empty(); });
+      while (!events.empty()) {
+        const JobEvent event = events.front();
+        events.pop_front();
+        if (event.type == JobEvent::Type::Progress) {
+          // Throttle the stream to decile changes; strategies may beat far
+          // more often than a client wants to read.
+          const int decile =
+              event.total == 0
+                  ? -1
+                  : static_cast<int>(10 * event.done / event.total);
+          if (decile == lastDecile) continue;
+          lastDecile = decile;
+        }
+        lock.unlock();
+        const bool ok = sendLine(fd, protocol::eventLine(event));
+        lock.lock();
+        if (!ok) {
+          keepOpen = false;
+          break;
+        }
+        if (event.type == JobEvent::Type::Done ||
+            event.type == JobEvent::Type::Failed ||
+            event.type == JobEvent::Type::Cancelled) {
+          finalState = event.type == JobEvent::Type::Done     ? "done"
+                       : event.type == JobEvent::Type::Failed ? "failed"
+                                                              : "cancelled";
+          break;
+        }
+      }
+      if (!keepOpen) break;
+    }
+    server_.unsubscribe(token);
+    if (vanished) {
+      return protocol::errLine(protocol::kErrUnknownJob,
+                               "job " + idText + " no longer retained");
+    }
+    if (!keepOpen || finalState.empty()) return "";
+    return protocol::okLine(idText + " " + finalState);
+  }
+
+  if (command == "STATS") {
+    return protocol::okLine(protocol::statsJson(server_.stats()));
+  }
+
+  if (command == "SHUTDOWN") {
+    keepOpen = false;
+    if (!shutdownFired_.exchange(true) && onShutdown_) onShutdown_();
+    return protocol::okLine("draining");
+  }
+
+  return protocol::errLine(protocol::kErrBadRequest,
+                           "unknown command '" + command + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::~Client() { close(); }
+
+void Client::connect(const std::string& host, std::uint16_t port,
+                     double readTimeoutSeconds) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw ProtocolError(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw ProtocolError("invalid host address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string reason = std::strerror(errno);
+    close();
+    throw ProtocolError("cannot connect to " + host + ":" +
+                        std::to_string(port) + ": " + reason);
+  }
+  if (readTimeoutSeconds > 0.0) {
+    setRecvTimeout(fd_, std::lround(readTimeoutSeconds * 1000.0));
+  }
+  const int one = 1;
+  (void)setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+void Client::send(const std::string& line) {
+  if (fd_ < 0) throw ProtocolError("not connected");
+  if (!sendLine(fd_, line)) {
+    throw ProtocolError("send failed: " + std::string(std::strerror(errno)));
+  }
+}
+
+std::string Client::readLine() {
+  if (fd_ < 0) throw ProtocolError("not connected");
+  char chunk[4096];
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) throw ProtocolError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw ProtocolError("timed out waiting for a reply");
+      }
+      throw ProtocolError("recv failed: " +
+                          std::string(std::strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::request(const std::string& line) {
+  send(line);
+  return readLine();
+}
+
+std::uint64_t Client::submit(const std::string& jobLine) {
+  const std::string reply = request("SUBMIT " + jobLine);
+  std::istringstream tokens(reply);
+  std::string status, idText;
+  tokens >> status >> idText;
+  std::uint64_t id = 0;
+  if (status != "OK" || !parseId(idText, id)) {
+    throw ProtocolError("SUBMIT rejected: " + reply);
+  }
+  return id;
+}
+
+std::string Client::wait(
+    std::uint64_t id, const std::function<void(const std::string&)>& onEvent) {
+  send("WAIT " + std::to_string(id));
+  while (true) {
+    const std::string line = readLine();
+    if (line.rfind("EVENT ", 0) == 0) {
+      if (onEvent) onEvent(line);
+      continue;
+    }
+    std::istringstream tokens(line);
+    std::string status, idText, state;
+    tokens >> status >> idText >> state;
+    if (status != "OK") throw ProtocolError("WAIT failed: " + line);
+    return state;
+  }
+}
+
+}  // namespace mcmcpar::serve

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+
+namespace mcmcpar::serve {
+
+/// Client-side failure of the serve protocol (connection refused, EOF,
+/// or an ERR reply surfaced through Client's convenience helpers).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The TCP front-end: newline-delimited commands over 127.0.0.1, one
+/// handler thread per connection, translated into Server calls.
+///
+/// Commands (normative spec with the full grammar and a worked transcript:
+/// docs/PROTOCOL.md):
+///   SUBMIT <job line>   -> OK <id>
+///   STATUS <id>         -> OK <id> <state> <done> <total>
+///   RESULT <id>         -> OK <id> <json>
+///   CANCEL <id>         -> OK <id> cancelled|cancelling|already-terminal
+///   WAIT <id>           -> EVENT lines until terminal, then OK <id> <state>
+///   STATS               -> OK <json>
+///   PING                -> OK pong
+///   SHUTDOWN            -> OK draining (and fires the onShutdown callback)
+/// Failures reply `ERR <code> <message>`.
+class SocketFrontend {
+ public:
+  /// Bind 127.0.0.1:`port` (0 = pick an ephemeral port) and start
+  /// accepting. `onShutdown` is invoked (once) from a connection thread
+  /// when a client issues SHUTDOWN; it must not block — typically it wakes
+  /// the main loop, which then calls Server::shutdown and stop().
+  /// Throws ProtocolError when the socket cannot be bound.
+  SocketFrontend(Server& server, std::uint16_t port,
+                 std::function<void()> onShutdown = {});
+  ~SocketFrontend();
+
+  SocketFrontend(const SocketFrontend&) = delete;
+  SocketFrontend& operator=(const SocketFrontend&) = delete;
+
+  /// The bound port (the resolved one when constructed with 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Close the listener, disconnect clients and join handler threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  void acceptLoop();
+  void handleConnection(int fd);
+  [[nodiscard]] std::string dispatch(const std::string& line, int fd,
+                                     bool& keepOpen);
+
+  /// One live (or finished-but-unreaped) connection handler.
+  struct Connection {
+    std::atomic<bool> done{false};
+    std::jthread thread;  ///< last member: joins before `done` tears down
+  };
+
+  Server& server_;
+  std::function<void()> onShutdown_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdownFired_{false};
+  std::atomic<int> listenFd_{-1};  ///< stop() closes it under acceptLoop
+  std::uint16_t port_ = 0;
+  // Finished handlers are reaped on the next accept (a long-lived server
+  // would otherwise accumulate dead thread handles); stop() joins the rest.
+  std::mutex connectionsMutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+  std::jthread acceptor_;  ///< last member: joins before the rest tears down
+};
+
+/// A tiny blocking client of the serve socket protocol — what
+/// `mcmcpar_submit`, the tests and the benches use.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to 127.0.0.1:`port` (or `host`). Throws ProtocolError.
+  /// `readTimeoutSeconds` bounds every readLine so a wedged server fails
+  /// loudly instead of hanging the caller (0 = wait forever).
+  void connect(const std::string& host, std::uint16_t port,
+               double readTimeoutSeconds = 120.0);
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Send one command line ('\n' appended).
+  void send(const std::string& line);
+
+  /// Read the next reply line (without the newline). Throws ProtocolError
+  /// on EOF or timeout.
+  [[nodiscard]] std::string readLine();
+
+  /// send() + readLine() for single-reply commands.
+  [[nodiscard]] std::string request(const std::string& line);
+
+  /// SUBMIT a job line, returning the admitted id. Throws ProtocolError on
+  /// an ERR reply (message carries the server's code and text).
+  [[nodiscard]] std::uint64_t submit(const std::string& jobLine);
+
+  /// WAIT for a job, forwarding EVENT lines to `onEvent` (may be null).
+  /// Returns the final state word of the `OK <id> <state>` terminator.
+  [[nodiscard]] std::string wait(
+      std::uint64_t id,
+      const std::function<void(const std::string&)>& onEvent = {});
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace mcmcpar::serve

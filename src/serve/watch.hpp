@@ -1,0 +1,75 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace mcmcpar::serve {
+
+/// The spool-directory front-end: manifest files dropped into the watched
+/// directory are submitted to the server, and when every job of a file
+/// reaches a terminal state a `<name>.result.json` is written next to it.
+///
+/// Protocol (normative spec: docs/PROTOCOL.md):
+///  - A spool file is any `*.manifest` in the directory, in the shared
+///    manifest grammar. It is ingested once its size and mtime have been
+///    stable for one poll interval (write-then-rename makes this immediate).
+///  - Results land in `<name>.manifest.result.json`; a file is never
+///    re-ingested while its result exists. Deleting the result and
+///    touching the manifest re-runs it.
+///  - Parse failures produce a result file carrying the error instead of
+///    wedging the spool.
+class WatchFrontend {
+ public:
+  /// Watch `directory` (must exist), polling every `pollMillis`.
+  WatchFrontend(Server& server, std::string directory,
+                unsigned pollMillis = 250);
+  ~WatchFrontend();
+
+  WatchFrontend(const WatchFrontend&) = delete;
+  WatchFrontend& operator=(const WatchFrontend&) = delete;
+
+  /// Stop polling and finish writing results for already-admitted files
+  /// whose jobs are terminal. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] const std::string& directory() const noexcept {
+    return directory_;
+  }
+
+ private:
+  /// One spool file mid-flight: admitted job ids, awaiting terminal states.
+  struct PendingFile {
+    std::string path;
+    std::vector<std::uint64_t> jobs;
+    std::vector<std::string> admissionErrors;  ///< rejected lines, kept for
+                                               ///< the result file
+  };
+
+  /// A candidate seen last poll; ingested when it stops changing.
+  struct Candidate {
+    std::int64_t mtimeNs = 0;
+    std::uintmax_t size = 0;
+  };
+
+  void pollLoop(const std::stop_token& stop);
+  void scan();
+  void ingest(const std::string& path);
+  void settle();  ///< write result files for finished manifests
+
+  Server& server_;
+  std::string directory_;
+  std::chrono::milliseconds poll_;
+  std::map<std::string, Candidate> candidates_;
+  std::set<std::string> processed_;  ///< ingested (or result already on disk)
+  std::vector<PendingFile> pending_;
+  std::jthread poller_;
+};
+
+}  // namespace mcmcpar::serve

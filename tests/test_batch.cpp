@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "engine/batch.hpp"
 #include "engine/registry.hpp"
@@ -321,6 +323,145 @@ TEST(BatchManifest, ParsesJobsSkippingBlanksAndComments) {
   EXPECT_EQ(entries[1].options,
             (std::vector<std::string>{"chains=2", "swap-interval=50"}));
   EXPECT_EQ(entries[2].strategy, "blind");
+}
+
+TEST(BatchManifest, ParsesJobDirectivesSeparatelyFromStrategyOptions) {
+  const ManifestEntry entry = parseManifestLine(
+      "cells.pgm mc3 @iters=9000 chains=2 @seed=7 @trace=100 @label=probe");
+  EXPECT_EQ(entry.image, "cells.pgm");
+  EXPECT_EQ(entry.strategy, "mc3");
+  EXPECT_EQ(entry.options, (std::vector<std::string>{"chains=2"}));
+  EXPECT_EQ(entry.iterations, std::uint64_t{9000});
+  EXPECT_EQ(entry.seed, std::uint64_t{7});
+  EXPECT_EQ(entry.trace, std::uint64_t{100});
+  EXPECT_EQ(entry.label, "probe");
+}
+
+TEST(BatchManifest, UnknownDirectivesAndStrayTokensRaiseDescriptiveErrors) {
+  // Unknown @directive: named, with the valid set listed.
+  try {
+    (void)parseManifestLine("synth serial @bogus=1");
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("@bogus"), std::string::npos) << message;
+    EXPECT_NE(message.find("@iters"), std::string::npos) << message;
+  }
+  // A malformed directive value reports through the same OptionMap error
+  // the --opt parser uses.
+  try {
+    (void)parseManifestLine("synth serial @iters=soon");
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("'@iters'"), std::string::npos) << message;
+    EXPECT_NE(message.find("unsigned integer"), std::string::npos) << message;
+  }
+  // A stray trailing token is rejected at parse time with the identical
+  // message OptionMap::parse produces for --opt (not silently ignored,
+  // not deferred to strategy creation).
+  try {
+    (void)parseManifestLine("synth serial extra");
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("malformed option 'extra'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("key=value"), std::string::npos) << message;
+  }
+  // Same for '=value' (empty key), which OptionMap rejects but a naive
+  // find('=') check would let through.
+  EXPECT_THROW((void)parseManifestLine("synth serial =5"), EngineError);
+  // Duplicate keys raise the --opt duplicate diagnostic at parse time too.
+  try {
+    (void)parseManifestLine("synth mc3 chains=2 chains=4");
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    EXPECT_NE(std::string(e.what()).find("given twice"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BatchManifest, DirectiveErrorsCarryTheManifestLineNumber) {
+  std::istringstream in("synth serial\nsynth serial @bogus=1\n");
+  try {
+    (void)parseBatchManifest(in);
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+    EXPECT_NE(message.find("@bogus"), std::string::npos) << message;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The incremental-admission path and the reusable shared budget.
+// ---------------------------------------------------------------------------
+
+TEST(BatchRunner, RunOneMatchesWholeBatchExecution) {
+  const img::Scene scene = tinyScene(41);
+  const Problem problem = tinyProblem(scene);
+  BatchJob job = makeJob(problem, "serial", 1200);
+  job.seed = 17;
+
+  BatchOptions options;
+  options.resources.threads = 1;
+  const BatchResult viaBatch = BatchRunner().run({job}, options);
+
+  ExecResources resources;
+  resources.threads = 1;
+  const RunReport direct = BatchRunner().runOne(job, resources);
+
+  EXPECT_EQ(direct.iterations, viaBatch.reports[0].iterations);
+  EXPECT_DOUBLE_EQ(direct.logPosterior, viaBatch.reports[0].logPosterior);
+  EXPECT_EQ(direct.circles.size(), viaBatch.reports[0].circles.size());
+}
+
+TEST(BatchRunner, RunOneThrowsInsteadOfCapturing) {
+  const img::Scene scene = tinyScene(42);
+  BatchJob bad = makeJob(tinyProblem(scene), "warp");
+  EXPECT_THROW((void)BatchRunner().runOne(bad, ExecResources{}),
+               EngineError);
+  BatchJob nullImage = makeJob(Problem{}, "serial");
+  EXPECT_THROW((void)BatchRunner().runOne(nullImage, ExecResources{}),
+               EngineError);
+}
+
+TEST(BatchRunner, SharedBudgetIsReusedAcrossBatchesAndRestored) {
+  const img::Scene scene = tinyScene(43);
+  const Problem problem = tinyProblem(scene);
+  par::PoolBudget budget(3);
+
+  BatchOptions options;
+  options.sharedBudget = &budget;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<BatchJob> jobs;
+    for (int i = 0; i < 4; ++i) {
+      jobs.push_back(makeJob(problem, "serial", 400));
+    }
+    const BatchResult result = BatchRunner().run(jobs, options);
+    EXPECT_EQ(result.batch.completed, jobs.size()) << round;
+    EXPECT_EQ(result.batch.threadBudget, 3u) << round;
+    // Every thread returned: the budget is whole again between batches.
+    EXPECT_EQ(budget.available(), 3u) << round;
+  }
+}
+
+TEST(PoolBudgetBlocking, TryAcquireForWakesOnRelease) {
+  par::PoolBudget budget(1);
+  ASSERT_EQ(budget.tryAcquire(1), 1u);
+  std::atomic<unsigned> granted{0};
+  std::jthread waiter([&] {
+    granted = budget.tryAcquireFor(1, std::chrono::milliseconds(5000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  budget.release(1);
+  waiter.join();
+  EXPECT_EQ(granted.load(), 1u);
+  EXPECT_EQ(budget.available(), 0u);  // the waiter holds it now
+
+  // And times out (returning 0) when nothing is ever released.
+  EXPECT_EQ(budget.tryAcquireFor(1, std::chrono::milliseconds(20)), 0u);
 }
 
 TEST(BatchManifest, RejectsShortLinesAndMalformedOptionsWithLineNumbers) {

@@ -1,0 +1,606 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/options.hpp"
+#include "img/pnm_io.hpp"
+#include "img/synth.hpp"
+#include "serve/image_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+#include "serve/watch.hpp"
+
+namespace fs = std::filesystem;
+
+namespace mcmcpar::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Poll `pred` until it holds or `timeout` elapses.
+bool waitFor(const std::function<bool()>& pred,
+             std::chrono::milliseconds timeout = 20s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+/// A scratch directory removed on destruction.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("mcmcpar_serve_test_" +
+            std::to_string(::getpid()) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// Write a small synthetic scene as a PGM file and return its path.
+std::string writeScenePgm(const fs::path& dir, const std::string& name,
+                          int size = 64, std::uint64_t seed = 5) {
+  const img::Scene scene =
+      img::generateScene(img::cellScene(size, size, 3, 8.0, seed));
+  const fs::path path = dir / name;
+  img::writePgm(img::toU8(scene.image), path.string());
+  return path.string();
+}
+
+ServerOptions tinyServer(unsigned threads = 2) {
+  ServerOptions options;
+  options.threads = threads;
+  options.synthWidth = 64;
+  options.synthHeight = 64;
+  options.synthCells = 3;
+  options.radius = 8.0;
+  options.defaultBudget = engine::RunBudget{400, 0};
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// ImageCache
+// ---------------------------------------------------------------------------
+
+TEST(ImageCache, MissThenHitAndAccounting) {
+  const TempDir dir;
+  const std::string path = writeScenePgm(dir.path, "a.pgm");
+  ImageCache cache(64u << 20);
+
+  const auto first = cache.get(path);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  const auto second = cache.get(path);
+  EXPECT_EQ(second.get(), first.get());  // same decoded object
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().bytes, first->pixelCount() * sizeof(float));
+}
+
+TEST(ImageCache, ReloadsWhenTheFileChangesOnDisk) {
+  const TempDir dir;
+  const std::string path = writeScenePgm(dir.path, "a.pgm", 64, 5);
+  ImageCache cache(64u << 20);
+  const auto first = cache.get(path);
+
+  // Rewrite with different content and a different mtime.
+  (void)writeScenePgm(dir.path, "a.pgm", 64, 99);
+  fs::last_write_time(path, fs::file_time_type::clock::now() + 2s);
+
+  const auto second = cache.get(path);
+  EXPECT_NE(second.get(), first.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  // The evicted-by-replacement image stays valid for holders.
+  EXPECT_GT(first->pixelCount(), 0u);
+}
+
+TEST(ImageCache, EvictsLeastRecentlyUsedWhenOverCapacity) {
+  const TempDir dir;
+  const std::string a = writeScenePgm(dir.path, "a.pgm");
+  const std::string b = writeScenePgm(dir.path, "b.pgm");
+  const std::string c = writeScenePgm(dir.path, "c.pgm");
+  const std::size_t oneImage = 64 * 64 * sizeof(float);
+  ImageCache cache(2 * oneImage + oneImage / 2);  // room for two
+
+  (void)cache.get(a);
+  (void)cache.get(b);
+  (void)cache.get(a);  // bump a: b is now LRU
+  (void)cache.get(c);  // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  (void)cache.get(a);  // still resident
+  EXPECT_EQ(cache.stats().hits, 2u);
+  (void)cache.get(b);  // miss: was evicted
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(ImageCache, ImageLargerThanCapacityPassesThroughUncached) {
+  const TempDir dir;
+  const std::string path = writeScenePgm(dir.path, "a.pgm");
+  ImageCache cache(16);  // nothing fits
+  const auto image = cache.get(path);
+  ASSERT_NE(image, nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(ImageCache, UnreadablePathThrowsPnmError) {
+  ImageCache cache(0);
+  EXPECT_THROW((void)cache.get("/nonexistent/nowhere.pgm"), img::PnmError);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol formatting
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, JsonEscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(protocol::jsonEscape("plain"), "plain");
+  EXPECT_EQ(protocol::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(protocol::jsonEscape("x\n\t\r"), "x\\n\\t\\r");
+  EXPECT_EQ(protocol::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Protocol, ReplyAndEventLines) {
+  EXPECT_EQ(protocol::okLine("7"), "OK 7");
+  EXPECT_EQ(protocol::okLine(""), "OK");
+  EXPECT_EQ(protocol::errLine(protocol::kErrUnknownJob, "no such job 9"),
+            "ERR UNKNOWN_JOB no such job 9");
+  JobEvent event;
+  event.id = 3;
+  event.type = JobEvent::Type::Progress;
+  event.done = 50;
+  event.total = 100;
+  EXPECT_EQ(protocol::eventLine(event), "EVENT 3 PROGRESS 50 100");
+  event.type = JobEvent::Type::Done;
+  EXPECT_EQ(protocol::eventLine(event), "EVENT 3 DONE");
+}
+
+// ---------------------------------------------------------------------------
+// Server lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(Server, RunsASubmittedJobToCompletion) {
+  Server server(tinyServer());
+  const std::uint64_t id = server.submitLine("synth serial @iters=300");
+  ASSERT_TRUE(waitFor([&] {
+    const auto status = server.status(id);
+    return status && isTerminal(status->state);
+  }));
+  const auto status = server.status(id);
+  ASSERT_TRUE(status);
+  EXPECT_EQ(status->state, JobState::Done);
+  const auto report = server.result(id);
+  ASSERT_TRUE(report);
+  EXPECT_EQ(report->iterations, 300u);
+  EXPECT_EQ(report->strategy, "serial");
+  EXPECT_FALSE(report->cancelled);
+}
+
+TEST(Server, RejectsBadSubmissionsAtAdmission) {
+  Server server(tinyServer());
+  EXPECT_THROW((void)server.submitLine("synth warp"), engine::EngineError);
+  EXPECT_THROW((void)server.submitLine("synth serial lanes=4"),
+               engine::EngineError);  // unknown option for serial
+  EXPECT_THROW((void)server.submitLine("synth"), engine::EngineError);
+  EXPECT_THROW((void)server.submitLine("synth serial @bogus=1"),
+               engine::EngineError);
+  EXPECT_THROW((void)server.submitLine("/no/such/file.pgm serial"),
+               img::PnmError);
+  EXPECT_EQ(server.stats().jobs.submitted, 0u);
+}
+
+TEST(Server, AdmitsJobsWhileOthersRun) {
+  // One worker thread: the long job occupies it while more jobs are
+  // admitted behind it — continuous admission, no batch barrier.
+  ServerOptions options = tinyServer(1);
+  Server server(options);
+  const std::uint64_t slow =
+      server.submitLine("synth serial @iters=400000 @label=slow");
+  ASSERT_TRUE(waitFor([&] {
+    const auto status = server.status(slow);
+    return status && status->state == JobState::Running;
+  }));
+
+  std::vector<std::uint64_t> queued;
+  for (int i = 0; i < 4; ++i) {
+    queued.push_back(server.submitLine("synth serial @iters=200"));
+  }
+  EXPECT_GE(server.stats().jobs.queued, 1u);
+  ASSERT_TRUE(waitFor([&] {
+    for (const std::uint64_t id : queued) {
+      const auto status = server.status(id);
+      if (!status || status->state != JobState::Done) return false;
+    }
+    return true;
+  },
+                      60s));
+  // The slow job ran first on the only worker, so it finished too.
+  const auto slowStatus = server.status(slow);
+  ASSERT_TRUE(slowStatus);
+  EXPECT_EQ(slowStatus->state, JobState::Done);
+}
+
+TEST(Server, WarmVersusColdCacheAccounting) {
+  const TempDir dir;
+  const std::string path = writeScenePgm(dir.path, "cells.pgm");
+  Server server(tinyServer());
+
+  const std::uint64_t cold = server.submitLine(path + " serial @iters=200");
+  EXPECT_EQ(server.stats().cache.misses, 1u);
+  EXPECT_EQ(server.stats().cache.hits, 0u);
+
+  const std::uint64_t warm1 = server.submitLine(path + " serial @iters=200");
+  const std::uint64_t warm2 = server.submitLine(path + " mc3 @iters=200");
+  EXPECT_EQ(server.stats().cache.misses, 1u);
+  EXPECT_EQ(server.stats().cache.hits, 2u);
+
+  for (const std::uint64_t id : {cold, warm1, warm2}) {
+    ASSERT_TRUE(waitFor([&] {
+      const auto status = server.status(id);
+      return status && status->state == JobState::Done;
+    }));
+  }
+}
+
+TEST(Server, CancelMidRunStopsTheJobAtItsQuantum) {
+  Server server(tinyServer());
+  const std::uint64_t id =
+      server.submitLine("synth serial @iters=500000000");
+  ASSERT_TRUE(waitFor([&] {
+    const auto status = server.status(id);
+    return status && status->state == JobState::Running;
+  }));
+  EXPECT_EQ(server.cancel(id), CancelOutcome::RunningFlagged);
+  ASSERT_TRUE(waitFor([&] {
+    const auto status = server.status(id);
+    return status && isTerminal(status->state);
+  }));
+  const auto status = server.status(id);
+  EXPECT_EQ(status->state, JobState::Cancelled);
+  const auto report = server.result(id);
+  ASSERT_TRUE(report);
+  EXPECT_TRUE(report->cancelled);
+  EXPECT_LT(report->iterations, 500000000u);
+  EXPECT_EQ(server.stats().jobs.cancelled, 1u);
+}
+
+TEST(Server, CancelWhileQueuedNeverRuns) {
+  ServerOptions options = tinyServer(1);
+  Server server(options);
+  const std::uint64_t slow =
+      server.submitLine("synth serial @iters=400000");
+  ASSERT_TRUE(waitFor([&] {
+    const auto status = server.status(slow);
+    return status && status->state == JobState::Running;
+  }));
+  const std::uint64_t queued = server.submitLine("synth serial @iters=200");
+  EXPECT_EQ(server.cancel(queued), CancelOutcome::QueuedCancelled);
+  const auto status = server.status(queued);
+  ASSERT_TRUE(status);
+  EXPECT_EQ(status->state, JobState::Cancelled);
+  const auto report = server.result(queued);
+  ASSERT_TRUE(report);
+  EXPECT_EQ(report->iterations, 0u);
+  (void)server.cancel(slow);
+}
+
+TEST(Server, GracefulShutdownDrainsShortJobs) {
+  auto server = std::make_unique<Server>(tinyServer());
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(server->submitLine("synth serial @iters=300"));
+  }
+  server->shutdown(/*drainTimeoutSeconds=*/30.0);
+  for (const std::uint64_t id : ids) {
+    const auto status = server->status(id);
+    ASSERT_TRUE(status);
+    EXPECT_EQ(status->state, JobState::Done) << "job " << id;
+  }
+  EXPECT_THROW((void)server->submitLine("synth serial"),
+               engine::EngineError);
+}
+
+TEST(Server, ExpiredDrainTimeoutCancelsWhatIsLeft) {
+  Server server(tinyServer(1));
+  const std::uint64_t running =
+      server.submitLine("synth serial @iters=500000000");
+  ASSERT_TRUE(waitFor([&] {
+    const auto status = server.status(running);
+    return status && status->state == JobState::Running;
+  }));
+  const std::uint64_t queued =
+      server.submitLine("synth serial @iters=500000000");
+  server.shutdown(/*drainTimeoutSeconds=*/0.05);
+  for (const std::uint64_t id : {running, queued}) {
+    const auto status = server.status(id);
+    ASSERT_TRUE(status);
+    EXPECT_EQ(status->state, JobState::Cancelled) << "job " << id;
+  }
+}
+
+TEST(Server, BudgetReturnsToFullWhenIdle) {
+  ServerOptions options = tinyServer(4);
+  Server server(options);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(server.submitLine("synth serial @iters=300"));
+  }
+  ASSERT_TRUE(waitFor([&] {
+    return server.stats().jobs.done == ids.size();
+  }));
+  // Idle workers release their charged thread back to the shared budget.
+  ASSERT_TRUE(waitFor([&] {
+    return server.stats().budgetAvailable == server.stats().threadBudget;
+  }));
+  EXPECT_EQ(server.stats().threadBudget, 4u);
+}
+
+TEST(Server, EventStreamCoversTheJobLifecycle) {
+  Server server(tinyServer());
+  std::mutex mutex;
+  std::vector<JobEvent> events;
+  const std::uint64_t token = server.subscribe([&](const JobEvent& event) {
+    const std::scoped_lock lock(mutex);
+    events.push_back(event);
+  });
+  const std::uint64_t id =
+      server.submitLine("synth serial @iters=2000 @trace=50");
+  ASSERT_TRUE(waitFor([&] {
+    const std::scoped_lock lock(mutex);
+    for (const JobEvent& event : events) {
+      if (event.id == id && event.type == JobEvent::Type::Done) return true;
+    }
+    return false;
+  }));
+  server.unsubscribe(token);
+  const std::scoped_lock lock(mutex);
+  bool sawAdmitted = false, sawStarted = false, sawProgress = false;
+  for (const JobEvent& event : events) {
+    if (event.id != id) continue;
+    sawAdmitted |= event.type == JobEvent::Type::Admitted;
+    sawStarted |= event.type == JobEvent::Type::Started;
+    sawProgress |= event.type == JobEvent::Type::Progress;
+  }
+  EXPECT_TRUE(sawAdmitted);
+  EXPECT_TRUE(sawStarted);
+  EXPECT_TRUE(sawProgress);
+}
+
+// Run under -DMCMCPAR_SANITIZE=thread in CI to prove race-freedom of the
+// admission path: concurrent submitters, one shared budget, events fanning
+// out while jobs complete.
+TEST(Server, ConcurrentSubmittersStress) {
+  Server server(tinyServer(4));
+  std::atomic<std::uint64_t> eventCount{0};
+  const std::uint64_t token = server.subscribe(
+      [&](const JobEvent&) { ++eventCount; });
+
+  constexpr int kThreads = 6;
+  constexpr int kJobsPer = 5;
+  std::vector<std::vector<std::uint64_t>> ids(kThreads);
+  {
+    std::vector<std::jthread> submitters;
+    submitters.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < kJobsPer; ++i) {
+          ids[t].push_back(server.submitLine(
+              i % 2 == 0 ? "synth serial @iters=150"
+                         : "synth speculative lanes=2 @iters=150"));
+        }
+      });
+    }
+  }
+  ASSERT_TRUE(waitFor(
+      [&] {
+        return server.stats().jobs.done ==
+               static_cast<std::uint64_t>(kThreads * kJobsPer);
+      },
+      60s));
+  server.unsubscribe(token);
+
+  // Every id distinct, every job Done.
+  std::vector<std::uint64_t> all;
+  for (const auto& chunk : ids) all.insert(all.end(), chunk.begin(), chunk.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kJobsPer));
+  EXPECT_GT(eventCount.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Socket front-end, end to end on an ephemeral port
+// ---------------------------------------------------------------------------
+
+struct SocketFixture : ::testing::Test {
+  void SetUp() override {
+    server = std::make_unique<Server>(tinyServer());
+    frontend = std::make_unique<SocketFrontend>(
+        *server, /*port=*/0, [this] { shutdownRequested = true; });
+    client.connect("127.0.0.1", frontend->port(), 30.0);
+  }
+  std::unique_ptr<Server> server;
+  std::unique_ptr<SocketFrontend> frontend;
+  Client client;
+  std::atomic<bool> shutdownRequested{false};
+};
+
+TEST_F(SocketFixture, SubmitWaitResultRoundTrip) {
+  const std::uint64_t id = client.submit("synth serial @iters=300");
+  EXPECT_GE(id, 1u);
+  const std::string state = client.wait(id);
+  EXPECT_EQ(state, "done");
+  const std::string reply = client.request("RESULT " + std::to_string(id));
+  EXPECT_EQ(reply.rfind("OK ", 0), 0u) << reply;
+  EXPECT_NE(reply.find("\"state\": \"done\""), std::string::npos) << reply;
+  EXPECT_NE(reply.find("\"iterations\": 300"), std::string::npos) << reply;
+}
+
+TEST_F(SocketFixture, StatusAndStats) {
+  const std::uint64_t id = client.submit("synth serial @iters=300");
+  const std::string status = client.request("STATUS " + std::to_string(id));
+  EXPECT_EQ(status.rfind("OK " + std::to_string(id), 0), 0u) << status;
+  (void)client.wait(id);
+  const std::string stats = client.request("STATS");
+  EXPECT_NE(stats.find("\"done\": 1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"thread_budget\": 2"), std::string::npos) << stats;
+}
+
+TEST_F(SocketFixture, ErrorCodesMatchTheProtocolSpec) {
+  EXPECT_EQ(client.request("BOGUS").rfind("ERR BAD_REQUEST", 0), 0u);
+  EXPECT_EQ(client.request("STATUS 999").rfind("ERR UNKNOWN_JOB", 0), 0u);
+  EXPECT_EQ(client.request("STATUS x").rfind("ERR BAD_REQUEST", 0), 0u);
+  EXPECT_EQ(client.request("SUBMIT synth warp").rfind("ERR BAD_JOB", 0), 0u);
+  const std::uint64_t id = client.submit("synth serial @iters=400000000");
+  EXPECT_EQ(client.request("RESULT " + std::to_string(id))
+                .rfind("ERR PENDING", 0),
+            0u);
+  EXPECT_EQ(client.request("CANCEL " + std::to_string(id)).rfind("OK", 0),
+            0u);
+}
+
+TEST_F(SocketFixture, CancelOverSocketMidRun) {
+  const std::uint64_t id = client.submit("synth serial @iters=500000000");
+  ASSERT_TRUE(waitFor([&] {
+    const auto status = server->status(id);
+    return status && status->state == JobState::Running;
+  }));
+  const std::string reply = client.request("CANCEL " + std::to_string(id));
+  EXPECT_EQ(reply, "OK " + std::to_string(id) + " cancelling");
+  EXPECT_EQ(client.wait(id), "cancelled");
+}
+
+TEST_F(SocketFixture, WaitStreamsProgressEvents) {
+  const std::uint64_t id =
+      client.submit("synth serial @iters=40000 @trace=100");
+  std::vector<std::string> events;
+  const std::string state = client.wait(
+      id, [&](const std::string& line) { events.push_back(line); });
+  EXPECT_EQ(state, "done");
+  ASSERT_FALSE(events.empty());
+  // The last event is terminal; progress lines (if the job was slow enough
+  // to emit any) carry "<done> <total>".
+  EXPECT_NE(events.back().find("DONE"), std::string::npos);
+}
+
+TEST_F(SocketFixture, ShutdownCommandFiresTheCallbackAndRejectsNewJobs) {
+  EXPECT_EQ(client.request("SHUTDOWN"), "OK draining");
+  EXPECT_TRUE(waitFor([&] { return shutdownRequested.load(); }));
+  server->shutdown(5.0);
+  Client second;
+  second.connect("127.0.0.1", frontend->port(), 10.0);
+  const std::string reply = second.request("SUBMIT synth serial");
+  EXPECT_EQ(reply.rfind("ERR SHUTTING_DOWN", 0), 0u) << reply;
+}
+
+// ---------------------------------------------------------------------------
+// Watch front-end
+// ---------------------------------------------------------------------------
+
+TEST(Watch, ManifestDropProducesAResultFile) {
+  const TempDir dir;
+  Server server(tinyServer());
+  WatchFrontend watch(server, dir.path.string(), /*pollMillis=*/20);
+
+  // Write-then-rename, as the protocol recommends.
+  const fs::path tmp = dir.path / "jobs.tmp";
+  {
+    std::ofstream out(tmp);
+    out << "# two quick jobs\n"
+        << "synth serial @iters=200\n"
+        << "synth speculative lanes=2 @iters=200\n";
+  }
+  fs::rename(tmp, dir.path / "jobs.manifest");
+
+  const fs::path result = dir.path / "jobs.manifest.result.json";
+  ASSERT_TRUE(waitFor([&] { return fs::exists(result); }, 60s));
+  std::ifstream in(result);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"completed\": 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"strategy\": \"speculative\""), std::string::npos)
+      << text;
+}
+
+TEST(Watch, UnparseableManifestYieldsAnErrorResult) {
+  const TempDir dir;
+  Server server(tinyServer());
+  WatchFrontend watch(server, dir.path.string(), /*pollMillis=*/20);
+  {
+    std::ofstream out(dir.path / "bad.tmp");
+    out << "synth serial bogus-token\n";
+  }
+  fs::rename(dir.path / "bad.tmp", dir.path / "bad.manifest");
+  const fs::path result = dir.path / "bad.manifest.result.json";
+  ASSERT_TRUE(waitFor([&] { return fs::exists(result); }, 30s));
+  std::ifstream in(result);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"error\""), std::string::npos) << text;
+  EXPECT_NE(text.find("bogus-token"), std::string::npos) << text;
+}
+
+TEST(Watch, PartiallyRejectedManifestReportsAdmissionErrors) {
+  const TempDir dir;
+  Server server(tinyServer());
+  WatchFrontend watch(server, dir.path.string(), /*pollMillis=*/20);
+  {
+    std::ofstream out(dir.path / "mixed.tmp");
+    out << "synth serial @iters=200\n"
+        << "/no/such/file.pgm serial @iters=200\n";
+  }
+  fs::rename(dir.path / "mixed.tmp", dir.path / "mixed.manifest");
+  const fs::path result = dir.path / "mixed.manifest.result.json";
+  ASSERT_TRUE(waitFor([&] { return fs::exists(result); }, 30s));
+  std::ifstream in(result);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  // The good job ran; the rejected one is reported, not dropped.
+  EXPECT_NE(text.find("\"completed\": 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"admission_errors\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"failed\": 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("no/such/file.pgm"), std::string::npos) << text;
+}
+
+TEST(Watch, ExistingResultFilePreventsReingestion) {
+  const TempDir dir;
+  Server server(tinyServer());
+  {
+    std::ofstream out(dir.path / "old.manifest");
+    out << "synth serial @iters=100\n";
+  }
+  {
+    std::ofstream out(dir.path / "old.manifest.result.json");
+    out << "{\"manifest\": \"old\", \"completed\": 1}\n";
+  }
+  WatchFrontend watch(server, dir.path.string(), /*pollMillis=*/20);
+  std::this_thread::sleep_for(200ms);
+  EXPECT_EQ(server.stats().jobs.submitted, 0u);
+}
+
+}  // namespace
+}  // namespace mcmcpar::serve

@@ -67,7 +67,9 @@ void printUsage() {
       "  --image FILE.pgm    run on a PGM image instead of a synthetic scene\n"
       "  --progress          print progress beats from RunHooks\n"
       "  --batch FILE        run a job manifest through BatchRunner; each\n"
-      "                      line is '<image.pgm|synth> <strategy> [k=v ...]'\n"
+      "                      line is '<image.pgm|synth> <strategy>\n"
+      "                      [@iters=N @seed=N @trace=N @label=S] [k=v ...]'\n"
+      "                      (grammar: docs/PROTOCOL.md)\n"
       "  --jobs N            batch: concurrent-job cap (0 = thread budget)\n"
       "  --deadline X        batch: wall-clock deadline in seconds\n");
 }
@@ -291,7 +293,11 @@ int runBatch(const CliOptions& cli) {
     job.options = entry.options;
     job.problem = makeProblem(images.at(entry.image), cli);
     job.budget = cli.budget;
-    job.label = entry.image;
+    // @directives on the manifest line override the CLI-wide defaults.
+    if (entry.iterations) job.budget.iterations = *entry.iterations;
+    if (entry.trace) job.budget.traceInterval = *entry.trace;
+    job.seed = entry.seed;
+    job.label = entry.label.empty() ? entry.image : entry.label;
     jobs.push_back(std::move(job));
   }
 

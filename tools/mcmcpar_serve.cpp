@@ -1,0 +1,267 @@
+// mcmcpar_serve — the persistent serving front-end: one long-running
+// process owning a shared thread budget (par::PoolBudget) and a warm image
+// cache, executing jobs continuously through the engine registry. Jobs
+// arrive over a TCP socket (--listen) and/or a watched spool directory
+// (--watch); both speak the job protocol specified in docs/PROTOCOL.md.
+//
+//   mcmcpar_serve --listen 7333
+//   mcmcpar_serve --watch /var/spool/mcmcpar --threads 8 --cache-mb 512
+//   mcmcpar_serve --listen 0 --watch ./spool --drain-timeout 30
+//
+// On startup the resolved endpoints are printed as machine-parseable lines
+// ("LISTENING <port>", "WATCHING <dir>") so scripts can drive an
+// ephemeral-port server. SIGINT/SIGTERM or a client SHUTDOWN command begin
+// a graceful drain bounded by --drain-timeout.
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+#include "serve/watch.hpp"
+
+using namespace mcmcpar;
+
+namespace {
+
+std::atomic<bool> shutdownRequested{false};
+
+void onSignal(int) { shutdownRequested.store(true); }
+
+struct CliOptions {
+  std::optional<unsigned> listenPort;  // --listen (0 = ephemeral)
+  std::string watchDir;                // --watch
+  unsigned pollMillis = 250;           // --poll-ms
+  double drainTimeout = 10.0;          // --drain-timeout
+  serve::ServerOptions server;
+  bool help = false;
+};
+
+void printUsage() {
+  std::printf(
+      "usage: mcmcpar_serve (--listen PORT | --watch DIR) [options]\n"
+      "  --listen PORT       accept the socket protocol on 127.0.0.1:PORT\n"
+      "                      (0 = ephemeral; resolved port is printed as\n"
+      "                      'LISTENING <port>')\n"
+      "  --watch DIR         ingest *.manifest files dropped into DIR and\n"
+      "                      write <name>.manifest.result.json next to them\n"
+      "  --poll-ms N         watch-directory poll interval (default: 250)\n"
+      "  --threads N         total worker budget, 0 = hardware (default: 0)\n"
+      "  --jobs N            jobs in flight, 0 = thread budget (default: 0)\n"
+      "  --cache-mb N        image cache capacity (default: 256)\n"
+      "  --drain-timeout X   seconds to let jobs finish on shutdown before\n"
+      "                      cancelling them (default: 10)\n"
+      "  --iterations N      default per-job budget when a job line has no\n"
+      "                      @iters directive (default: 20000)\n"
+      "  --seed N            server master seed (default: 1)\n"
+      "  --omp               prefer OpenMP executors where available\n"
+      "  --radius X          circle prior radius (default: 9.0)\n"
+      "  --width N/--height N/--cells N  the 'synth' scene shape\n"
+      "\nJob line grammar and the socket protocol: docs/PROTOCOL.md\n");
+}
+
+bool parseU64(const char* flag, const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: expected an unsigned integer, got '%s'\n", flag,
+                 text);
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+bool parseUnsigned(const char* flag, const char* text, unsigned& out) {
+  std::uint64_t value = 0;
+  if (!parseU64(flag, text, value) || value > 0xFFFFFFFFull) {
+    std::fprintf(stderr, "%s: expected a 32-bit unsigned, got '%s'\n", flag,
+                 text);
+    return false;
+  }
+  out = static_cast<unsigned>(value);
+  return true;
+}
+
+bool parseDouble(const char* flag, const char* text, double& out) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: expected a number, got '%s'\n", flag, text);
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+std::optional<CliOptions> parseArgs(int argc, char** argv) {
+  CliOptions cli;
+  const auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value after %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    unsigned u = 0;
+    if (std::strcmp(arg, "--help") == 0) {
+      cli.help = true;
+      return cli;
+    } else if (std::strcmp(arg, "--omp") == 0) {
+      cli.server.useOpenMp = true;
+    } else if (std::strcmp(arg, "--listen") == 0) {
+      if ((v = value(i)) == nullptr || !parseUnsigned(arg, v, u)) {
+        return std::nullopt;
+      }
+      if (u > 65535) {
+        std::fprintf(stderr, "--listen: port out of range: %u\n", u);
+        return std::nullopt;
+      }
+      cli.listenPort = u;
+    } else if (std::strcmp(arg, "--watch") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      cli.watchDir = v;
+    } else if (std::strcmp(arg, "--poll-ms") == 0) {
+      if ((v = value(i)) == nullptr || !parseUnsigned(arg, v, cli.pollMillis))
+        return std::nullopt;
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      if ((v = value(i)) == nullptr ||
+          !parseUnsigned(arg, v, cli.server.threads))
+        return std::nullopt;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      if ((v = value(i)) == nullptr ||
+          !parseUnsigned(arg, v, cli.server.maxConcurrentJobs))
+        return std::nullopt;
+    } else if (std::strcmp(arg, "--cache-mb") == 0) {
+      if ((v = value(i)) == nullptr || !parseUnsigned(arg, v, u)) {
+        return std::nullopt;
+      }
+      cli.server.cacheBytes = static_cast<std::size_t>(u) << 20;
+    } else if (std::strcmp(arg, "--drain-timeout") == 0) {
+      if ((v = value(i)) == nullptr || !parseDouble(arg, v, cli.drainTimeout))
+        return std::nullopt;
+    } else if (std::strcmp(arg, "--iterations") == 0) {
+      if ((v = value(i)) == nullptr ||
+          !parseU64(arg, v, cli.server.defaultBudget.iterations))
+        return std::nullopt;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if ((v = value(i)) == nullptr || !parseU64(arg, v, cli.server.seed))
+        return std::nullopt;
+    } else if (std::strcmp(arg, "--radius") == 0) {
+      if ((v = value(i)) == nullptr ||
+          !parseDouble(arg, v, cli.server.radius))
+        return std::nullopt;
+    } else if (std::strcmp(arg, "--width") == 0) {
+      if ((v = value(i)) == nullptr || !parseUnsigned(arg, v, u)) {
+        return std::nullopt;
+      }
+      cli.server.synthWidth = static_cast<int>(u);
+    } else if (std::strcmp(arg, "--height") == 0) {
+      if ((v = value(i)) == nullptr || !parseUnsigned(arg, v, u)) {
+        return std::nullopt;
+      }
+      cli.server.synthHeight = static_cast<int>(u);
+    } else if (std::strcmp(arg, "--cells") == 0) {
+      if ((v = value(i)) == nullptr || !parseUnsigned(arg, v, u)) {
+        return std::nullopt;
+      }
+      cli.server.synthCells = static_cast<int>(u);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n\n", arg);
+      printUsage();
+      return std::nullopt;
+    }
+  }
+  if (!cli.listenPort && cli.watchDir.empty()) {
+    std::fprintf(stderr,
+                 "nothing to serve: pass --listen PORT and/or --watch DIR\n");
+    return std::nullopt;
+  }
+  return cli;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<CliOptions> parsed = parseArgs(argc, argv);
+  if (!parsed) return 2;
+  const CliOptions& cli = *parsed;
+  if (cli.help) {
+    printUsage();
+    return 0;
+  }
+  if (!cli.watchDir.empty() &&
+      !std::filesystem::is_directory(cli.watchDir)) {
+    std::fprintf(stderr, "--watch: not a directory: %s\n",
+                 cli.watchDir.c_str());
+    return 2;
+  }
+
+  serve::Server server(cli.server);
+  const serve::ServerStats startup = server.stats();
+  std::printf("mcmcpar_serve: %u-thread budget, %u workers, %zu MB cache, "
+              "default %llu iterations/job\n",
+              startup.threadBudget, startup.workers,
+              cli.server.cacheBytes >> 20,
+              static_cast<unsigned long long>(
+                  cli.server.defaultBudget.iterations));
+
+  std::unique_ptr<serve::SocketFrontend> socket;
+  if (cli.listenPort) {
+    try {
+      socket = std::make_unique<serve::SocketFrontend>(
+          server, static_cast<std::uint16_t>(*cli.listenPort),
+          [] { shutdownRequested.store(true); });
+    } catch (const serve::ProtocolError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::printf("LISTENING %u\n", socket->port());
+  }
+  std::unique_ptr<serve::WatchFrontend> watch;
+  if (!cli.watchDir.empty()) {
+    watch = std::make_unique<serve::WatchFrontend>(server, cli.watchDir,
+                                                   cli.pollMillis);
+    std::printf("WATCHING %s\n", cli.watchDir.c_str());
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  while (!shutdownRequested.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("draining (up to %.1f s) ...\n", cli.drainTimeout);
+  std::fflush(stdout);
+  server.shutdown(cli.drainTimeout);
+  if (watch) watch->stop();    // flush result files for settled manifests
+  if (socket) socket->stop();  // WAIT streams got their terminal events
+
+  const serve::ServerStats stats = server.stats();
+  std::printf("served %llu job(s): %llu done, %llu failed, %llu cancelled; "
+              "cache %llu hit(s) / %llu miss(es)\n",
+              static_cast<unsigned long long>(stats.jobs.submitted),
+              static_cast<unsigned long long>(stats.jobs.done),
+              static_cast<unsigned long long>(stats.jobs.failed),
+              static_cast<unsigned long long>(stats.jobs.cancelled),
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses));
+  return 0;
+}

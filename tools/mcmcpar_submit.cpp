@@ -1,0 +1,158 @@
+// mcmcpar_submit — the tiny client of the mcmcpar_serve socket protocol
+// (docs/PROTOCOL.md). Submits a job line, streams its progress events and
+// prints the result JSON; or issues a single administrative command.
+//
+//   mcmcpar_submit --port 7333 synth serial @iters=5000
+//   mcmcpar_submit --port 7333 --no-wait cells.pgm mc3 chains=4
+//   mcmcpar_submit --port 7333 --status 3
+//   mcmcpar_submit --port 7333 --stats
+//   mcmcpar_submit --port 7333 --shutdown
+//
+// Exit status: 0 = job done (or command OK), 1 = job failed/cancelled or
+// the server replied ERR, 2 = usage or connection error.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/socket.hpp"
+
+using namespace mcmcpar;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: mcmcpar_submit --port PORT [--host H] [options] "
+      "<job line tokens...>\n"
+      "  --port PORT         server port (required)\n"
+      "  --host H            server address (default: 127.0.0.1)\n"
+      "  --no-wait           submit and print the id without waiting\n"
+      "  --progress          print EVENT lines to stderr while waiting\n"
+      "  --timeout X         read timeout in seconds (default: 300)\n"
+      "single commands (instead of a job line):\n"
+      "  --status ID / --result ID / --cancel ID / --stats / --ping /\n"
+      "  --shutdown          print the server's raw reply\n"
+      "\nA job line is '<image.pgm|synth> <strategy> [@directive=value ...]"
+      " [key=value ...]'\n(docs/PROTOCOL.md).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  unsigned port = 0;
+  bool wait = true;
+  bool progress = false;
+  double timeoutSeconds = 300.0;
+  std::optional<std::string> command;  // raw single-command request
+  std::vector<std::string> jobTokens;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help") {
+      printUsage();
+      return 0;
+    } else if (arg == "--host") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      host = v;
+    } else if (arg == "--port") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      port = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--no-wait") {
+      wait = false;
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--timeout") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      timeoutSeconds = std::strtod(v, nullptr);
+    } else if (arg == "--status" || arg == "--result" || arg == "--cancel") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      std::string verb = arg.substr(2);
+      for (char& c : verb) c = static_cast<char>(std::toupper(c));
+      command = verb + " " + v;
+    } else if (arg == "--stats") {
+      command = "STATS";
+    } else if (arg == "--ping") {
+      command = "PING";
+    } else if (arg == "--shutdown") {
+      command = "SHUTDOWN";
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n\n", arg.c_str());
+      printUsage();
+      return 2;
+    } else {
+      jobTokens.push_back(arg);
+    }
+  }
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "--port is required (1-65535)\n");
+    return 2;
+  }
+  if (!command && jobTokens.empty()) {
+    printUsage();
+    return 2;
+  }
+
+  serve::Client client;
+  try {
+    client.connect(host, static_cast<std::uint16_t>(port), timeoutSeconds);
+
+    if (command) {
+      const std::string reply = client.request(*command);
+      std::printf("%s\n", reply.c_str());
+      return reply.rfind("OK", 0) == 0 ? 0 : 1;
+    }
+
+    std::string jobLine;
+    for (const std::string& token : jobTokens) {
+      if (!jobLine.empty()) jobLine += ' ';
+      jobLine += token;
+    }
+    const std::uint64_t id = client.submit(jobLine);
+    if (!wait) {
+      std::printf("%llu\n", static_cast<unsigned long long>(id));
+      return 0;
+    }
+    std::fprintf(stderr, "job %llu admitted\n",
+                 static_cast<unsigned long long>(id));
+    std::function<void(const std::string&)> onEvent;
+    if (progress) {
+      onEvent = [](const std::string& event) {
+        std::fprintf(stderr, "%s\n", event.c_str());
+      };
+    }
+    const std::string state = client.wait(id, onEvent);
+    const std::string reply =
+        client.request("RESULT " + std::to_string(id));
+    if (reply.rfind("OK ", 0) != 0) {
+      std::fprintf(stderr, "%s\n", reply.c_str());
+      return 1;
+    }
+    // Reply is "OK <id> <json>": print just the JSON payload.
+    const std::size_t json = reply.find('{');
+    std::printf("%s\n",
+                json == std::string::npos ? reply.c_str()
+                                          : reply.c_str() + json);
+    return state == "done" ? 0 : 1;
+  } catch (const serve::ProtocolError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

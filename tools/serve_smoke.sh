@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving front-end, exercising both ingestion
+# modes against one live server:
+#   1. watch mode  — drop the 6-strategy manifest into a spool directory and
+#                    wait for the result JSON to appear next to it;
+#   2. socket mode — SUBMIT/WAIT/RESULT/STATS a job through mcmcpar_submit,
+#                    then SHUTDOWN and check the server exits cleanly.
+#
+# usage: serve_smoke.sh <mcmcpar_serve> <mcmcpar_submit> <manifest>
+set -euo pipefail
+
+SERVE_BIN=$1
+SUBMIT_BIN=$2
+MANIFEST=$3
+
+WORK=$(mktemp -d)
+SPOOL="$WORK/spool"
+mkdir -p "$SPOOL"
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== starting mcmcpar_serve (watch + ephemeral socket) =="
+"$SERVE_BIN" --listen 0 --watch "$SPOOL" --iterations 600 \
+  --width 96 --height 96 --cells 4 --drain-timeout 20 \
+  > "$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^LISTENING //p' "$WORK/serve.log" | head -1)
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/serve.log"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "server never reported its port"; cat "$WORK/serve.log"; exit 1; }
+echo "server up on port $PORT (pid $SERVER_PID)"
+
+echo "== watch mode: drop the 6-strategy manifest =="
+cp "$MANIFEST" "$SPOOL/smoke.manifest"
+RESULT="$SPOOL/smoke.manifest.result.json"
+for _ in $(seq 1 600); do
+  [[ -f "$RESULT" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/serve.log"; exit 1; }
+  sleep 0.5
+done
+[[ -f "$RESULT" ]] || { echo "no result JSON appeared"; cat "$WORK/serve.log"; exit 1; }
+grep -q '"completed": 6' "$RESULT" || { echo "unexpected result:"; cat "$RESULT"; exit 1; }
+echo "result JSON OK: $(grep -o '"completed": [0-9]*' "$RESULT")"
+
+echo "== socket mode: submit + wait + result =="
+OUT=$("$SUBMIT_BIN" --port "$PORT" --progress synth serial @iters=400 @label=socket-smoke)
+echo "$OUT"
+echo "$OUT" | grep -q '"state": "done"' || { echo "job did not finish"; exit 1; }
+"$SUBMIT_BIN" --port "$PORT" --stats | grep -q '"done"' || exit 1
+
+echo "== graceful shutdown =="
+"$SUBMIT_BIN" --port "$PORT" --shutdown | grep -q '^OK draining' || exit 1
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "server ignored SHUTDOWN"; cat "$WORK/serve.log"; exit 1
+fi
+SERVER_PID=""
+grep -q '^served' "$WORK/serve.log" || { cat "$WORK/serve.log"; exit 1; }
+
+echo "serve smoke OK"
