@@ -1,0 +1,217 @@
+// SHARD — scaling of the sharded-execution subsystem: one 512x512 synthetic
+// image run through the "sharded" coordinator at 1x1 / 2x2 / 3x3 tiles over
+// both backends (local BatchRunner fan-out and socket fan-out against an
+// in-process mcmcpar_serve core), against an unsharded serial reference.
+// Records wall clock, per-backend speedup over the single-tile baseline and
+// stitched-model equivalence (circle match vs the serial run). Emits
+// BENCH_shard.json (the artifact CI uploads).
+//
+//   bench_shard_scaling [--runs=N] [--seed=N] [--paper-scale] [--out=FILE]
+//     --runs=N   repetitions per configuration, best wall kept (default 3)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/matching.hpp"
+#include "bench_common.hpp"
+#include "engine/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+#include "shard/report.hpp"
+
+using namespace mcmcpar;
+
+namespace {
+
+struct ConfigResult {
+  std::string backend;
+  int gx = 1;
+  int gy = 1;
+  double wallSeconds = 0.0;  ///< best over --runs repetitions
+  double maxTileSeconds = 0.0;
+  double sumTileSeconds = 0.0;
+  std::uint64_t iterations = 0;
+  std::size_t circles = 0;
+  double logPosterior = 0.0;
+  std::size_t matchedVsSerial = 0;
+  std::size_t extraVsSerial = 0;   ///< sharded circles the serial run lacks
+  std::size_t missedVsSerial = 0;  ///< serial circles the shard missed
+};
+
+void printResult(const ConfigResult& r, double baselineWall) {
+  std::printf(
+      "  %-6s %dx%d  wall %7.3f s  (%.2fx vs 1x1)  slowest tile %6.3f s  "
+      "%3zu circles  logP %.1f  match %zu/+%zu/-%zu\n",
+      r.backend.c_str(), r.gx, r.gy, r.wallSeconds,
+      r.wallSeconds > 0.0 ? baselineWall / r.wallSeconds : 0.0,
+      r.maxTileSeconds, r.circles, r.logPosterior, r.matchedVsSerial,
+      r.extraVsSerial, r.missedVsSerial);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string outPath = "BENCH_shard.json";
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      outPath = argv[i] + 6;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  const bench::Options opt = bench::parseOptions(
+      static_cast<int>(passthrough.size()), passthrough.data());
+  const int runs = opt.runs > 0 ? opt.runs : 3;
+  const int size = opt.paperScale ? 1024 : 512;
+  const int cells = opt.paperScale ? 150 : 48;
+  const std::uint64_t iterations = opt.paperScale ? 200000 : 60000;
+  const int halo = 16;
+  const double radius = 9.0;
+  const unsigned hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+
+  img::SceneSpec sceneSpec =
+      img::cellScene(size, size, cells, radius, opt.seed);
+  sceneSpec.radiusStd = 0.8;
+  const img::Scene scene = img::generateScene(sceneSpec);
+
+  engine::Problem problem;
+  problem.filtered = &scene.image;
+  problem.prior.radiusMean = radius;
+  problem.prior.radiusStd = 1.2;
+  problem.prior.radiusMin = radius / 2.0;
+  problem.prior.radiusMax = radius * 1.8;
+  const engine::RunBudget budget{iterations, 0};
+
+  std::printf("SHARD: %dx%d image, %d cells, %llu iterations, halo %d, "
+              "%u hardware thread(s), best of %d run(s)\n\n",
+              size, size, cells,
+              static_cast<unsigned long long>(iterations), halo, hardware,
+              runs);
+
+  const engine::Engine engine(engine::ExecResources{0, false, opt.seed});
+
+  // Unsharded serial reference: the equivalence anchor.
+  engine::RunReport serial;
+  double serialWall = 0.0;
+  for (int rep = 0; rep < runs; ++rep) {
+    engine::RunReport report = engine.run("serial", problem, budget);
+    if (rep == 0 || report.wallSeconds < serialWall) {
+      serialWall = report.wallSeconds;
+      serial = std::move(report);
+    }
+  }
+  std::printf("  serial      wall %7.3f s  %3zu circles  logP %.1f\n",
+              serialWall, serial.circles.size(), serial.logPosterior);
+
+  // The socket backend fans out against this in-process serving core.
+  serve::ServerOptions serverOptions;
+  serverOptions.seed = opt.seed;
+  serverOptions.radius = radius;
+  serve::Server server(serverOptions);
+  serve::SocketFrontend frontend(server, /*port=*/0);
+  const std::string endpoints =
+      "endpoints=127.0.0.1:" + std::to_string(frontend.port());
+
+  const int grids[] = {1, 2, 3};
+  std::vector<ConfigResult> results;
+  for (const char* backend : {"local", "socket"}) {
+    for (const int g : grids) {
+      ConfigResult result;
+      result.backend = backend;
+      result.gx = g;
+      result.gy = g;
+      std::vector<std::string> options = {
+          "tiles=" + std::to_string(g) + "x" + std::to_string(g),
+          "halo=" + std::to_string(halo),
+          "backend=" + std::string(backend)};
+      if (std::strcmp(backend, "socket") == 0) options.push_back(endpoints);
+
+      engine::RunReport best;
+      for (int rep = 0; rep < runs; ++rep) {
+        engine::RunReport report =
+            engine.run("sharded", problem, budget, {}, options);
+        if (rep == 0 || report.wallSeconds < best.wallSeconds) {
+          best = std::move(report);
+        }
+      }
+      result.wallSeconds = best.wallSeconds;
+      result.iterations = best.iterations;
+      result.circles = best.circles.size();
+      result.logPosterior = best.logPosterior;
+      const auto& extras = std::get<shard::ShardReport>(best.extras);
+      result.maxTileSeconds = extras.maxTileSeconds;
+      result.sumTileSeconds = extras.sumTileSeconds;
+      const analysis::MatchResult match =
+          analysis::matchCircles(best.circles, serial.circles, radius);
+      result.matchedVsSerial = match.matches.size();
+      result.extraVsSerial = match.unmatchedFound.size();
+      result.missedVsSerial = match.unmatchedTruth.size();
+      results.push_back(result);
+    }
+  }
+
+  frontend.stop();
+  server.shutdown(10.0);
+
+  // Per-backend speedups against that backend's own 1x1 baseline; the
+  // headline claim is >= 1 multi-tile configuration beating single-tile.
+  bool multiTileFaster = false;
+  for (const ConfigResult& r : results) {
+    double baseline = r.wallSeconds;
+    for (const ConfigResult& b : results) {
+      if (b.backend == r.backend && b.gx == 1 && b.gy == 1) {
+        baseline = b.wallSeconds;
+      }
+    }
+    printResult(r, baseline);
+    if (r.gx * r.gy > 1 && r.wallSeconds < baseline) multiTileFaster = true;
+  }
+  std::printf("\n  multi-tile faster than single-tile: %s\n",
+              multiTileFaster ? "yes" : "no");
+
+  std::ofstream out(outPath);
+  out << "{\n  \"bench\": \"shard_scaling\",\n"
+      << "  \"workload\": {\"width\": " << size << ", \"height\": " << size
+      << ", \"cells\": " << cells << ", \"iterations\": " << iterations
+      << ", \"halo\": " << halo << ", \"runs\": " << runs << "},\n"
+      << "  \"hardware_threads\": " << hardware << ",\n"
+      << "  \"serial\": {\"wall_seconds\": " << serialWall
+      << ", \"circles\": " << serial.circles.size()
+      << ", \"log_posterior\": " << serial.logPosterior << "},\n"
+      << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    double baseline = r.wallSeconds;
+    for (const ConfigResult& b : results) {
+      if (b.backend == r.backend && b.gx == 1 && b.gy == 1) {
+        baseline = b.wallSeconds;
+      }
+    }
+    out << "    {\"backend\": \"" << r.backend << "\", \"tiles\": \"" << r.gx
+        << "x" << r.gy << "\", \"wall_seconds\": " << r.wallSeconds
+        << ", \"speedup_vs_single_tile\": "
+        << (r.wallSeconds > 0.0 ? baseline / r.wallSeconds : 0.0)
+        << ", \"max_tile_seconds\": " << r.maxTileSeconds
+        << ", \"sum_tile_seconds\": " << r.sumTileSeconds
+        << ", \"iterations\": " << r.iterations
+        << ", \"circles\": " << r.circles
+        << ", \"log_posterior\": " << r.logPosterior
+        << ", \"matched_vs_serial\": " << r.matchedVsSerial
+        << ", \"extra_vs_serial\": " << r.extraVsSerial
+        << ", \"missed_vs_serial\": " << r.missedVsSerial << "}"
+        << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"multi_tile_faster_than_single\": "
+      << (multiTileFaster ? "true" : "false") << "\n}\n";
+  out.flush();
+  std::printf("  wrote %s\n", outPath.c_str());
+  return 0;
+}

@@ -8,12 +8,14 @@
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 
 #include "engine/registry.hpp"
 #include "par/concurrency.hpp"
 #include "par/thread_pool.hpp"
 #include "par/virtual_clock.hpp"
 #include "rng/splitmix64.hpp"
+#include "shard/tiling.hpp"
 
 namespace mcmcpar::engine {
 
@@ -232,6 +234,11 @@ std::uint64_t directiveU64(const std::string& key, const std::string& value) {
   return parsed.u64(key, 0);
 }
 
+double directiveDbl(const std::string& key, const std::string& value) {
+  const OptionMap parsed = OptionMap::parse({key + "=" + value});
+  return parsed.dbl(key, 0.0);
+}
+
 }  // namespace
 
 ManifestEntry parseManifestLine(const std::string& line) {
@@ -243,6 +250,8 @@ ManifestEntry parseManifestLine(const std::string& line) {
         "[key=value ...]', got '" +
         line + "'");
   }
+  std::string shardTiles;
+  std::optional<std::uint64_t> shardHalo;
   std::string token;
   while (tokens >> token) {
     if (token.front() != '@') {
@@ -264,9 +273,28 @@ ManifestEntry parseManifestLine(const std::string& line) {
       entry.trace = directiveU64(key, value);
     } else if (key == "@label") {
       entry.label = value;
+    } else if (key == "@radius") {
+      const double radius = directiveDbl(key, value);
+      if (radius <= 0.0) {
+        throw EngineError("directive '@radius': expected a radius > 0, got '" +
+                          value + "'");
+      }
+      entry.radius = radius;
+    } else if (key == "@shard") {
+      int gx = 0;
+      int gy = 0;
+      try {
+        shard::parseTileCount(value, gx, gy);
+      } catch (const std::invalid_argument& e) {
+        throw EngineError(std::string("directive '@shard': ") + e.what());
+      }
+      shardTiles = value;
+    } else if (key == "@halo") {
+      shardHalo = directiveU64(key, value);
     } else {
       throw EngineError("unknown job directive '" + key +
-                        "' (expected @iters, @seed, @trace or @label)");
+                        "' (expected @iters, @seed, @trace, @label, "
+                        "@radius, @shard or @halo)");
     }
   }
   // Validate option tokens through the same parser --opt uses, so a stray
@@ -274,6 +302,30 @@ ManifestEntry parseManifestLine(const std::string& line) {
   // instead of being deferred (strategy-unknown keys still surface at
   // creation via OptionMap::requireConsumed).
   (void)OptionMap::parse(entry.options);
+
+  if (shardHalo && shardTiles.empty()) {
+    throw EngineError("directive '@halo' requires '@shard=KxL'");
+  }
+  if (!shardTiles.empty()) {
+    // Desugar into the shard coordinator: the named strategy becomes the
+    // inner per-tile one and bare options are forwarded to it, so one
+    // directive turns any job line into a sharded run (docs/PROTOCOL.md).
+    if (entry.strategy == "sharded") {
+      throw EngineError(
+          "directive '@shard' cannot be combined with the 'sharded' "
+          "strategy; pass tiles=KxL as a strategy option instead");
+    }
+    std::vector<std::string> options;
+    options.reserve(entry.options.size() + 3);
+    options.push_back("tiles=" + shardTiles);
+    if (shardHalo) options.push_back("halo=" + std::to_string(*shardHalo));
+    options.push_back("strategy=" + entry.strategy);
+    for (const std::string& option : entry.options) {
+      options.push_back("inner." + option);
+    }
+    entry.strategy = "sharded";
+    entry.options = std::move(options);
+  }
   return entry;
 }
 

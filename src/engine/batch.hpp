@@ -146,8 +146,14 @@ class BatchRunner {
 /// the serve protocol's SUBMIT payload (normative spec: docs/PROTOCOL.md):
 ///   <image.pgm | synth> <strategy> [@directive=value ...] [key=value ...]
 /// `@`-prefixed tokens are job-level directives (@iters, @seed, @trace,
-/// @label); bare key=value tokens go to the strategy. Blank lines and lines
-/// starting with '#' are skipped by the manifest reader.
+/// @label, @shard, @halo); bare key=value tokens go to the strategy. Blank
+/// lines and lines starting with '#' are skipped by the manifest reader.
+///
+/// `@shard=KxL [@halo=N]` is grammar-level sugar making the job a shard
+/// coordinator: the parser rewrites the entry to the "sharded" strategy
+/// (local backend) with the named strategy as its inner one and every bare
+/// option forwarded as `inner.<key>=<value>` — so a served job can itself
+/// fan out across the serving layer's shared budget.
 struct ManifestEntry {
   std::string image;     ///< PGM path, or "synth" for the front-end's scene
   std::string strategy;  ///< registry key
@@ -156,6 +162,12 @@ struct ManifestEntry {
   std::optional<std::uint64_t> seed;        ///< @seed: per-job master seed
   std::optional<std::uint64_t> trace;       ///< @trace: trace cadence
   std::string label;  ///< @label: caller's tag ("" = image path)
+
+  /// @radius: per-job circle-prior radius mean, overriding the front-end's
+  /// default (--radius); std/min/max derive from it by the shared rule.
+  /// The shard coordinator's socket backend sets it so remote tiles sample
+  /// under the coordinator's prior, not the remote server's default.
+  std::optional<double> radius;
 };
 
 /// Parse one job line. Throws EngineError on fewer than two fields, unknown

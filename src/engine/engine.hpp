@@ -17,6 +17,7 @@
 #include "model/circle.hpp"
 #include "model/likelihood.hpp"
 #include "model/prior.hpp"
+#include "shard/report.hpp"
 #include "spec/speculative.hpp"
 
 namespace mcmcpar::par {
@@ -69,7 +70,8 @@ struct RunBudget {
 /// Strategy-specific diagnostics carried alongside the common fields.
 using ReportExtras =
     std::variant<std::monostate, spec::SpeculativeStats, mcmc::Mc3Stats,
-                 core::PeriodicReport, core::PipelineReport>;
+                 core::PeriodicReport, core::PipelineReport,
+                 shard::ShardReport>;
 
 /// The uniform outcome of any strategy run: common diagnostics every
 /// front-end can print side by side, plus a typed extras variant for the

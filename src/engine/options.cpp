@@ -34,6 +34,17 @@ OptionMap OptionMap::parse(const std::vector<std::string>& pairs) {
   return map;
 }
 
+std::vector<std::string> OptionMap::keysWithPrefix(
+    const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = values_.lower_bound(prefix);
+       it != values_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
 std::string OptionMap::str(const std::string& key,
                            const std::string& fallback) const {
   const auto it = values_.find(key);

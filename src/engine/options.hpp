@@ -36,6 +36,11 @@ class OptionMap {
     return values_.count(key) != 0;
   }
 
+  /// Stored keys starting with `prefix`, in lexicographic order. Listing
+  /// does not mark them consumed — read each through a typed getter.
+  [[nodiscard]] std::vector<std::string> keysWithPrefix(
+      const std::string& prefix) const;
+
   /// Typed access with defaults; all throw EngineError when the stored
   /// value does not parse as the requested type.
   [[nodiscard]] std::string str(const std::string& key,

@@ -16,6 +16,7 @@
 #include "par/concurrency.hpp"
 #include "par/virtual_clock.hpp"
 #include "partition/prior_estimation.hpp"
+#include "shard/strategy.hpp"
 
 namespace mcmcpar::engine {
 
@@ -545,6 +546,9 @@ const StrategyRegistry& StrategyRegistry::builtin() {
                                                         opts,
                                                         /*blind=*/false);
             }});
+    // The sharding coordinator lives one layer up (src/shard: it composes
+    // BatchRunner and the serve client), so it registers itself.
+    shard::registerShardedStrategy(*r);
     return r;
   }();
   return *registry;

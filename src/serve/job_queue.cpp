@@ -27,7 +27,8 @@ bool isTerminal(JobState state) noexcept {
          state == JobState::Cancelled;
 }
 
-JobQueue::JobQueue(std::size_t retainLimit) : retainLimit_(retainLimit) {}
+JobQueue::JobQueue(std::size_t retainLimit, std::size_t maxQueued)
+    : retainLimit_(retainLimit), maxQueued_(maxQueued) {}
 
 std::uint64_t JobQueue::submit(JobSpec spec) {
   std::uint64_t id = 0;
@@ -35,6 +36,12 @@ std::uint64_t JobQueue::submit(JobSpec spec) {
     const std::scoped_lock lock(mutex_);
     if (closed_) {
       throw engine::EngineError("server is shutting down; job rejected");
+    }
+    if (maxQueued_ != 0 && counts_.queued >= maxQueued_) {
+      throw QueueFullError("queue full: " + std::to_string(counts_.queued) +
+                           " job(s) already queued (max " +
+                           std::to_string(maxQueued_) +
+                           "); retry after the backlog drains");
     }
     id = nextId_++;
     Record record;

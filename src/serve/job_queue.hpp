@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "engine/batch.hpp"
+#include "engine/options.hpp"
 
 namespace mcmcpar::serve {
 
@@ -18,6 +19,14 @@ namespace mcmcpar::serve {
 /// (docs/PROTOCOL.md) — image, strategy, strategy options and the
 /// job-level @directives.
 using JobSpec = engine::ManifestEntry;
+
+/// Thrown by JobQueue::submit when bounded admission is at capacity. A
+/// distinct type so the socket front-end can answer `ERR QUEUE_FULL`
+/// (docs/PROTOCOL.md) while other admission failures stay `BAD_JOB`.
+class QueueFullError : public engine::EngineError {
+ public:
+  using engine::EngineError::EngineError;
+};
 
 /// Lifecycle of one admitted job.
 enum class JobState {
@@ -71,13 +80,18 @@ enum class CancelOutcome {
 /// grow without bound.
 class JobQueue {
  public:
-  explicit JobQueue(std::size_t retainLimit = 4096);
+  /// `maxQueued` bounds admission: submit() throws QueueFullError while
+  /// that many jobs are already waiting (0 = unbounded). Running jobs do
+  /// not count — the cap is on the backlog, not on concurrency.
+  explicit JobQueue(std::size_t retainLimit = 4096,
+                    std::size_t maxQueued = 0);
 
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
 
   /// Admit a job; returns its id (ids start at 1 and never repeat).
-  /// Throws engine::EngineError once close() has been called.
+  /// Throws engine::EngineError once close() has been called, and
+  /// QueueFullError when the queued backlog is at `maxQueued`.
   [[nodiscard]] std::uint64_t submit(JobSpec spec);
 
   /// Block until a queued job is available (marking it Running and
@@ -151,6 +165,7 @@ class JobQueue {
   std::deque<std::uint64_t> pending_;   ///< FIFO of Queued ids
   std::deque<std::uint64_t> terminal_;  ///< retention order for pruning
   std::size_t retainLimit_;
+  std::size_t maxQueued_;
   std::uint64_t nextId_ = 1;
   JobCounts counts_;
   bool closed_ = false;

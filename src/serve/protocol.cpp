@@ -71,6 +71,26 @@ std::string jobJson(const JobStatus& status,
   return out.str();
 }
 
+std::string reportJson(const JobStatus& status,
+                       const engine::RunReport& report) {
+  std::string out = jobJson(status, report);
+  out.pop_back();  // reopen the object to append the circle detail
+  out += ", \"circles_detail\": [";
+  for (std::size_t i = 0; i < report.circles.size(); ++i) {
+    const model::Circle& c = report.circles[i];
+    if (i != 0) out += ", ";
+    out += '[';
+    out += num(c.x);
+    out += ", ";
+    out += num(c.y);
+    out += ", ";
+    out += num(c.r);
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
 std::string statsJson(const ServerStats& stats) {
   std::ostringstream out;
   out << "{\"submitted\": " << stats.jobs.submitted                  //

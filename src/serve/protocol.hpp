@@ -19,6 +19,7 @@ inline constexpr const char* kErrBadJob = "BAD_JOB";
 inline constexpr const char* kErrUnknownJob = "UNKNOWN_JOB";
 inline constexpr const char* kErrPending = "PENDING";
 inline constexpr const char* kErrShuttingDown = "SHUTTING_DOWN";
+inline constexpr const char* kErrQueueFull = "QUEUE_FULL";
 
 /// JSON string escaping (quotes, backslashes, control characters).
 [[nodiscard]] std::string jsonEscape(const std::string& text);
@@ -27,6 +28,12 @@ inline constexpr const char* kErrShuttingDown = "SHUTTING_DOWN";
 /// one element of a watch-mode result file.
 [[nodiscard]] std::string jobJson(const JobStatus& status,
                                   const engine::RunReport& report);
+
+/// The REPORT payload: jobJson plus the full detected-circle list as
+/// `"circles_detail": [[x, y, r], ...]` — what a shard coordinator needs to
+/// stitch remote tiles back together.
+[[nodiscard]] std::string reportJson(const JobStatus& status,
+                                     const engine::RunReport& report);
 
 /// Server counters as single-line JSON — the STATS payload.
 [[nodiscard]] std::string statsJson(const ServerStats& stats);

@@ -32,7 +32,7 @@ Server::Server(ServerOptions options)
     : options_(options),
       budget_(options.threads),
       cache_(options.cacheBytes),
-      queue_(options.retainJobs),
+      queue_(options.retainJobs, options.maxQueued),
       started_(std::chrono::steady_clock::now()) {
   img::Scene scene = img::generateScene(
       img::cellScene(options_.synthWidth, options_.synthHeight,
@@ -174,10 +174,13 @@ void Server::workerLoop(const std::stop_token& stop) {
       job.strategy = spec->strategy;
       job.options = spec->options;
       job.problem.filtered = image.get();
-      job.problem.prior.radiusMean = options_.radius;
-      job.problem.prior.radiusStd = options_.radius / 8.0;
-      job.problem.prior.radiusMin = options_.radius / 2.0;
-      job.problem.prior.radiusMax = options_.radius * 1.8;
+      // @radius overrides the server-wide prior knob (shard coordinators
+      // use it so remote tiles sample under the coordinator's prior).
+      const double radius = spec->radius.value_or(options_.radius);
+      job.problem.prior.radiusMean = radius;
+      job.problem.prior.radiusStd = radius / 8.0;
+      job.problem.prior.radiusMin = radius / 2.0;
+      job.problem.prior.radiusMax = radius * 1.8;
       job.budget = options_.defaultBudget;
       if (spec->iterations) job.budget.iterations = *spec->iterations;
       if (spec->trace) job.budget.traceInterval = *spec->trace;

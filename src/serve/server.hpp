@@ -50,6 +50,12 @@ struct ServerOptions {
 
   /// Terminal job records retained for RESULT queries.
   std::size_t retainJobs = 4096;
+
+  /// Bounded admission: reject new submissions while this many jobs are
+  /// already queued (0 = unbounded). Rejections surface as QueueFullError
+  /// (`ERR QUEUE_FULL` over the socket) so clients can back off instead of
+  /// growing the backlog without bound.
+  std::size_t maxQueued = 0;
 };
 
 /// One progress/lifecycle event of a job, streamed to subscribers.

@@ -182,17 +182,23 @@ std::string SocketFrontend::dispatch(const std::string& line, int fd,
     try {
       const std::uint64_t id = server_.submitLine(payload);
       return protocol::okLine(std::to_string(id));
+    } catch (const QueueFullError& e) {
+      return protocol::errLine(protocol::kErrQueueFull, e.what());
     } catch (const engine::EngineError& e) {
       return protocol::errLine(server_.draining() ? protocol::kErrShuttingDown
                                                   : protocol::kErrBadJob,
                                e.what());
     } catch (const img::PnmError& e) {
       return protocol::errLine(protocol::kErrBadJob, e.what());
+    } catch (const std::exception& e) {
+      // Any other parser/admission exception must reject the request, not
+      // escape the connection thread and terminate the whole server.
+      return protocol::errLine(protocol::kErrBadJob, e.what());
     }
   }
 
-  if (command == "STATUS" || command == "RESULT" || command == "CANCEL" ||
-      command == "WAIT") {
+  if (command == "STATUS" || command == "RESULT" || command == "REPORT" ||
+      command == "CANCEL" || command == "WAIT") {
     std::string idText;
     tokens >> idText;
     std::uint64_t id = 0;
@@ -211,15 +217,17 @@ std::string SocketFrontend::dispatch(const std::string& line, int fd,
                               std::to_string(status->progressDone) + " " +
                               std::to_string(status->progressTotal));
     }
-    if (command == "RESULT") {
+    if (command == "RESULT" || command == "REPORT") {
       const std::optional<engine::RunReport> report = server_.result(id);
       if (!report) {
         return protocol::errLine(
             protocol::kErrPending,
             "job " + idText + " is " + toString(status->state));
       }
-      return protocol::okLine(idText + " " + protocol::jobJson(*status,
-                                                               *report));
+      return protocol::okLine(
+          idText + " " +
+          (command == "REPORT" ? protocol::reportJson(*status, *report)
+                               : protocol::jobJson(*status, *report)));
     }
     if (command == "CANCEL") {
       switch (server_.cancel(id)) {
@@ -418,6 +426,15 @@ std::uint64_t Client::submit(const std::string& jobLine) {
     throw ProtocolError("SUBMIT rejected: " + reply);
   }
   return id;
+}
+
+std::string Client::report(std::uint64_t id) {
+  const std::string reply = request("REPORT " + std::to_string(id));
+  const std::string prefix = "OK " + std::to_string(id) + " ";
+  if (reply.rfind(prefix, 0) != 0) {
+    throw ProtocolError("REPORT failed: " + reply);
+  }
+  return reply.substr(prefix.size());
 }
 
 std::string Client::wait(

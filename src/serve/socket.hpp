@@ -29,12 +29,14 @@ class ProtocolError : public std::runtime_error {
 ///   SUBMIT <job line>   -> OK <id>
 ///   STATUS <id>         -> OK <id> <state> <done> <total>
 ///   RESULT <id>         -> OK <id> <json>
+///   REPORT <id>         -> OK <id> <json + circles_detail> (shard merges)
 ///   CANCEL <id>         -> OK <id> cancelled|cancelling|already-terminal
 ///   WAIT <id>           -> EVENT lines until terminal, then OK <id> <state>
 ///   STATS               -> OK <json>
 ///   PING                -> OK pong
 ///   SHUTDOWN            -> OK draining (and fires the onShutdown callback)
-/// Failures reply `ERR <code> <message>`.
+/// Failures reply `ERR <code> <message>` (QUEUE_FULL when bounded
+/// admission rejects a SUBMIT).
 class SocketFrontend {
  public:
   /// Bind 127.0.0.1:`port` (0 = pick an ephemeral port) and start
@@ -118,6 +120,10 @@ class Client {
   [[nodiscard]] std::string wait(
       std::uint64_t id,
       const std::function<void(const std::string&)>& onEvent = {});
+
+  /// REPORT a terminal job: the full result JSON including the detected
+  /// circle list (`circles_detail`). Throws ProtocolError on an ERR reply.
+  [[nodiscard]] std::string report(std::uint64_t id);
 
  private:
   int fd_ = -1;

@@ -1,0 +1,127 @@
+#include "shard/remote.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mcmcpar::shard::remote {
+
+namespace {
+
+/// Position just past `"key": ` or npos when the key is absent.
+std::size_t fieldStart(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  std::size_t pos = at + needle.size();
+  while (pos < json.size() && json[pos] == ' ') ++pos;
+  return pos;
+}
+
+double numberField(const std::string& json, const std::string& key) {
+  const std::size_t pos = fieldStart(json, key);
+  if (pos == std::string::npos || pos >= json.size()) {
+    throw std::runtime_error("report JSON: missing numeric field \"" + key +
+                             "\"");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(json.c_str() + pos, &end);
+  if (end == json.c_str() + pos) {
+    throw std::runtime_error("report JSON: field \"" + key +
+                             "\" is not a number");
+  }
+  return value;
+}
+
+bool boolField(const std::string& json, const std::string& key) {
+  const std::size_t pos = fieldStart(json, key);
+  if (pos == std::string::npos) {
+    throw std::runtime_error("report JSON: missing boolean field \"" + key +
+                             "\"");
+  }
+  return json.compare(pos, 4, "true") == 0;
+}
+
+std::string stringField(const std::string& json, const std::string& key) {
+  std::size_t pos = fieldStart(json, key);
+  if (pos == std::string::npos || pos >= json.size() || json[pos] != '"') {
+    throw std::runtime_error("report JSON: missing string field \"" + key +
+                             "\"");
+  }
+  ++pos;
+  std::string out;
+  while (pos < json.size() && json[pos] != '"') {
+    if (json[pos] == '\\' && pos + 1 < json.size()) {
+      // Enough un-escaping for the escapes jsonEscape produces; \uXXXX
+      // controls never appear in the fields we read back.
+      const char next = json[pos + 1];
+      out += next == 'n' ? '\n' : next == 'r' ? '\r' : next == 't' ? '\t'
+                                                                   : next;
+      pos += 2;
+      continue;
+    }
+    out += json[pos++];
+  }
+  return out;
+}
+
+std::vector<model::Circle> circlesField(const std::string& json) {
+  std::size_t pos = fieldStart(json, "circles_detail");
+  if (pos == std::string::npos || pos >= json.size() || json[pos] != '[') {
+    throw std::runtime_error(
+        "report JSON: missing \"circles_detail\" array (is the server new "
+        "enough to speak REPORT?)");
+  }
+  ++pos;  // past the outer '['
+  std::vector<model::Circle> circles;
+  while (pos < json.size()) {
+    while (pos < json.size() &&
+           (json[pos] == ' ' || json[pos] == ',')) {
+      ++pos;
+    }
+    if (pos >= json.size() || json[pos] == ']') break;
+    if (json[pos] != '[') {
+      throw std::runtime_error("report JSON: malformed circles_detail entry");
+    }
+    ++pos;
+    double values[3] = {0.0, 0.0, 0.0};
+    for (double& value : values) {
+      while (pos < json.size() &&
+             (json[pos] == ' ' || json[pos] == ',')) {
+        ++pos;
+      }
+      char* end = nullptr;
+      value = std::strtod(json.c_str() + pos, &end);
+      if (end == json.c_str() + pos) {
+        throw std::runtime_error(
+            "report JSON: malformed circles_detail number");
+      }
+      pos = static_cast<std::size_t>(end - json.c_str());
+    }
+    while (pos < json.size() && json[pos] == ' ') ++pos;
+    if (pos >= json.size() || json[pos] != ']') {
+      throw std::runtime_error(
+          "report JSON: unterminated circles_detail entry");
+    }
+    ++pos;
+    circles.push_back(model::Circle{values[0], values[1], values[2]});
+  }
+  return circles;
+}
+
+}  // namespace
+
+TileReportJson parseReportJson(const std::string& json) {
+  TileReportJson report;
+  report.state = stringField(json, "state");
+  report.error = stringField(json, "error");
+  report.iterations =
+      static_cast<std::uint64_t>(numberField(json, "iterations"));
+  report.wallSeconds = numberField(json, "wall_seconds");
+  report.acceptance = numberField(json, "acceptance");
+  report.logPosterior = numberField(json, "log_posterior");
+  report.cancelled = boolField(json, "cancelled");
+  report.circles = circlesField(json);
+  return report;
+}
+
+}  // namespace mcmcpar::shard::remote

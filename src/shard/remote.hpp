@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/circle.hpp"
+
+namespace mcmcpar::shard::remote {
+
+/// The fields of a serve REPORT payload a shard coordinator consumes
+/// (docs/PROTOCOL.md "Job report JSON"). Circle coordinates are local to
+/// the image the remote job ran on — for a tile job, the halo crop.
+struct TileReportJson {
+  std::string state;  ///< done | failed | cancelled
+  std::string error;
+  std::uint64_t iterations = 0;
+  double wallSeconds = 0.0;
+  double acceptance = 0.0;
+  double logPosterior = 0.0;
+  bool cancelled = false;
+  std::vector<model::Circle> circles;  ///< from "circles_detail"
+};
+
+/// Parse a REPORT JSON payload. A deliberately narrow parser for the
+/// single-line JSON this library itself emits (protocol::reportJson), not a
+/// general one; throws std::runtime_error naming the missing/bad field.
+[[nodiscard]] TileReportJson parseReportJson(const std::string& json);
+
+}  // namespace mcmcpar::shard::remote

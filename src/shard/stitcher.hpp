@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/circle.hpp"
+#include "shard/tiling.hpp"
+
+namespace mcmcpar::shard {
+
+/// Knobs of the halo-reconciliation merge.
+struct StitchOptions {
+  /// Two detections from different tiles whose disc IoU reaches this
+  /// threshold are one physical artifact; the deeper-in-core copy wins.
+  double iouThreshold = 0.3;
+};
+
+/// Outcome of stitching per-tile detections into one set.
+struct StitchResult {
+  std::vector<model::Circle> circles;  ///< merged, deterministic order
+  std::vector<std::size_t> keptPerTile;  ///< aligned with grid.tiles
+  std::size_t haloDropped = 0;  ///< centre outside the detecting tile's core
+  std::size_t duplicatesRemoved = 0;  ///< cross-tile IoU duplicates
+};
+
+/// Merge per-tile detections (full-image coordinates, outer vector aligned
+/// with `grid.tiles`) into one de-duplicated circle set:
+///
+/// 1. ownership — a tile only keeps detections whose centre lies in its own
+///    core; halo-region detections are the neighbour's responsibility and
+///    are dropped (counted in `haloDropped`);
+/// 2. IoU reconciliation — a circle centred on a cut line can be detected
+///    by both adjacent tiles with centres landing in different cores, so
+///    surviving detections from *different* tiles with disc IoU >=
+///    `iouThreshold` are collapsed, keeping the copy whose centre sits
+///    deepest inside its core (the detection with the most halo support).
+///
+/// Deterministic: ties break on (tile index, detection order).
+[[nodiscard]] StitchResult stitchCircles(
+    const TileGrid& grid,
+    const std::vector<std::vector<model::Circle>>& perTile,
+    const StitchOptions& options = {});
+
+}  // namespace mcmcpar::shard

@@ -1,0 +1,626 @@
+// The "sharded" strategy: a coordinator that decomposes one Problem image
+// into K x L overlapping tiles (shard/tiling), runs each tile as an
+// independent job — locally through engine::BatchRunner under the shared
+// PoolBudget, or remotely through serve::Client against one or more
+// mcmcpar_serve endpoints — and stitches the per-tile results back into one
+// RunReport (shard/stitcher), carrying the tile layout and reconciliation
+// accounting as a ShardReport. This is the first subsystem that composes
+// the serving layer with itself: a served job whose line carries @shard
+// becomes a coordinator fanning out to the very queue that runs it.
+
+#include "shard/strategy.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/batch.hpp"
+#include "engine/registry.hpp"
+#include "img/pnm_io.hpp"
+#include "model/posterior.hpp"
+#include "par/concurrency.hpp"
+#include "par/virtual_clock.hpp"
+#include "partition/prior_estimation.hpp"
+#include "serve/socket.hpp"
+#include "shard/remote.hpp"
+#include "shard/report.hpp"
+#include "shard/stitcher.hpp"
+#include "shard/tiling.hpp"
+
+namespace mcmcpar::shard {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+std::vector<Endpoint> parseEndpoints(const std::string& text) {
+  std::vector<Endpoint> endpoints;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string token = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (token.empty()) continue;
+    const std::size_t colon = token.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= token.size()) {
+      throw engine::EngineError(
+          "sharded: endpoints must be host:port[,host:port...], got '" +
+          token + "'");
+    }
+    Endpoint endpoint;
+    endpoint.host = token.substr(0, colon);
+    const std::string portText = token.substr(colon + 1);
+    const engine::OptionMap parsed =
+        engine::OptionMap::parse({"port=" + portText});
+    const std::uint64_t port = parsed.u64("port", 0);
+    if (port == 0 || port > 65535) {
+      throw engine::EngineError("sharded: endpoint port out of range in '" +
+                                token + "'");
+    }
+    endpoint.port = static_cast<std::uint16_t>(port);
+    endpoints.push_back(std::move(endpoint));
+  }
+  return endpoints;
+}
+
+/// One tile's outcome in coordinator-neutral form, before stitching.
+struct TileOutcome {
+  std::uint64_t iterations = 0;
+  double wallSeconds = 0.0;
+  double acceptanceRate = 0.0;
+  double logPosterior = 0.0;
+  bool cancelled = false;
+  std::string error;
+  std::vector<model::Circle> circles;  ///< crop-local coordinates
+  mcmc::Diagnostics diagnostics;       ///< local backend only
+  std::optional<std::uint64_t> itersToConverge;
+};
+
+class ShardStrategy final : public engine::Strategy {
+ public:
+  ShardStrategy(std::string name, const engine::StrategyRegistry* registry,
+                const engine::ExecResources& resources,
+                const engine::OptionMap& options)
+      : name_(std::move(name)), registry_(registry), resources_(resources) {
+    try {
+      parseTileCount(options.str("tiles", "2x2"), gridX_, gridY_);
+    } catch (const std::invalid_argument& e) {
+      throw engine::EngineError("strategy '" + name_ + "': " + e.what());
+    }
+    // Bound before the int cast so halo=3000000000 is rejected right here
+    // at admission with a clear message, not at run time on a worker after
+    // the cast wrapped negative. No real image axis approaches the bound,
+    // and makeTileGrid clamps to the image anyway.
+    const std::uint64_t halo = options.u64("halo", 16);
+    if (halo > 1000000) {
+      throw engine::EngineError("strategy '" + name_ +
+                                "': halo must be <= 1000000 pixels, got " +
+                                std::to_string(halo));
+    }
+    halo_ = static_cast<int>(halo);
+    tileIters_ = options.u64("tile-iters", 0);
+    minTileIters_ = options.u64("min-tile-iters", 2000);
+    stitch_.iouThreshold = options.dbl("iou", 0.3);
+    timeoutSeconds_ = options.dbl("timeout", 600.0);
+
+    const std::string backend = options.str("backend", "local");
+    if (backend == "local") {
+      socketBackend_ = false;
+    } else if (backend == "socket") {
+      socketBackend_ = true;
+    } else {
+      throw engine::EngineError("strategy '" + name_ +
+                                "': backend must be 'local' or 'socket', "
+                                "got '" +
+                                backend + "'");
+    }
+    endpoints_ = parseEndpoints(options.str("endpoints", ""));
+    if (socketBackend_ && endpoints_.empty()) {
+      throw engine::EngineError(
+          "strategy '" + name_ +
+          "': backend=socket requires endpoints=host:port[,host:port...]");
+    }
+
+    innerStrategy_ = options.str("strategy", "serial");
+    if (innerStrategy_ == name_) {
+      throw engine::EngineError("strategy '" + name_ +
+                                "': recursive sharding (strategy=" + name_ +
+                                ") is not supported");
+    }
+    for (const std::string& key : options.keysWithPrefix("inner.")) {
+      innerOptions_.push_back(key.substr(6) + "=" + options.str(key, ""));
+    }
+    options.requireConsumed(name_);
+
+    // Fail a bad inner strategy or option at admission time, not on the
+    // first tile: the same early-validation contract the serve layer
+    // relies on for descriptive SUBMIT errors.
+    try {
+      (void)registry_->create(innerStrategy_, engine::ExecResources{},
+                              innerOptions_);
+    } catch (const engine::EngineError& e) {
+      throw engine::EngineError("strategy '" + name_ +
+                                "': inner strategy rejected: " + e.what());
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+
+  void prepare(const engine::Problem& problem) override {
+    if (problem.filtered == nullptr) {
+      throw engine::EngineError("strategy '" + name_ +
+                                "': Problem.filtered image is null");
+    }
+    problem_ = problem;
+    prior_ = problem.prior;
+    // Whole-image count estimate: only used to score the *merged* model, so
+    // the reported logPosterior is comparable with an unsharded run of the
+    // same problem. Tiles re-estimate on their own crops.
+    if (problem.estimateCount) {
+      const auto estimate = partition::estimateCount(
+          *problem.filtered, problem.theta, prior_.radiusMean);
+      prior_.expectedCount = std::max(estimate.expectedCount, 0.5);
+    }
+    prepared_ = true;
+  }
+
+  [[nodiscard]] engine::RunReport run(
+      const engine::RunBudget& budget,
+      const engine::RunHooks& hooks) override {
+    if (!prepared_) {
+      throw engine::EngineError("strategy '" + name_ +
+                                "': run() called before prepare()");
+    }
+    const img::ImageF& image = *problem_.filtered;
+    TileGrid grid;
+    try {
+      grid = makeTileGrid(image.width(), image.height(), gridX_, gridY_,
+                          halo_);
+    } catch (const std::invalid_argument& e) {
+      throw engine::EngineError("strategy '" + name_ + "': " + e.what());
+    }
+
+    const std::vector<std::uint64_t> budgets = tileBudgets(grid, budget);
+    const par::WallTimer timer;
+    const std::vector<TileOutcome> outcomes =
+        socketBackend_ ? runSocket(grid, budgets, budget, hooks)
+                       : runLocal(grid, budgets, budget, hooks);
+
+    std::size_t failures = 0;
+    std::string firstError;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].error.empty()) continue;
+      ++failures;
+      if (firstError.empty()) {
+        firstError = tileLabel(grid.tiles[i]) + ": " + outcomes[i].error;
+      }
+    }
+    if (failures > 0) {
+      // A missing tile is a missing image region: the merged model would
+      // silently under-count, so a failed tile fails the shard run.
+      throw engine::EngineError("strategy '" + name_ + "': " +
+                                std::to_string(failures) +
+                                " tile job(s) failed; first: " + firstError);
+    }
+
+    return mergeOutcomes(grid, outcomes, timer);
+  }
+
+ private:
+  [[nodiscard]] static std::string tileLabel(const TileSpec& tile) {
+    return "tile-" + std::to_string(tile.ix) + "x" + std::to_string(tile.iy);
+  }
+
+  /// Split the whole-image iteration budget across tiles proportional to
+  /// core area (with a floor), so the per-pixel sampling density of the
+  /// unsharded run is preserved; tile-iters=N overrides with a flat count.
+  [[nodiscard]] std::vector<std::uint64_t> tileBudgets(
+      const TileGrid& grid, const engine::RunBudget& budget) const {
+    std::vector<std::uint64_t> budgets;
+    budgets.reserve(grid.tiles.size());
+    const double imageArea =
+        static_cast<double>(problem_.filtered->pixelCount());
+    for (const TileSpec& tile : grid.tiles) {
+      if (tileIters_ != 0) {
+        budgets.push_back(tileIters_);
+        continue;
+      }
+      const double share =
+          static_cast<double>(tile.core.area()) / imageArea;
+      const auto scaled = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(budget.iterations) * share));
+      budgets.push_back(std::max(scaled, minTileIters_));
+    }
+    return budgets;
+  }
+
+  [[nodiscard]] engine::Problem tileProblem(const img::ImageF& crop,
+                                            const TileSpec& tile) const {
+    engine::Problem problem = problem_;
+    problem.filtered = &crop;
+    // With estimateCount on, each tile re-estimates its own expected count
+    // from its crop (eq. 5). With it off, the caller's fixed whole-image
+    // count must be scaled to the tile's area share — copying it verbatim
+    // would make every tile expect the whole image's circles.
+    if (!problem_.estimateCount) {
+      const double share =
+          static_cast<double>(tile.core.area()) /
+          static_cast<double>(problem_.filtered->pixelCount());
+      problem.prior.expectedCount =
+          std::max(problem_.prior.expectedCount * share, 0.5);
+    }
+    return problem;
+  }
+
+  // ---- local backend: a BatchRunner fan-out under the shared budget ----
+
+  [[nodiscard]] std::vector<TileOutcome> runLocal(
+      const TileGrid& grid, const std::vector<std::uint64_t>& budgets,
+      const engine::RunBudget& budget, const engine::RunHooks& hooks) const {
+    std::vector<img::ImageF> crops;
+    crops.reserve(grid.tiles.size());
+    for (const TileSpec& tile : grid.tiles) {
+      crops.push_back(problem_.filtered->crop(tile.halo.x0, tile.halo.y0,
+                                              tile.halo.w, tile.halo.h));
+    }
+
+    std::vector<engine::BatchJob> jobs;
+    jobs.reserve(grid.tiles.size());
+    std::uint64_t totalIters = 0;
+    for (std::size_t i = 0; i < grid.tiles.size(); ++i) {
+      engine::BatchJob job;
+      job.strategy = innerStrategy_;
+      job.options = innerOptions_;
+      job.problem = tileProblem(crops[i], grid.tiles[i]);
+      job.budget = engine::RunBudget{budgets[i], budget.traceInterval};
+      job.label = tileLabel(grid.tiles[i]);
+      jobs.push_back(std::move(job));
+      totalIters += budgets[i];
+    }
+
+    engine::BatchOptions options;
+    options.resources = resources_;
+    options.resources.poolBudget = nullptr;
+    options.sharedBudget = resources_.poolBudget;
+
+    // Per-tile progress folded into one monotone whole-shard beat.
+    std::mutex progressMutex;
+    std::vector<std::uint64_t> done(jobs.size(), 0);
+    engine::BatchHooks batchHooks;
+    batchHooks.cancelRequested = hooks.cancelRequested;
+    if (hooks.onProgress) {
+      batchHooks.onJobProgress = [&](std::size_t index,
+                                     const engine::RunProgress& p) {
+        // Deliver while still holding the lock: emitting after release
+        // would let concurrently computed sums arrive out of order, making
+        // the whole-shard beat go backwards.
+        const std::scoped_lock lock(progressMutex);
+        done[index] = std::min(p.done, budgets[index]);
+        std::uint64_t sum = 0;
+        for (const std::uint64_t d : done) sum += d;
+        hooks.progress(sum, totalIters, "shard");
+      };
+    }
+
+    const engine::BatchResult result =
+        engine::BatchRunner(registry_).run(jobs, options, batchHooks);
+
+    std::vector<TileOutcome> outcomes(grid.tiles.size());
+    for (std::size_t i = 0; i < grid.tiles.size(); ++i) {
+      TileOutcome& outcome = outcomes[i];
+      const engine::RunReport& report = result.reports[i];
+      outcome.iterations = report.iterations;
+      outcome.wallSeconds = report.wallSeconds;
+      outcome.acceptanceRate = report.acceptanceRate;
+      outcome.logPosterior = report.logPosterior;
+      outcome.cancelled = report.cancelled;
+      outcome.error = result.batch.errors[i];
+      outcome.circles = report.circles;
+      outcome.diagnostics = report.diagnostics;
+      outcome.itersToConverge = report.iterationsToConverge;
+    }
+    return outcomes;
+  }
+
+  // ---- socket backend: serve::Client fan-out over shared endpoints ----
+
+  [[nodiscard]] std::vector<TileOutcome> runSocket(
+      const TileGrid& grid, const std::vector<std::uint64_t>& budgets,
+      const engine::RunBudget& budget, const engine::RunHooks& hooks) const {
+    // Tile crops travel by file: endpoints are expected to share a
+    // filesystem with the coordinator (binary upload is ROADMAP item (d)).
+    static std::atomic<std::uint64_t> runCounter{0};
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("mcmcpar_shard_" + std::to_string(::getpid()) + "_" +
+         std::to_string(runCounter.fetch_add(1)));
+    // The job grammar is line-oriented and whitespace-tokenized, so a tile
+    // path containing whitespace (e.g. a TMPDIR with a space) cannot be
+    // submitted; fail with the reason instead of a baffling grammar error.
+    const std::string dirText = dir.string();
+    if (dirText.find_first_of(" \t\r\n") != std::string::npos) {
+      throw engine::EngineError(
+          "strategy '" + name_ + "': temp directory '" + dirText +
+          "' contains whitespace, which the line-oriented job grammar "
+          "cannot carry; set TMPDIR to a whitespace-free path");
+    }
+    fs::create_directories(dir);
+    struct DirCleanup {
+      fs::path dir;
+      ~DirCleanup() {
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+      }
+    } cleanup{dir};
+
+    std::vector<TileOutcome> outcomes(grid.tiles.size());
+    std::vector<serve::Client> clients(grid.tiles.size());
+    std::vector<std::uint64_t> jobIds(grid.tiles.size(), 0);
+    std::vector<char> submitted(grid.tiles.size(), 0);
+
+    // Fan out: submit every tile before waiting on any, so the servers run
+    // them concurrently; one connection per tile keeps WAIT streams apart.
+    // One failed submit dooms the run, so stop submitting on first error
+    // rather than hand the servers work that is about to be cancelled.
+    bool doomed = false;
+    for (std::size_t i = 0; i < grid.tiles.size(); ++i) {
+      if (doomed) {
+        outcomes[i].error = "not submitted: an earlier tile already failed";
+        continue;
+      }
+      const TileSpec& tile = grid.tiles[i];
+      const fs::path tilePath = dir / (tileLabel(tile) + ".pgm");
+      std::string line;
+      try {
+        img::writePgm(img::toU8(problem_.filtered->crop(
+                          tile.halo.x0, tile.halo.y0, tile.halo.w,
+                          tile.halo.h)),
+                      tilePath.string());
+        const Endpoint& endpoint = endpoints_[i % endpoints_.size()];
+        // @radius carries the coordinator's prior to the remote server,
+        // which would otherwise apply its own --radius default. Remote
+        // tiles approximate the local backend: std/min/max re-derive from
+        // the mean by the shared serving rule, and the crop is quantised
+        // to 8-bit PGM (exact prior transport rides with binary upload,
+        // ROADMAP item (d)).
+        char radiusText[32];
+        std::snprintf(radiusText, sizeof(radiusText), "%.6g",
+                      prior_.radiusMean);
+        line = tilePath.string() + " " + innerStrategy_ +
+               " @iters=" + std::to_string(budgets[i]) + " @seed=" +
+               std::to_string(engine::deriveJobSeed(resources_.seed, i)) +
+               " @label=" + tileLabel(tile) + " @radius=" + radiusText;
+        if (budget.traceInterval != 0) {
+          line += " @trace=" + std::to_string(budget.traceInterval);
+        }
+        for (const std::string& option : innerOptions_) line += " " + option;
+        clients[i].connect(endpoint.host, endpoint.port, timeoutSeconds_);
+        jobIds[i] = clients[i].submit(line);
+        submitted[i] = 1;
+      } catch (const std::exception& e) {
+        outcomes[i].error = e.what();
+        doomed = true;
+      }
+    }
+
+    // Any tile failure dooms the whole run (a missing region cannot be
+    // stitched), so the moment one is recorded, cancel every not-yet-reaped
+    // sibling: the reap then returns in one cancel quantum instead of
+    // letting doomed tiles burn their full remote budgets.
+    const auto cancelSiblingsFrom = [&](std::size_t from) {
+      for (std::size_t j = from; j < grid.tiles.size(); ++j) {
+        if (submitted[j] == 0) continue;
+        try {
+          (void)clients[j].request("CANCEL " + std::to_string(jobIds[j]));
+        } catch (const std::exception&) {
+          // Best effort; the per-tile read timeout still bounds the wait.
+        }
+      }
+    };
+    if (doomed) cancelSiblingsFrom(0);  // a submit itself already failed
+
+    std::size_t tilesDone = 0;
+    for (std::size_t i = 0; i < grid.tiles.size(); ++i) {
+      if (submitted[i] == 0) continue;
+      TileOutcome& outcome = outcomes[i];
+      const Endpoint& endpoint = endpoints_[i % endpoints_.size()];
+      // Cooperative cancellation: before the blocking WAIT, and from its
+      // event stream (a WAITing connection processes no further commands,
+      // so the mid-wait CANCEL goes over a second connection). This bounds
+      // cancellation/shutdown latency at one remote progress quantum
+      // instead of the tile's full budget.
+      bool cancelSent = false;
+      const auto cancelRemote = [&] {
+        if (cancelSent || !hooks.cancelled()) return;
+        cancelSent = true;
+        try {
+          serve::Client canceller;
+          canceller.connect(endpoint.host, endpoint.port, 10.0);
+          (void)canceller.request("CANCEL " + std::to_string(jobIds[i]));
+        } catch (const std::exception&) {
+          // Best effort; the read timeout still bounds the wait.
+        }
+      };
+      try {
+        cancelRemote();
+        (void)clients[i].wait(jobIds[i],
+                              [&](const std::string&) { cancelRemote(); });
+        const remote::TileReportJson remote =
+            remote::parseReportJson(clients[i].report(jobIds[i]));
+        outcome.iterations = remote.iterations;
+        outcome.wallSeconds = remote.wallSeconds;
+        outcome.acceptanceRate = remote.acceptance;
+        outcome.logPosterior = remote.logPosterior;
+        outcome.cancelled = remote.cancelled || remote.state == "cancelled";
+        outcome.error =
+            remote.state == "failed"
+                ? (remote.error.empty() ? "remote job failed" : remote.error)
+                : "";
+        outcome.circles = remote.circles;
+      } catch (const std::exception& e) {
+        outcome.error = e.what();
+      }
+      if (!doomed && !outcome.error.empty()) {
+        // First wait/report-phase failure: stop the siblings we have not
+        // reaped yet (a remote failure or timeout dooms the run just like
+        // a submit failure does).
+        doomed = true;
+        cancelSiblingsFrom(i + 1);
+      }
+      ++tilesDone;
+      hooks.progress(tilesDone, grid.tiles.size(), "shard");
+    }
+    return outcomes;
+  }
+
+  // ---- stitch + aggregate ----
+
+  [[nodiscard]] engine::RunReport mergeOutcomes(
+      const TileGrid& grid, const std::vector<TileOutcome>& outcomes,
+      const par::WallTimer& timer) const {
+    const par::WallTimer mergeTimer;
+
+    // Translate crop-local detections into full-image coordinates.
+    std::vector<std::vector<model::Circle>> perTile(grid.tiles.size());
+    for (std::size_t i = 0; i < grid.tiles.size(); ++i) {
+      const partition::IRect& halo = grid.tiles[i].halo;
+      perTile[i].reserve(outcomes[i].circles.size());
+      for (const model::Circle& c : outcomes[i].circles) {
+        perTile[i].push_back(
+            model::Circle{c.x + halo.x0, c.y + halo.y0, c.r});
+      }
+    }
+    const StitchResult stitched = stitchCircles(grid, perTile, stitch_);
+
+    ShardReport shardReport;
+    shardReport.gridX = grid.gridX;
+    shardReport.gridY = grid.gridY;
+    shardReport.halo = grid.halo;
+    shardReport.backend = socketBackend_ ? "socket" : "local";
+    shardReport.innerStrategy = innerStrategy_;
+    shardReport.haloDropped = stitched.haloDropped;
+    shardReport.duplicatesRemoved = stitched.duplicatesRemoved;
+
+    engine::RunReport report;
+    report.strategy = name_;
+    bool cancelled = false;
+    double weightedAcceptance = 0.0;
+    for (std::size_t i = 0; i < grid.tiles.size(); ++i) {
+      const TileOutcome& outcome = outcomes[i];
+      TileRun tile;
+      tile.spec = grid.tiles[i];
+      tile.label = tileLabel(grid.tiles[i]);
+      tile.iterations = outcome.iterations;
+      tile.wallSeconds = outcome.wallSeconds;
+      tile.acceptanceRate = outcome.acceptanceRate;
+      tile.logPosterior = outcome.logPosterior;
+      tile.circlesFound = perTile[i].size();
+      tile.circlesKept = stitched.keptPerTile[i];
+      tile.cancelled = outcome.cancelled;
+      tile.error = outcome.error;
+      tile.diagnostics = outcome.diagnostics;
+      shardReport.tiles.push_back(std::move(tile));
+
+      report.iterations += outcome.iterations;
+      weightedAcceptance += outcome.acceptanceRate *
+                            static_cast<double>(outcome.iterations);
+      // The inner report's own flag is authoritative: pipeline strategies
+      // report iteration counts unrelated to the budget, so inferring
+      // cancellation from a shortfall would mis-flag completed runs.
+      cancelled = cancelled || outcome.cancelled;
+      report.diagnostics.merge(outcome.diagnostics);
+      // Like the §IX pipelines: the shard converges when its slowest tile
+      // does (local backend only; remote reports carry no trace).
+      if (outcome.itersToConverge) {
+        report.iterationsToConverge =
+            std::max(report.iterationsToConverge.value_or(0),
+                     *outcome.itersToConverge);
+      }
+      shardReport.maxTileSeconds =
+          std::max(shardReport.maxTileSeconds, outcome.wallSeconds);
+      shardReport.sumTileSeconds += outcome.wallSeconds;
+    }
+
+    report.cancelled = cancelled;
+    report.acceptanceRate =
+        report.iterations == 0
+            ? 0.0
+            : weightedAcceptance / static_cast<double>(report.iterations);
+    report.circles = stitched.circles;
+    report.logPosterior = mergedLogPosterior(stitched.circles);
+    report.threadsUsed =
+        socketBackend_ ? static_cast<unsigned>(endpoints_.size())
+                       : par::resolveThreadCount(resources_.threads);
+
+    shardReport.mergeSeconds = mergeTimer.seconds();
+    report.wallSeconds = timer.seconds();
+    report.extras = std::move(shardReport);
+    return report;
+  }
+
+  /// Whole-image log posterior of the stitched model, comparable with an
+  /// unsharded run of the same problem (tile-local values are not).
+  [[nodiscard]] double mergedLogPosterior(
+      const std::vector<model::Circle>& merged) const {
+    model::ModelState state(*problem_.filtered, prior_, problem_.likelihood);
+    for (const model::Circle& circle : merged) state.commitAdd(circle);
+    return state.logPosterior();
+  }
+
+  std::string name_;
+  const engine::StrategyRegistry* registry_;
+  engine::ExecResources resources_;
+  int gridX_ = 2;
+  int gridY_ = 2;
+  int halo_ = 16;
+  std::uint64_t tileIters_ = 0;
+  std::uint64_t minTileIters_ = 2000;
+  StitchOptions stitch_;
+  double timeoutSeconds_ = 600.0;
+  bool socketBackend_ = false;
+  std::vector<Endpoint> endpoints_;
+  std::string innerStrategy_;
+  std::vector<std::string> innerOptions_;
+  engine::Problem problem_;
+  model::PriorParams prior_;
+  bool prepared_ = false;
+};
+
+}  // namespace
+
+void registerShardedStrategy(engine::StrategyRegistry& registry) {
+  const engine::StrategyRegistry* reg = &registry;
+  registry.add(
+      {"sharded", "§VIII-IX + serving",
+       "shard coordinator: tile + halo fan-out, IoU-stitched merge",
+       "ShardReport",
+       "tiles=KxL halo=N backend=local|socket endpoints=host:port,... "
+       "strategy=NAME inner.K=V tile-iters=N min-tile-iters=N iou=X "
+       "timeout=X",
+       [reg](const engine::ExecResources& res,
+             const engine::OptionMap& opts) {
+         return std::make_unique<ShardStrategy>("sharded", reg, res, opts);
+       }});
+}
+
+}  // namespace mcmcpar::shard

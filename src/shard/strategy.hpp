@@ -1,0 +1,36 @@
+#pragma once
+
+namespace mcmcpar::engine {
+class StrategyRegistry;
+}  // namespace mcmcpar::engine
+
+namespace mcmcpar::shard {
+
+/// Register the "sharded" strategy — the sharding coordinator that splits
+/// one image into overlapping tiles, fans them out as independent jobs
+/// (locally through engine::BatchRunner or remotely through serve::Client)
+/// and stitches the per-tile results back into one RunReport carrying a
+/// ShardReport. Called by StrategyRegistry::builtin(); also usable to
+/// extend a custom registry.
+///
+/// Options (all `key=value`):
+///   tiles=KxL        tile grid (default 2x2)
+///   halo=N           overlap margin in pixels (default 16)
+///   backend=local|socket          (default local)
+///   endpoints=host:port[,host:port...]   socket backend servers,
+///                    round-robin across tiles (required for socket).
+///                    Tiles travel as 8-bit PGMs and only the prior's
+///                    radius mean is forwarded (@radius); custom
+///                    likelihood/moves/theta stay local-backend-only
+///                    (docs/ARCHITECTURE.md "Socket-backend fidelity")
+///   strategy=NAME    inner per-tile strategy (default serial; "sharded"
+///                    itself is rejected — no recursive sharding)
+///   inner.K=V        forwarded to the inner strategy as K=V
+///   tile-iters=N     per-tile budget override (default: the run budget
+///                    split across tiles proportional to core area)
+///   min-tile-iters=N floor of the proportional split (default 2000)
+///   iou=X            stitcher duplicate threshold (default 0.3)
+///   timeout=X        socket read timeout per reply, seconds (default 600)
+void registerShardedStrategy(engine::StrategyRegistry& registry);
+
+}  // namespace mcmcpar::shard

@@ -1,0 +1,95 @@
+#include "shard/tiling.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace mcmcpar::shard {
+
+TileGrid makeTileGrid(int width, int height, int gx, int gy, int halo) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("makeTileGrid: empty image (" +
+                                std::to_string(width) + "x" +
+                                std::to_string(height) + ")");
+  }
+  if (gx <= 0 || gy <= 0) {
+    throw std::invalid_argument("makeTileGrid: tile counts must be >= 1, got " +
+                                std::to_string(gx) + "x" + std::to_string(gy));
+  }
+  if (halo < 0) {
+    throw std::invalid_argument("makeTileGrid: halo must be >= 0, got " +
+                                std::to_string(halo));
+  }
+  // More tiles than pixels along an axis would produce empty cores.
+  if (gx > width || gy > height) {
+    throw std::invalid_argument(
+        "makeTileGrid: " + std::to_string(gx) + "x" + std::to_string(gy) +
+        " tiles do not fit a " + std::to_string(width) + "x" +
+        std::to_string(height) + " image");
+  }
+
+  TileGrid grid;
+  grid.gridX = gx;
+  grid.gridY = gy;
+  // Anything past the image just clips away, so cap the halo before the
+  // edge arithmetic: an untrusted @halo near INT_MAX must not overflow
+  // `core.x0 + core.w + halo` (the same bug class as over-range @shard
+  // counts, which parseTileCount rejects).
+  halo = std::min(halo, std::max(width, height));
+  grid.halo = halo;
+  const std::vector<partition::IRect> cores =
+      partition::tileImage(width, height, gx, gy);
+  grid.tiles.reserve(cores.size());
+  for (int iy = 0; iy < gy; ++iy) {
+    for (int ix = 0; ix < gx; ++ix) {
+      TileSpec tile;
+      tile.ix = ix;
+      tile.iy = iy;
+      tile.core = cores[static_cast<std::size_t>(iy) * gx + ix];
+      const long long x1 = tile.core.x0 + tile.core.w;
+      const long long y1 = tile.core.y0 + tile.core.h;
+      const int hx0 = std::max(0, tile.core.x0 - halo);
+      const int hy0 = std::max(0, tile.core.y0 - halo);
+      const int hx1 =
+          static_cast<int>(std::min<long long>(width, x1 + halo));
+      const int hy1 =
+          static_cast<int>(std::min<long long>(height, y1 + halo));
+      tile.halo = partition::IRect{hx0, hy0, hx1 - hx0, hy1 - hy0};
+      grid.tiles.push_back(tile);
+    }
+  }
+  return grid;
+}
+
+void parseTileCount(const std::string& text, int& gx, int& gy) {
+  const auto fail = [&text] {
+    throw std::invalid_argument("expected tiles=KxL (e.g. 2x2), got '" + text +
+                                "'");
+  };
+  const std::size_t x = text.find('x');
+  if (x == std::string::npos || x == 0 || x + 1 >= text.size()) fail();
+  const std::string left = text.substr(0, x);
+  const std::string right = text.substr(x + 1);
+  for (const char c : left) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) fail();
+  }
+  for (const char c : right) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) fail();
+  }
+  // stoi throws std::out_of_range (not invalid_argument) past INT_MAX, and
+  // no real grid needs five digits — reject early so callers only ever see
+  // invalid_argument.
+  if (left.size() > 4 || right.size() > 4) fail();
+  gx = std::stoi(left);
+  gy = std::stoi(right);
+  if (gx < 1 || gy < 1) fail();
+}
+
+double discIoU(const model::Circle& a, const model::Circle& b) noexcept {
+  const double overlap = model::overlapArea(a, b);
+  if (overlap <= 0.0) return 0.0;
+  const double unionArea = model::discArea(a) + model::discArea(b) - overlap;
+  return unionArea > 0.0 ? overlap / unionArea : 0.0;
+}
+
+}  // namespace mcmcpar::shard

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/circle.hpp"
+#include "partition/grid.hpp"
+
+namespace mcmcpar::shard {
+
+/// One tile of a sharded image: the `core` rectangles of a grid tile the
+/// image exactly (disjoint, half-open), while `halo` is the core grown by
+/// the halo margin and clipped to the image — the pixels a tile's sampler
+/// actually sees, so circles near a cut line keep their full likelihood
+/// support. Ownership is by core: a detected circle belongs to the single
+/// tile whose core contains its centre.
+struct TileSpec {
+  partition::IRect core;  ///< owned region (disjoint across tiles)
+  partition::IRect halo;  ///< core + margin, clipped (the cropped image)
+  int ix = 0;             ///< column in the tile grid
+  int iy = 0;             ///< row in the tile grid
+
+  /// Centre-ownership test against the core, in full-image coordinates.
+  [[nodiscard]] bool ownsCentre(const model::Circle& c) const noexcept {
+    return core.containsPoint(c.x, c.y);
+  }
+
+  friend bool operator==(const TileSpec&, const TileSpec&) = default;
+};
+
+/// Shape of a shard decomposition: a gx x gy grid with `halo` pixels of
+/// overlap margin on every interior edge.
+struct TileGrid {
+  int gridX = 1;
+  int gridY = 1;
+  int halo = 0;
+  std::vector<TileSpec> tiles;  ///< row-major, iy * gridX + ix
+};
+
+/// Decompose a width x height image into a gx x gy grid of near-equal core
+/// rectangles (partition::tileImage), each with a halo of `halo` pixels
+/// clipped to the image. Throws std::invalid_argument on an empty image,
+/// non-positive grid, or negative halo.
+[[nodiscard]] TileGrid makeTileGrid(int width, int height, int gx, int gy,
+                                    int halo);
+
+/// Parse a "KxL" tile-count token ("2x2", "4x1"); throws
+/// std::invalid_argument on anything else (including zero counts).
+void parseTileCount(const std::string& text, int& gx, int& gy);
+
+/// Intersection-over-union of two discs (0 when disjoint, 1 when equal).
+[[nodiscard]] double discIoU(const model::Circle& a,
+                             const model::Circle& b) noexcept;
+
+}  // namespace mcmcpar::shard

@@ -85,14 +85,15 @@ TEST(OptionMap, RejectsIllTypedValues) {
 // StrategyRegistry
 // ---------------------------------------------------------------------------
 
-TEST(StrategyRegistry, BuiltinContainsTheSixArchitectures) {
+TEST(StrategyRegistry, BuiltinContainsEveryArchitecture) {
   const StrategyRegistry& registry = StrategyRegistry::builtin();
+  // The paper's six, plus the sharding coordinator built on top of them.
   for (const char* name : {"serial", "speculative", "mc3", "periodic", "blind",
-                           "intelligent"}) {
+                           "intelligent", "sharded"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     EXPECT_TRUE(registry.info(name).factory != nullptr) << name;
   }
-  EXPECT_EQ(registry.names().size(), 6u);
+  EXPECT_EQ(registry.names().size(), 7u);
 }
 
 TEST(StrategyRegistry, UnknownNameErrorListsRegisteredStrategies) {

@@ -22,6 +22,7 @@
 #include "serve/server.hpp"
 #include "serve/socket.hpp"
 #include "serve/watch.hpp"
+#include "shard/remote.hpp"
 
 namespace fs = std::filesystem;
 
@@ -433,6 +434,46 @@ TEST(Server, ConcurrentSubmittersStress) {
 }
 
 // ---------------------------------------------------------------------------
+// Bounded admission (--max-queued)
+// ---------------------------------------------------------------------------
+
+TEST(Server, BoundedAdmissionRejectsWhenTheBacklogIsFull) {
+  ServerOptions options = tinyServer(1);
+  options.maxConcurrentJobs = 1;
+  options.maxQueued = 1;
+  Server server(options);
+
+  const std::uint64_t running =
+      server.submitLine("synth serial @iters=500000000");
+  ASSERT_TRUE(waitFor([&] {
+    const auto status = server.status(running);
+    return status && status->state == JobState::Running;
+  }));
+  const std::uint64_t queued = server.submitLine("synth serial @iters=200");
+  EXPECT_THROW((void)server.submitLine("synth serial @iters=200"),
+               QueueFullError);
+  // QueueFullError is an EngineError, so generic handlers keep working and
+  // the message names the cap.
+  try {
+    (void)server.submitLine("synth serial @iters=200");
+    FAIL() << "expected QueueFullError";
+  } catch (const engine::EngineError& e) {
+    EXPECT_NE(std::string(e.what()).find("queue full"), std::string::npos)
+        << e.what();
+  }
+
+  // Admission reopens once the backlog drains.
+  (void)server.cancel(running);
+  ASSERT_TRUE(waitFor([&] {
+    const auto status = server.status(queued);
+    return status && isTerminal(status->state);
+  }));
+  const std::uint64_t next = server.submitLine("synth serial @iters=200");
+  EXPECT_GT(next, queued);
+  server.shutdown(10.0);
+}
+
+// ---------------------------------------------------------------------------
 // Socket front-end, end to end on an ephemeral port
 // ---------------------------------------------------------------------------
 
@@ -515,6 +556,51 @@ TEST_F(SocketFixture, ShutdownCommandFiresTheCallbackAndRejectsNewJobs) {
   second.connect("127.0.0.1", frontend->port(), 10.0);
   const std::string reply = second.request("SUBMIT synth serial");
   EXPECT_EQ(reply.rfind("ERR SHUTTING_DOWN", 0), 0u) << reply;
+}
+
+TEST_F(SocketFixture, ReportCarriesTheDetectedCircleList) {
+  const std::uint64_t id = client.submit("synth serial @iters=400");
+  EXPECT_EQ(client.wait(id), "done");
+  const std::string json = client.report(id);
+  EXPECT_NE(json.find("\"circles_detail\": ["), std::string::npos) << json;
+  const shard::remote::TileReportJson parsed =
+      shard::remote::parseReportJson(json);
+  EXPECT_EQ(parsed.state, "done");
+  const auto report = server->result(id);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(parsed.circles.size(), report->circles.size());
+
+  // REPORT before a terminal state answers PENDING, exactly like RESULT.
+  const std::uint64_t slow = client.submit("synth serial @iters=400000000");
+  EXPECT_EQ(client.request("REPORT " + std::to_string(slow))
+                .rfind("ERR PENDING", 0),
+            0u);
+  EXPECT_EQ(client.request("CANCEL " + std::to_string(slow)).rfind("OK", 0),
+            0u);
+}
+
+TEST(Socket, QueueFullSubmitRepliesErrQueueFull) {
+  ServerOptions options = tinyServer(1);
+  options.maxConcurrentJobs = 1;
+  options.maxQueued = 1;
+  Server server(options);
+  SocketFrontend frontend(server, /*port=*/0);
+  Client client;
+  client.connect("127.0.0.1", frontend.port(), 30.0);
+
+  const std::uint64_t running = client.submit("synth serial @iters=500000000");
+  ASSERT_TRUE(waitFor([&] {
+    const auto status = server.status(running);
+    return status && status->state == JobState::Running;
+  }));
+  (void)client.submit("synth serial @iters=200");
+  const std::string reply = client.request("SUBMIT synth serial @iters=200");
+  EXPECT_EQ(reply.rfind("ERR QUEUE_FULL", 0), 0u) << reply;
+  EXPECT_EQ(client.request("CANCEL " + std::to_string(running))
+                .rfind("OK", 0),
+            0u);
+  frontend.stop();
+  server.shutdown(10.0);
 }
 
 // ---------------------------------------------------------------------------

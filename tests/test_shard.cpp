@@ -1,0 +1,478 @@
+// The sharded-execution subsystem (src/shard): tile geometry with halo,
+// halo reconciliation (ownership + IoU de-dup), the remote report parser,
+// the @shard manifest sugar, and the "sharded" strategy end-to-end through
+// the registry — local backend under a shared budget and socket backend
+// against an in-process serve::Server.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/batch.hpp"
+#include "engine/registry.hpp"
+#include "img/synth.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+#include "shard/remote.hpp"
+#include "shard/report.hpp"
+#include "shard/stitcher.hpp"
+#include "shard/tiling.hpp"
+
+namespace mcmcpar {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tile geometry
+// ---------------------------------------------------------------------------
+
+TEST(Tiling, CoresTileTheImageExactlyAndHalosClip) {
+  const shard::TileGrid grid = shard::makeTileGrid(100, 80, 2, 2, 10);
+  ASSERT_EQ(grid.tiles.size(), 4u);
+  EXPECT_EQ(grid.gridX, 2);
+  EXPECT_EQ(grid.gridY, 2);
+  EXPECT_EQ(grid.halo, 10);
+
+  long long coreArea = 0;
+  for (const shard::TileSpec& tile : grid.tiles) {
+    coreArea += tile.core.area();
+    // The halo contains the core and never leaves the image.
+    EXPECT_LE(tile.halo.x0, tile.core.x0);
+    EXPECT_LE(tile.halo.y0, tile.core.y0);
+    EXPECT_GE(tile.halo.x0 + tile.halo.w, tile.core.x0 + tile.core.w);
+    EXPECT_GE(tile.halo.y0 + tile.halo.h, tile.core.y0 + tile.core.h);
+    EXPECT_GE(tile.halo.x0, 0);
+    EXPECT_GE(tile.halo.y0, 0);
+    EXPECT_LE(tile.halo.x0 + tile.halo.w, 100);
+    EXPECT_LE(tile.halo.y0 + tile.halo.h, 80);
+  }
+  EXPECT_EQ(coreArea, 100ll * 80ll);
+
+  // Interior edges carry the full halo margin; image edges are clipped.
+  const shard::TileSpec& topLeft = grid.tiles[0];
+  EXPECT_EQ(topLeft.halo.x0, 0);
+  EXPECT_EQ(topLeft.halo.y0, 0);
+  EXPECT_EQ(topLeft.halo.w, topLeft.core.w + 10);
+  EXPECT_EQ(topLeft.halo.h, topLeft.core.h + 10);
+
+  // Cores are disjoint: every pixel centre is owned by exactly one tile.
+  for (int y = 0; y < 80; y += 7) {
+    for (int x = 0; x < 100; x += 7) {
+      int owners = 0;
+      for (const shard::TileSpec& tile : grid.tiles) {
+        owners += tile.core.containsPoint(x + 0.5, y + 0.5) ? 1 : 0;
+      }
+      EXPECT_EQ(owners, 1) << "pixel (" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(Tiling, SingleTileIsTheWholeImage) {
+  const shard::TileGrid grid = shard::makeTileGrid(64, 48, 1, 1, 16);
+  ASSERT_EQ(grid.tiles.size(), 1u);
+  EXPECT_EQ(grid.tiles[0].core, (partition::IRect{0, 0, 64, 48}));
+  EXPECT_EQ(grid.tiles[0].halo, grid.tiles[0].core);  // nothing to grow into
+}
+
+TEST(Tiling, HugeHaloClampsToTheImageWithoutOverflow) {
+  // An untrusted @halo near INT_MAX must clamp (everything past the image
+  // clips away anyway), never overflow the edge arithmetic into negative
+  // crop sizes.
+  const shard::TileGrid grid =
+      shard::makeTileGrid(100, 80, 2, 2, std::numeric_limits<int>::max());
+  for (const shard::TileSpec& tile : grid.tiles) {
+    EXPECT_EQ(tile.halo, (partition::IRect{0, 0, 100, 80}));
+  }
+}
+
+TEST(Tiling, RejectsDegenerateShapes) {
+  EXPECT_THROW((void)shard::makeTileGrid(0, 10, 1, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)shard::makeTileGrid(10, 10, 0, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)shard::makeTileGrid(10, 10, 1, 1, -1),
+               std::invalid_argument);
+  EXPECT_THROW((void)shard::makeTileGrid(4, 4, 8, 1, 0),
+               std::invalid_argument);
+}
+
+TEST(Tiling, ParseTileCount) {
+  int gx = 0;
+  int gy = 0;
+  shard::parseTileCount("3x2", gx, gy);
+  EXPECT_EQ(gx, 3);
+  EXPECT_EQ(gy, 2);
+  // Over-range counts must reject as invalid_argument, never escape as
+  // std::out_of_range (which once aborted a live server via SUBMIT).
+  for (const char* bad : {"", "x2", "2x", "2y3", "0x2", "2x0", "a2x2",
+                          "99999999999x2", "2x99999999999"}) {
+    EXPECT_THROW(shard::parseTileCount(bad, gx, gy), std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(Tiling, DiscIoU) {
+  const model::Circle a{10.0, 10.0, 5.0};
+  EXPECT_DOUBLE_EQ(shard::discIoU(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(shard::discIoU(a, model::Circle{30.0, 10.0, 5.0}), 0.0);
+  const double partial = shard::discIoU(a, model::Circle{13.0, 10.0, 5.0});
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Stitcher
+// ---------------------------------------------------------------------------
+
+/// 2x1 grid over a 100x50 image with the cut at x = 50.
+shard::TileGrid twoTiles(int halo = 10) {
+  return shard::makeTileGrid(100, 50, 2, 1, halo);
+}
+
+TEST(Stitcher, DropsHaloDetectionsOutsideTheOwnCore) {
+  const shard::TileGrid grid = twoTiles();
+  // Tile 1 detects a circle whose centre lies in tile 0's core: a halo
+  // observation that tile 0 is responsible for (and here missed).
+  const std::vector<std::vector<model::Circle>> perTile = {
+      {}, {model::Circle{45.0, 25.0, 4.0}}};
+  const shard::StitchResult result = shard::stitchCircles(grid, perTile);
+  EXPECT_TRUE(result.circles.empty());
+  EXPECT_EQ(result.haloDropped, 1u);
+  EXPECT_EQ(result.duplicatesRemoved, 0u);
+}
+
+TEST(Stitcher, CollapsesSeamDuplicatesKeepingTheDeeperCopy) {
+  const shard::TileGrid grid = twoTiles();
+  // One physical artifact at the cut, detected by both tiles with centres
+  // landing in different cores. The copy deeper inside its core (tile 1's,
+  // 2.5 px past the cut vs 0.5 px) must win.
+  const model::Circle left{49.5, 25.0, 4.0};
+  const model::Circle right{52.5, 25.0, 4.0};
+  const std::vector<std::vector<model::Circle>> perTile = {{left}, {right}};
+  const shard::StitchResult result = shard::stitchCircles(grid, perTile);
+  ASSERT_EQ(result.circles.size(), 1u);
+  EXPECT_EQ(result.circles[0], right);
+  EXPECT_EQ(result.duplicatesRemoved, 1u);
+  EXPECT_EQ(result.haloDropped, 0u);
+  EXPECT_EQ(result.keptPerTile[0], 0u);
+  EXPECT_EQ(result.keptPerTile[1], 1u);
+}
+
+TEST(Stitcher, KeepsDistinctCirclesAcrossTiles) {
+  const shard::TileGrid grid = twoTiles();
+  const std::vector<std::vector<model::Circle>> perTile = {
+      {model::Circle{20.0, 25.0, 4.0}, model::Circle{48.0, 10.0, 3.0}},
+      {model::Circle{80.0, 25.0, 4.0}}};
+  const shard::StitchResult result = shard::stitchCircles(grid, perTile);
+  EXPECT_EQ(result.circles.size(), 3u);
+  EXPECT_EQ(result.duplicatesRemoved, 0u);
+  // Output order is (tile, detection order), independent of depth ranks.
+  EXPECT_EQ(result.circles[0], perTile[0][0]);
+  EXPECT_EQ(result.circles[1], perTile[0][1]);
+  EXPECT_EQ(result.circles[2], perTile[1][0]);
+}
+
+TEST(Stitcher, RejectsMismatchedTileCount) {
+  const shard::TileGrid grid = twoTiles();
+  EXPECT_THROW((void)shard::stitchCircles(grid, {{}}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// REPORT JSON round trip
+// ---------------------------------------------------------------------------
+
+TEST(RemoteReport, RoundTripsThroughProtocolReportJson) {
+  serve::JobStatus status;
+  status.id = 9;
+  status.state = serve::JobState::Done;
+  status.label = "tile-0x1";
+  status.image = "/tmp/tile.pgm";
+  status.strategy = "serial";
+  engine::RunReport report;
+  report.strategy = "serial";
+  report.iterations = 1234;
+  report.wallSeconds = 0.5;
+  report.acceptanceRate = 0.25;
+  report.logPosterior = -321.5;
+  report.circles = {model::Circle{1.5, 2.25, 3.0},
+                    model::Circle{40.0, 8.125, 5.5}};
+
+  const std::string json = serve::protocol::reportJson(status, report);
+  const shard::remote::TileReportJson parsed =
+      shard::remote::parseReportJson(json);
+  EXPECT_EQ(parsed.state, "done");
+  EXPECT_EQ(parsed.error, "");
+  EXPECT_EQ(parsed.iterations, 1234u);
+  EXPECT_DOUBLE_EQ(parsed.wallSeconds, 0.5);
+  EXPECT_DOUBLE_EQ(parsed.acceptance, 0.25);
+  EXPECT_DOUBLE_EQ(parsed.logPosterior, -321.5);
+  EXPECT_FALSE(parsed.cancelled);
+  ASSERT_EQ(parsed.circles.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.circles[0].x, 1.5);
+  EXPECT_DOUBLE_EQ(parsed.circles[0].y, 2.25);
+  EXPECT_DOUBLE_EQ(parsed.circles[0].r, 3.0);
+  EXPECT_DOUBLE_EQ(parsed.circles[1].r, 5.5);
+}
+
+TEST(RemoteReport, ResultJsonWithoutCircleDetailIsRejected) {
+  serve::JobStatus status;
+  status.state = serve::JobState::Done;
+  const engine::RunReport report;
+  EXPECT_THROW((void)shard::remote::parseReportJson(
+                   serve::protocol::jobJson(status, report)),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// @shard manifest sugar
+// ---------------------------------------------------------------------------
+
+TEST(ShardDirective, DesugarsIntoTheShardedStrategy) {
+  const engine::ManifestEntry entry = engine::parseManifestLine(
+      "synth mc3 chains=2 @shard=3x1 @halo=4 @iters=500 @label=demo");
+  EXPECT_EQ(entry.strategy, "sharded");
+  EXPECT_EQ(entry.label, "demo");
+  ASSERT_TRUE(entry.iterations.has_value());
+  EXPECT_EQ(*entry.iterations, 500u);
+  const std::vector<std::string> expected = {"tiles=3x1", "halo=4",
+                                             "strategy=mc3",
+                                             "inner.chains=2"};
+  EXPECT_EQ(entry.options, expected);
+}
+
+TEST(ShardDirective, HaloRequiresShardAndShardRejectsSharded) {
+  EXPECT_THROW((void)engine::parseManifestLine("synth serial @halo=4"),
+               engine::EngineError);
+  EXPECT_THROW((void)engine::parseManifestLine("synth sharded @shard=2x2"),
+               engine::EngineError);
+  EXPECT_THROW((void)engine::parseManifestLine("synth serial @shard=2y2"),
+               engine::EngineError);
+  // Over-range tile counts are an EngineError like any other bad grammar —
+  // front-ends reply BAD_JOB instead of dying on std::out_of_range.
+  EXPECT_THROW(
+      (void)engine::parseManifestLine("synth serial @shard=99999999999x2"),
+      engine::EngineError);
+}
+
+TEST(RadiusDirective, OverridesThePriorPerJob) {
+  const engine::ManifestEntry entry =
+      engine::parseManifestLine("synth serial @radius=12.5");
+  ASSERT_TRUE(entry.radius.has_value());
+  EXPECT_DOUBLE_EQ(*entry.radius, 12.5);
+  EXPECT_FALSE(engine::parseManifestLine("synth serial").radius.has_value());
+  EXPECT_THROW((void)engine::parseManifestLine("synth serial @radius=0"),
+               engine::EngineError);
+  EXPECT_THROW((void)engine::parseManifestLine("synth serial @radius=-3"),
+               engine::EngineError);
+  EXPECT_THROW((void)engine::parseManifestLine("synth serial @radius=big"),
+               engine::EngineError);
+}
+
+// ---------------------------------------------------------------------------
+// The "sharded" strategy through the registry
+// ---------------------------------------------------------------------------
+
+img::Scene shardScene() {
+  return img::generateScene(img::cellScene(96, 96, 6, 8.0, 17));
+}
+
+engine::Problem shardProblem(const img::Scene& scene) {
+  engine::Problem problem;
+  problem.filtered = &scene.image;
+  problem.prior.radiusMean = 8.0;
+  problem.prior.radiusStd = 1.0;
+  problem.prior.radiusMin = 4.0;
+  problem.prior.radiusMax = 14.0;
+  return problem;
+}
+
+TEST(ShardedStrategy, RejectsBadOptionsAtCreation) {
+  const engine::StrategyRegistry& registry =
+      engine::StrategyRegistry::builtin();
+  EXPECT_TRUE(registry.contains("sharded"));
+  EXPECT_THROW((void)registry.create("sharded", {}, {"tiles=banana"}),
+               engine::EngineError);
+  // Rejected at admission, not after an int cast wrapped negative at run
+  // time on a worker.
+  EXPECT_THROW((void)registry.create("sharded", {}, {"halo=3000000000"}),
+               engine::EngineError);
+  EXPECT_THROW((void)registry.create("sharded", {}, {"backend=carrier"}),
+               engine::EngineError);
+  EXPECT_THROW((void)registry.create("sharded", {}, {"backend=socket"}),
+               engine::EngineError);  // endpoints required
+  EXPECT_THROW((void)registry.create("sharded", {},
+                                     {"backend=socket", "endpoints=nope"}),
+               engine::EngineError);
+  EXPECT_THROW((void)registry.create("sharded", {}, {"strategy=sharded"}),
+               engine::EngineError);  // no recursive sharding
+  EXPECT_THROW((void)registry.create("sharded", {}, {"bogus=1"}),
+               engine::EngineError);
+  // Inner options are validated against the inner strategy at creation.
+  EXPECT_THROW((void)registry.create("sharded", {},
+                                     {"strategy=serial", "inner.lanes=2"}),
+               engine::EngineError);
+  EXPECT_NO_THROW((void)registry.create(
+      "sharded", {}, {"strategy=speculative", "inner.lanes=2"}));
+}
+
+TEST(ShardedStrategy, LocalBackendMergesTilesIntoOneReport) {
+  const img::Scene scene = shardScene();
+  const engine::Engine engine(engine::ExecResources{2, false, 21});
+  const engine::RunReport report =
+      engine.run("sharded", shardProblem(scene), engine::RunBudget{8000, 0},
+                 {}, {"tiles=2x2", "halo=12", "min-tile-iters=500"});
+
+  EXPECT_EQ(report.strategy, "sharded");
+  EXPECT_FALSE(report.cancelled);
+  EXPECT_GE(report.iterations, 8000u);
+  EXPECT_GT(report.circles.size(), 2u);
+  EXPECT_LT(report.circles.size(), 12u);
+  EXPECT_GT(report.logPosterior, 0.0);
+
+  const auto& extras = std::get<shard::ShardReport>(report.extras);
+  EXPECT_EQ(extras.gridX, 2);
+  EXPECT_EQ(extras.gridY, 2);
+  EXPECT_EQ(extras.halo, 12);
+  EXPECT_EQ(extras.backend, "local");
+  EXPECT_EQ(extras.innerStrategy, "serial");
+  ASSERT_EQ(extras.tiles.size(), 4u);
+  std::uint64_t tileIters = 0;
+  std::size_t kept = 0;
+  for (const shard::TileRun& tile : extras.tiles) {
+    EXPECT_TRUE(tile.error.empty());
+    EXPECT_GE(tile.circlesFound, tile.circlesKept);
+    tileIters += tile.iterations;
+    kept += tile.circlesKept;
+  }
+  EXPECT_EQ(tileIters, report.iterations);
+  EXPECT_EQ(kept, report.circles.size());
+  // Every merged circle is inside the image and owned by exactly one core.
+  for (const model::Circle& circle : report.circles) {
+    int owners = 0;
+    for (const shard::TileRun& tile : extras.tiles) {
+      owners += tile.spec.ownsCentre(circle) ? 1 : 0;
+    }
+    EXPECT_EQ(owners, 1);
+  }
+}
+
+TEST(ShardedStrategy, FixedExpectedCountScalesToTileAreaShare) {
+  // With estimateCount off, the caller's whole-image count prior must be
+  // split across tiles, not copied — four tiles each expecting all six
+  // circles would over-detect dramatically.
+  const img::Scene scene = shardScene();
+  engine::Problem problem = shardProblem(scene);
+  problem.estimateCount = false;
+  problem.prior.expectedCount = 6.0;
+  const engine::Engine engine(engine::ExecResources{2, false, 11});
+  const engine::RunReport report =
+      engine.run("sharded", problem, engine::RunBudget{8000, 0}, {},
+                 {"tiles=2x2", "halo=12", "min-tile-iters=500"});
+  EXPECT_FALSE(report.cancelled);
+  EXPECT_GT(report.circles.size(), 2u);
+  EXPECT_LT(report.circles.size(), 12u);
+}
+
+TEST(ShardedStrategy, SameSeedSameMergedCircles) {
+  const img::Scene scene = shardScene();
+  const engine::Engine engine(engine::ExecResources{2, false, 33});
+  const std::vector<std::string> options = {"tiles=2x2", "halo=12",
+                                            "min-tile-iters=500"};
+  const engine::RunReport a = engine.run(
+      "sharded", shardProblem(scene), engine::RunBudget{4000, 0}, {}, options);
+  const engine::RunReport b = engine.run(
+      "sharded", shardProblem(scene), engine::RunBudget{4000, 0}, {}, options);
+  ASSERT_EQ(a.circles.size(), b.circles.size());
+  for (std::size_t i = 0; i < a.circles.size(); ++i) {
+    EXPECT_EQ(a.circles[i], b.circles[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(a.logPosterior, b.logPosterior);
+}
+
+TEST(ShardedStrategy, CancellationBeforeStartYieldsCancelledReport) {
+  const img::Scene scene = shardScene();
+  const engine::Engine engine(engine::ExecResources{2, false, 5});
+  engine::RunHooks hooks;
+  hooks.cancelRequested = [] { return true; };
+  const engine::RunReport report =
+      engine.run("sharded", shardProblem(scene), engine::RunBudget{4000, 0},
+                 hooks, {"tiles=2x2"});
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_EQ(report.iterations, 0u);
+}
+
+TEST(ShardedStrategy, SocketBackendRoundTripsThroughALiveServer) {
+  serve::ServerOptions serverOptions;
+  serverOptions.threads = 2;
+  serverOptions.radius = 8.0;
+  serve::Server server(serverOptions);
+  serve::SocketFrontend socket(server, 0);
+
+  const img::Scene scene = shardScene();
+  const engine::Engine engine(engine::ExecResources{2, false, 7});
+  const engine::RunReport report = engine.run(
+      "sharded", shardProblem(scene), engine::RunBudget{4000, 0}, {},
+      {"tiles=2x1", "halo=12", "min-tile-iters=500", "backend=socket",
+       "endpoints=127.0.0.1:" + std::to_string(socket.port())});
+
+  EXPECT_FALSE(report.cancelled);
+  EXPECT_GT(report.circles.size(), 1u);
+  const auto& extras = std::get<shard::ShardReport>(report.extras);
+  EXPECT_EQ(extras.backend, "socket");
+  ASSERT_EQ(extras.tiles.size(), 2u);
+  for (const shard::TileRun& tile : extras.tiles) {
+    EXPECT_TRUE(tile.error.empty()) << tile.error;
+    EXPECT_GT(tile.iterations, 0u);
+  }
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.jobs.done, 2u);
+
+  socket.stop();
+  server.shutdown(5.0);
+}
+
+TEST(ShardedStrategy, SocketBackendFailsLoudlyOnDeadEndpoint) {
+  const img::Scene scene = shardScene();
+  const engine::Engine engine(engine::ExecResources{1, false, 7});
+  EXPECT_THROW(
+      (void)engine.run("sharded", shardProblem(scene),
+                       engine::RunBudget{500, 0}, {},
+                       {"tiles=1x1", "backend=socket", "timeout=2",
+                        "endpoints=127.0.0.1:1"}),
+      engine::EngineError);
+}
+
+TEST(ShardedStrategy, SubmitFailureCancelsHealthySiblingTiles) {
+  serve::ServerOptions serverOptions;
+  serverOptions.threads = 2;
+  serve::Server server(serverOptions);
+  serve::SocketFrontend socket(server, 0);
+
+  // One healthy endpoint, one dead: the doomed run must come back after a
+  // cancel quantum, not after the healthy tile's (enormous) full budget.
+  const img::Scene scene = shardScene();
+  const engine::Engine engine(engine::ExecResources{2, false, 7});
+  EXPECT_THROW(
+      (void)engine.run("sharded", shardProblem(scene),
+                       engine::RunBudget{400000000, 0}, {},
+                       {"tiles=2x1", "backend=socket", "timeout=30",
+                        "endpoints=127.0.0.1:" +
+                            std::to_string(socket.port()) +
+                            ",127.0.0.1:1"}),
+      engine::EngineError);
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.jobs.done, 0u);
+  EXPECT_EQ(stats.jobs.cancelled, 1u);
+
+  socket.stop();
+  server.shutdown(5.0);
+}
+
+}  // namespace
+}  // namespace mcmcpar

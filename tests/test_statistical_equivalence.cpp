@@ -10,6 +10,7 @@
 #include <cmath>
 #include <vector>
 
+#include "analysis/matching.hpp"
 #include "engine/registry.hpp"
 #include "img/synth.hpp"
 
@@ -179,6 +180,63 @@ TEST(StatisticalEquivalence, IntelligentPipelineFinalModelMatchesSerial) {
                  RunBudget{kReferenceIterations, 0});
   expectWithinBands("intelligent", static_cast<double>(report.circles.size()),
                     report.logPosterior, 0.01);
+}
+
+// The shard coordinator shares the pipelines' contract: its deliverable is
+// the stitched whole-image model, held against the serial reference bands.
+
+TEST(StatisticalEquivalence, ShardedFinalModelMatchesSerial) {
+  static const img::Scene scene = equivalenceScene();
+  const Engine engine(ExecResources{2, false, kSeed + 6});
+  const RunReport report = engine.run(
+      "sharded", sceneProblem(scene), RunBudget{kReferenceIterations, 0}, {},
+      {"tiles=2x2", "halo=14"});
+  EXPECT_FALSE(report.cancelled);
+  expectWithinBands("sharded", static_cast<double>(report.circles.size()),
+                    report.logPosterior, 0.02);
+}
+
+// The ISSUE 5 acceptance workload: a 512x512 scene sharded 2x2 with a
+// 16-pixel halo must reproduce the unsharded run's detected-circle set —
+// same count within the band, every circle matched within one mean radius,
+// and the merged whole-image posterior within 2%.
+
+TEST(StatisticalEquivalence, Sharded512MatchesUnshardedCircleSet) {
+  static const img::Scene scene = [] {
+    img::SceneSpec spec = img::cellScene(512, 512, 48, 9.0, 101);
+    spec.radiusStd = 0.8;
+    return img::generateScene(spec);
+  }();
+  Problem problem;
+  problem.filtered = &scene.image;
+  problem.prior.radiusMean = 9.0;
+  problem.prior.radiusStd = 1.2;
+  problem.prior.radiusMin = 4.5;
+  problem.prior.radiusMax = 16.0;
+  const RunBudget budget{60000, 0};
+
+  const Engine engine(ExecResources{2, false, kSeed + 7});
+  const RunReport whole = engine.run("serial", problem, budget);
+  const RunReport sharded = engine.run("sharded", problem, budget, {},
+                                       {"tiles=2x2", "halo=16"});
+
+  EXPECT_FALSE(sharded.cancelled);
+  const auto& extras = std::get<shard::ShardReport>(sharded.extras);
+  EXPECT_EQ(extras.tiles.size(), 4u);
+  EXPECT_EQ(extras.backend, "local");
+
+  // Detected-circle sets agree: counts within the equivalence band and a
+  // one-to-one centre match within one mean radius for nearly all circles.
+  EXPECT_NEAR(static_cast<double>(sharded.circles.size()),
+              static_cast<double>(whole.circles.size()), 3.0);
+  const analysis::MatchResult matches =
+      analysis::matchCircles(sharded.circles, whole.circles, 9.0);
+  EXPECT_LE(matches.unmatchedFound.size(), 2u);
+  EXPECT_LE(matches.unmatchedTruth.size(), 2u);
+
+  // Merged whole-image posterior within 2% of the unsharded run's.
+  EXPECT_NEAR(sharded.logPosterior, whole.logPosterior,
+              0.02 * std::abs(whole.logPosterior));
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 //   mcmcpar_run --strategy mc3 --opt chains=6 --opt swap-interval=50
 //   mcmcpar_run --strategy periodic --opt executor=split-serial --progress
 //   mcmcpar_run --batch jobs.txt --threads 8 --iterations 10000
+//   mcmcpar_run --shard 2x2 --strategy serial --image big.pgm --opt halo=16
 
 #include <cerrno>
 #include <cstdio>
@@ -45,6 +46,7 @@ struct CliOptions {
   double radius = 9.0;
   std::string imagePath;  // when set, run on this PGM instead of a scene
   std::string batchPath;  // when set, run the manifest through BatchRunner
+  std::string shardTiles;  // --shard KxL: run through the shard coordinator
   unsigned maxJobs = 0;   // --jobs: concurrent-job cap (0 = thread budget)
   double deadline = 0.0;  // --deadline: whole-batch wall limit in seconds
   bool list = false;
@@ -65,6 +67,11 @@ void printUsage() {
       "  --omp               prefer OpenMP executors where available\n"
       "  --width N/--height N/--cells N/--radius X  synthetic scene shape\n"
       "  --image FILE.pgm    run on a PGM image instead of a synthetic scene\n"
+      "  --shard KxL         run through the 'sharded' coordinator: split the\n"
+      "                      image into KxL tiles with --strategy on each\n"
+      "                      tile; shard knobs (halo=N backend=local|socket\n"
+      "                      endpoints=h:p,... iou=X) and inner.key=value\n"
+      "                      options go through --opt\n"
       "  --progress          print progress beats from RunHooks\n"
       "  --batch FILE        run a job manifest through BatchRunner; each\n"
       "                      line is '<image.pgm|synth> <strategy>\n"
@@ -171,6 +178,9 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
     } else if (std::strcmp(arg, "--batch") == 0) {
       if ((v = value(i)) == nullptr) return std::nullopt;
       cli.batchPath = v;
+    } else if (std::strcmp(arg, "--shard") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      cli.shardTiles = v;
     } else if (std::strcmp(arg, "--jobs") == 0) {
       if ((v = value(i)) == nullptr) return std::nullopt;
       int jobs = 0;
@@ -234,6 +244,23 @@ void printExtras(const engine::RunReport& report) {
         report.strategy.c_str(), pipeline->partitions.size(),
         pipeline->parallelRuntime, pipeline->loadBalancedThreads,
         pipeline->loadBalancedRuntime);
+  } else if (const auto* sharded =
+                 std::get_if<shard::ShardReport>(&report.extras)) {
+    std::printf(
+        "  [%s] %dx%d tiles (halo %d, %s/%s), slowest tile %.3f s of "
+        "%.3f s total, stitch dropped %zu halo + %zu duplicate(s) in "
+        "%.3f s\n",
+        report.strategy.c_str(), sharded->gridX, sharded->gridY,
+        sharded->halo, sharded->backend.c_str(),
+        sharded->innerStrategy.c_str(), sharded->maxTileSeconds,
+        sharded->sumTileSeconds, sharded->haloDropped,
+        sharded->duplicatesRemoved, sharded->mergeSeconds);
+    for (const shard::TileRun& tile : sharded->tiles) {
+      std::printf("    %-10s %llu iters, %zu found -> %zu kept, logP %.1f\n",
+                  tile.label.c_str(),
+                  static_cast<unsigned long long>(tile.iterations),
+                  tile.circlesFound, tile.circlesKept, tile.logPosterior);
+    }
   }
 }
 
@@ -291,7 +318,9 @@ int runBatch(const CliOptions& cli) {
     engine::BatchJob job;
     job.strategy = entry.strategy;
     job.options = entry.options;
-    job.problem = makeProblem(images.at(entry.image), cli);
+    CliOptions jobCli = cli;
+    if (entry.radius) jobCli.radius = *entry.radius;
+    job.problem = makeProblem(images.at(entry.image), jobCli);
     job.budget = cli.budget;
     // @directives on the manifest line override the CLI-wide defaults.
     if (entry.iterations) job.budget.iterations = *entry.iterations;
@@ -380,7 +409,18 @@ int main(int argc, char** argv) {
     printRegistry(registry);
     return 0;
   }
-  if (!cli.batchPath.empty()) return runBatch(cli);
+  if (!cli.batchPath.empty()) {
+    if (!cli.shardTiles.empty()) {
+      // Silently running the manifest unsharded would be worse than an
+      // error; shard batch jobs per line via the @shard directive instead.
+      std::fprintf(stderr,
+                   "--shard cannot be combined with --batch; put "
+                   "'@shard=%s' on the manifest lines to shard\n",
+                   cli.shardTiles.c_str());
+      return 2;
+    }
+    return runBatch(cli);
+  }
 
   // The problem: a PGM from disk, or a synthetic scene with known truth.
   img::ImageF image;
@@ -421,6 +461,25 @@ int main(int argc, char** argv) {
     };
   }
 
+  // --shard KxL: route the run through the shard coordinator, with the
+  // requested --strategy as the per-tile inner strategy.
+  std::string strategyName = cli.strategy;
+  std::vector<std::string> strategyOptions = cli.strategyOptions;
+  if (!cli.shardTiles.empty()) {
+    if (cli.strategy == "all") {
+      std::fprintf(stderr, "--shard cannot be combined with --strategy all\n");
+      return 2;
+    }
+    std::vector<std::string> options{"tiles=" + cli.shardTiles};
+    if (cli.strategy != "sharded") {
+      options.push_back("strategy=" + cli.strategy);
+    }
+    options.insert(options.end(), strategyOptions.begin(),
+                   strategyOptions.end());
+    strategyName = "sharded";
+    strategyOptions = std::move(options);
+  }
+
   std::vector<std::string> toRun;
   if (cli.strategy == "all") {
     toRun = registry.names();
@@ -431,7 +490,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   } else {
-    toRun.push_back(cli.strategy);
+    toRun.push_back(strategyName);
   }
 
   const engine::Engine eng(cli.resources);
@@ -442,7 +501,7 @@ int main(int argc, char** argv) {
     *lastDecile = -1;
     try {
       engine::RunReport report =
-          eng.run(name, problem, cli.budget, hooks, cli.strategyOptions);
+          eng.run(name, problem, cli.budget, hooks, strategyOptions);
       std::string f1 = "-";
       if (!truth.empty()) {
         f1 = analysis::Table::num(

@@ -59,6 +59,9 @@ void printUsage() {
       "  --poll-ms N         watch-directory poll interval (default: 250)\n"
       "  --threads N         total worker budget, 0 = hardware (default: 0)\n"
       "  --jobs N            jobs in flight, 0 = thread budget (default: 0)\n"
+      "  --max-queued N      bounded admission: reject SUBMITs with\n"
+      "                      ERR QUEUE_FULL while N jobs are queued\n"
+      "                      (default: 0 = unbounded)\n"
       "  --cache-mb N        image cache capacity (default: 256)\n"
       "  --drain-timeout X   seconds to let jobs finish on shutdown before\n"
       "                      cancelling them (default: 10)\n"
@@ -148,6 +151,11 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
       if ((v = value(i)) == nullptr ||
           !parseUnsigned(arg, v, cli.server.maxConcurrentJobs))
         return std::nullopt;
+    } else if (std::strcmp(arg, "--max-queued") == 0) {
+      if ((v = value(i)) == nullptr || !parseUnsigned(arg, v, u)) {
+        return std::nullopt;
+      }
+      cli.server.maxQueued = u;
     } else if (std::strcmp(arg, "--cache-mb") == 0) {
       if ((v = value(i)) == nullptr || !parseUnsigned(arg, v, u)) {
         return std::nullopt;

@@ -36,10 +36,36 @@ void printUsage() {
       "  --progress          print EVENT lines to stderr while waiting\n"
       "  --timeout X         read timeout in seconds (default: 300)\n"
       "single commands (instead of a job line):\n"
+      "  --wait ID           wait for an already-submitted job and print its\n"
+      "                      result; exits 0 only when it ends 'done', so\n"
+      "                      scripts can gate on jobs queued with --no-wait\n"
       "  --status ID / --result ID / --cancel ID / --stats / --ping /\n"
       "  --shutdown          print the server's raw reply\n"
       "\nA job line is '<image.pgm|synth> <strategy> [@directive=value ...]"
       " [key=value ...]'\n(docs/PROTOCOL.md).\n");
+}
+
+/// WAIT on `id`, then print its RESULT JSON. Exit status 0 only when the
+/// job ended `done` — failed and cancelled jobs gate shell scripts and CI.
+int waitAndReport(mcmcpar::serve::Client& client, std::uint64_t id,
+                  bool progress) {
+  std::function<void(const std::string&)> onEvent;
+  if (progress) {
+    onEvent = [](const std::string& event) {
+      std::fprintf(stderr, "%s\n", event.c_str());
+    };
+  }
+  const std::string state = client.wait(id, onEvent);
+  const std::string reply = client.request("RESULT " + std::to_string(id));
+  if (reply.rfind("OK ", 0) != 0) {
+    std::fprintf(stderr, "%s\n", reply.c_str());
+    return 1;
+  }
+  // Reply is "OK <id> <json>": print just the JSON payload.
+  const std::size_t json = reply.find('{');
+  std::printf("%s\n", json == std::string::npos ? reply.c_str()
+                                                : reply.c_str() + json);
+  return state == "done" ? 0 : 1;
 }
 
 }  // namespace
@@ -50,7 +76,8 @@ int main(int argc, char** argv) {
   bool wait = true;
   bool progress = false;
   double timeoutSeconds = 300.0;
-  std::optional<std::string> command;  // raw single-command request
+  std::optional<std::string> command;   // raw single-command request
+  std::optional<std::uint64_t> waitId;  // --wait ID
   std::vector<std::string> jobTokens;
 
   for (int i = 1; i < argc; ++i) {
@@ -81,6 +108,16 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return 2;
       timeoutSeconds = std::strtod(v, nullptr);
+    } else if (arg == "--wait") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      char* end = nullptr;
+      const unsigned long long id = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || id == 0) {
+        std::fprintf(stderr, "--wait: expected a job id, got '%s'\n", v);
+        return 2;
+      }
+      waitId = id;
     } else if (arg == "--status" || arg == "--result" || arg == "--cancel") {
       const char* v = value();
       if (v == nullptr) return 2;
@@ -105,7 +142,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--port is required (1-65535)\n");
     return 2;
   }
-  if (!command && jobTokens.empty()) {
+  if (!command && !waitId && jobTokens.empty()) {
     printUsage();
     return 2;
   }
@@ -113,6 +150,8 @@ int main(int argc, char** argv) {
   serve::Client client;
   try {
     client.connect(host, static_cast<std::uint16_t>(port), timeoutSeconds);
+
+    if (waitId) return waitAndReport(client, *waitId, progress);
 
     if (command) {
       const std::string reply = client.request(*command);
@@ -132,25 +171,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "job %llu admitted\n",
                  static_cast<unsigned long long>(id));
-    std::function<void(const std::string&)> onEvent;
-    if (progress) {
-      onEvent = [](const std::string& event) {
-        std::fprintf(stderr, "%s\n", event.c_str());
-      };
-    }
-    const std::string state = client.wait(id, onEvent);
-    const std::string reply =
-        client.request("RESULT " + std::to_string(id));
-    if (reply.rfind("OK ", 0) != 0) {
-      std::fprintf(stderr, "%s\n", reply.c_str());
-      return 1;
-    }
-    // Reply is "OK <id> <json>": print just the JSON payload.
-    const std::size_t json = reply.find('{');
-    std::printf("%s\n",
-                json == std::string::npos ? reply.c_str()
-                                          : reply.c_str() + json);
-    return state == "done" ? 0 : 1;
+    return waitAndReport(client, id, progress);
   } catch (const serve::ProtocolError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

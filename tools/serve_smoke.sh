@@ -39,7 +39,7 @@ done
 [[ -n "$PORT" ]] || { echo "server never reported its port"; cat "$WORK/serve.log"; exit 1; }
 echo "server up on port $PORT (pid $SERVER_PID)"
 
-echo "== watch mode: drop the 6-strategy manifest =="
+echo "== watch mode: drop the all-strategies manifest =="
 cp "$MANIFEST" "$SPOOL/smoke.manifest"
 RESULT="$SPOOL/smoke.manifest.result.json"
 for _ in $(seq 1 600); do
@@ -48,7 +48,8 @@ for _ in $(seq 1 600); do
   sleep 0.5
 done
 [[ -f "$RESULT" ]] || { echo "no result JSON appeared"; cat "$WORK/serve.log"; exit 1; }
-grep -q '"completed": 6' "$RESULT" || { echo "unexpected result:"; cat "$RESULT"; exit 1; }
+JOBS=$(grep -cve '^\s*#' -e '^\s*$' "$MANIFEST")
+grep -q "\"completed\": $JOBS" "$RESULT" || { echo "unexpected result:"; cat "$RESULT"; exit 1; }
 echo "result JSON OK: $(grep -o '"completed": [0-9]*' "$RESULT")"
 
 echo "== socket mode: submit + wait + result =="

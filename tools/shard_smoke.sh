@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the sharded-execution subsystem against live
+# servers:
+#   1. socket fan-out — mcmcpar_run --shard with backend=socket splits a
+#      synthetic image into tiles, round-trips them through a live
+#      mcmcpar_serve and stitches the merged report;
+#   2. SHARD directive — a served job line carrying @shard becomes a shard
+#      coordinator inside the server itself;
+#   3. bounded admission — a --max-queued server answers ERR QUEUE_FULL
+#      once its backlog is at capacity.
+#
+# usage: shard_smoke.sh <mcmcpar_serve> <mcmcpar_submit> <mcmcpar_run>
+set -euo pipefail
+
+SERVE_BIN=$1
+SUBMIT_BIN=$2
+RUN_BIN=$3
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+SMALL_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  [[ -n "$SMALL_PID" ]] && kill "$SMALL_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_port() { # logfile -> port
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^LISTENING //p' "$1" | head -1)
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$port" ]] || { echo "server never reported its port" >&2; cat "$1" >&2; exit 1; }
+  echo "$port"
+}
+
+echo "== starting mcmcpar_serve (worker for remote tiles) =="
+"$SERVE_BIN" --listen 0 --iterations 2000 --drain-timeout 20 \
+  > "$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+PORT=$(wait_port "$WORK/serve.log")
+echo "worker server on port $PORT (pid $SERVER_PID)"
+
+echo "== mcmcpar_run --shard, socket backend =="
+OUT=$("$RUN_BIN" --shard 2x2 --strategy serial --iterations 8000 \
+  --width 192 --height 192 --cells 10 \
+  --opt halo=12 --opt backend=socket --opt endpoints=127.0.0.1:"$PORT")
+echo "$OUT"
+echo "$OUT" | grep -q 'sharded' || { echo "no sharded report row"; exit 1; }
+echo "$OUT" | grep -q '2x2 tiles (halo 12, socket/serial)' \
+  || { echo "missing shard extras line"; exit 1; }
+echo "$OUT" | grep -Eq 'tile-1x1 +[0-9]+ iters' \
+  || { echo "missing per-tile breakdown"; exit 1; }
+
+echo "== SHARD directive: a served job fans out inside the server =="
+OUT=$("$SUBMIT_BIN" --port "$PORT" synth serial @shard=2x2 @halo=8 @iters=4000)
+echo "$OUT"
+echo "$OUT" | grep -q '"strategy": "sharded"' || { echo "directive did not shard"; exit 1; }
+echo "$OUT" | grep -q '"state": "done"' || { echo "sharded job did not finish"; exit 1; }
+
+echo "== bounded admission: ERR QUEUE_FULL =="
+"$SERVE_BIN" --listen 0 --threads 1 --jobs 1 --max-queued 1 \
+  --drain-timeout 5 > "$WORK/small.log" 2>&1 &
+SMALL_PID=$!
+SMALL_PORT=$(wait_port "$WORK/small.log")
+ID1=$("$SUBMIT_BIN" --port "$SMALL_PORT" --no-wait synth serial @iters=500000000)
+for _ in $(seq 1 100); do  # wait until the single worker picks job 1 up
+  "$SUBMIT_BIN" --port "$SMALL_PORT" --status "$ID1" | grep -q ' running ' && break
+  sleep 0.2
+done
+"$SUBMIT_BIN" --port "$SMALL_PORT" --status "$ID1" | grep -q ' running ' \
+  || { echo "job $ID1 never started running"; exit 1; }
+ID2=$("$SUBMIT_BIN" --port "$SMALL_PORT" --no-wait synth serial @iters=100)
+set +e
+ERR=$("$SUBMIT_BIN" --port "$SMALL_PORT" --no-wait synth serial @iters=100 2>&1)
+STATUS=$?
+set -e
+[[ $STATUS -ne 0 ]] || { echo "over-capacity submit unexpectedly succeeded"; exit 1; }
+echo "$ERR" | grep -q 'QUEUE_FULL' || { echo "expected QUEUE_FULL, got: $ERR"; exit 1; }
+"$SUBMIT_BIN" --port "$SMALL_PORT" --cancel "$ID1" >/dev/null
+set +e
+"$SUBMIT_BIN" --port "$SMALL_PORT" --wait "$ID1" >/dev/null 2>&1
+WAIT_STATUS=$?
+set -e
+[[ $WAIT_STATUS -ne 0 ]] || { echo "--wait on a cancelled job exited 0"; exit 1; }
+"$SUBMIT_BIN" --port "$SMALL_PORT" --wait "$ID2" >/dev/null \
+  || { echo "queued job did not finish"; exit 1; }
+
+echo "== shutdown =="
+"$SUBMIT_BIN" --port "$SMALL_PORT" --shutdown >/dev/null
+"$SUBMIT_BIN" --port "$PORT" --shutdown | grep -q '^OK draining' || exit 1
+for PID in "$SERVER_PID" "$SMALL_PID"; do
+  for _ in $(seq 1 100); do
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.2
+  done
+  kill -0 "$PID" 2>/dev/null && { echo "server $PID ignored SHUTDOWN"; exit 1; }
+done
+SERVER_PID=""
+SMALL_PID=""
+
+echo "shard smoke OK"
