@@ -1,0 +1,184 @@
+// DATAPLANE — measure what the binary UPLOAD frame buys over file-path
+// submission on the serve socket protocol. Every request presents a
+// *distinct* image (no content-hash reuse between requests), so each mode
+// pays its full data-plane cost per job:
+//   file-submit     image already on disk; the server stats + decodes the
+//                   PGM per new path (the shared-filesystem workflow)
+//   upload          gray8 pixels pushed over the connection, submitted
+//                   with @image=inline — the server never touches disk
+//   upload-oneshot  same, with the cache-bypass flag tile fan-outs use
+// Emits BENCH_dataplane.json (the artifact CI uploads).
+//
+//   bench_dataplane [--runs=N] [--seed=N] [--paper-scale] [--out=FILE]
+//     --runs=N   requests per mode (default 12; paper 24)
+//     --out=FILE JSON output path (default BENCH_dataplane.json)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "img/pnm_io.hpp"
+#include "par/virtual_clock.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+
+using namespace mcmcpar;
+namespace fs = std::filesystem;
+
+namespace {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(p * static_cast<double>(values.size()))));
+  return values[std::min(rank, values.size()) - 1];
+}
+
+void printMode(const char* name, const std::vector<double>& latencies) {
+  std::printf("  %-14s %3zu requests: p50 %7.3f ms, p95 %7.3f ms\n", name,
+              latencies.size(), 1e3 * percentile(latencies, 0.50),
+              1e3 * percentile(latencies, 0.95));
+}
+
+void jsonMode(std::ostream& out, const char* name,
+              const std::vector<double>& latencies, bool last) {
+  out << "    \"" << name << "\": {\"requests\": " << latencies.size()
+      << ", \"p50_seconds\": " << percentile(latencies, 0.50)
+      << ", \"p95_seconds\": " << percentile(latencies, 0.95) << "}"
+      << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string outPath = "BENCH_dataplane.json";
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      outPath = argv[i] + 6;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  const bench::Options opt = bench::parseOptions(
+      static_cast<int>(passthrough.size()), passthrough.data());
+  const int requests = opt.runs > 0 ? opt.runs : (opt.paperScale ? 24 : 12);
+  const int size = opt.paperScale ? 512 : 192;
+  const int cells = opt.paperScale ? 50 : 10;
+  const std::uint64_t iterations = opt.paperScale ? 8000 : 2000;
+
+  // One distinct scene per request and mode, so no request rides a
+  // content-hash hit from an earlier one: both planes pay full freight.
+  const auto makeImage = [&](int index) {
+    return img::toU8(img::generateScene(img::cellScene(
+                         size, size, cells, 10.0,
+                         opt.seed + 1000 * static_cast<unsigned>(index)))
+                         .image);
+  };
+
+  std::printf("DATAPLANE: %d requests/mode, %llu iters each, %dx%d image\n\n",
+              requests, static_cast<unsigned long long>(iterations), size,
+              size);
+
+  serve::ServerOptions serverOptions;
+  serverOptions.seed = opt.seed;
+  serverOptions.radius = 10.0;
+  serverOptions.defaultBudget = engine::RunBudget{iterations, 0};
+  serve::Server server(serverOptions);
+  serve::SocketFrontend socket(server, 0);
+
+  serve::Client client;
+  client.connect("127.0.0.1", socket.port(), 120.0);
+  bool allOk = true;
+  const auto runJob = [&](const std::string& jobLine) {
+    const std::uint64_t id = client.submit(jobLine);
+    allOk &= client.wait(id) == "done";
+  };
+
+  // --- file-submit: distinct path per request, server decodes from disk --
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("bench_dataplane_" + std::to_string(opt.seed));
+  fs::create_directories(dir);
+  std::vector<std::string> paths;
+  for (int i = 0; i < requests; ++i) {
+    const fs::path p = dir / ("frame_" + std::to_string(i) + ".pgm");
+    img::writePgm(makeImage(i), p.string());
+    paths.push_back(p.string());
+  }
+  std::vector<double> fileSubmit;
+  for (int i = 0; i < requests; ++i) {
+    const par::WallTimer timer;
+    runJob(paths[i] + " serial @iters=" + std::to_string(iterations));
+    fileSubmit.push_back(timer.seconds());
+  }
+  printMode("file-submit", fileSubmit);
+
+  // --- upload: push pixels over the socket, submit @image=inline --------
+  // Offset the scene index past the file batch so content stays distinct.
+  std::vector<double> uploaded;
+  for (int i = 0; i < requests; ++i) {
+    const img::ImageU8 image = makeImage(requests + i);
+    const std::string id = "up-" + std::to_string(i);
+    const par::WallTimer timer;
+    (void)client.upload(id, image);
+    runJob(id + " serial @image=inline @iters=" +
+           std::to_string(iterations));
+    uploaded.push_back(timer.seconds());
+  }
+  printMode("upload", uploaded);
+
+  // --- upload-oneshot: the cache-bypass path the shard fan-out uses ------
+  std::vector<double> oneshot;
+  for (int i = 0; i < requests; ++i) {
+    const img::ImageU8 image = makeImage(2 * requests + i);
+    const std::string id = "once-" + std::to_string(i);
+    const par::WallTimer timer;
+    (void)client.upload(id, image, /*oneshot=*/true);
+    runJob(id + " serial @image=inline @iters=" +
+           std::to_string(iterations));
+    oneshot.push_back(timer.seconds());
+  }
+  printMode("upload-oneshot", oneshot);
+
+  const serve::ServerStats stats = server.stats();
+  std::printf("\ncache after all modes: %zu entr(ies), %llu eviction(s) -- "
+              "oneshot uploads must not have displaced warm frames\n",
+              static_cast<std::size_t>(stats.cache.entries),
+              static_cast<unsigned long long>(stats.cache.evictions));
+
+  const double fileP50 = percentile(fileSubmit, 0.50);
+  const double uploadP50 = percentile(uploaded, 0.50);
+  std::printf("file-submit p50 %.3f ms vs upload p50 %.3f ms (%+.1f%%)\n",
+              1e3 * fileP50, 1e3 * uploadP50,
+              fileP50 > 0.0 ? 100.0 * (uploadP50 - fileP50) / fileP50 : 0.0);
+
+  std::ofstream out(outPath);
+  out << "{\n"
+      << "  \"bench\": \"dataplane\",\n"
+      << "  \"iterations_per_request\": " << iterations << ",\n"
+      << "  \"image\": \"" << size << "x" << size << "\",\n"
+      << "  \"modes\": {\n";
+  jsonMode(out, "file_submit", fileSubmit, false);
+  jsonMode(out, "upload", uploaded, false);
+  jsonMode(out, "upload_oneshot", oneshot, true);
+  out << "  },\n"
+      << "  \"cache_entries\": " << stats.cache.entries << ",\n"
+      << "  \"cache_evictions\": " << stats.cache.evictions << ",\n"
+      << "  \"all_jobs_done\": " << (allOk ? "true" : "false") << "\n"
+      << "}\n";
+  std::printf("wrote %s\n", outPath.c_str());
+
+  client.close();
+  socket.stop();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return allOk ? 0 : 1;
+}

@@ -273,13 +273,34 @@ ManifestEntry parseManifestLine(const std::string& line) {
       entry.trace = directiveU64(key, value);
     } else if (key == "@label") {
       entry.label = value;
-    } else if (key == "@radius") {
-      const double radius = directiveDbl(key, value);
-      if (radius <= 0.0) {
-        throw EngineError("directive '@radius': expected a radius > 0, got '" +
+    } else if (key == "@radius" || key == "@radius-std" ||
+               key == "@radius-min" || key == "@radius-max" ||
+               key == "@count") {
+      const double parsed = directiveDbl(key, value);
+      if (parsed <= 0.0) {
+        throw EngineError("directive '" + key +
+                          "': expected a value > 0, got '" + value + "'");
+      }
+      if (key == "@radius") {
+        entry.radius = parsed;
+      } else if (key == "@radius-std") {
+        entry.radiusStd = parsed;
+      } else if (key == "@radius-min") {
+        entry.radiusMin = parsed;
+      } else if (key == "@radius-max") {
+        entry.radiusMax = parsed;
+      } else {
+        entry.expectedCount = parsed;
+      }
+    } else if (key == "@image") {
+      if (value != "inline") {
+        throw EngineError("directive '@image': the only supported value is "
+                          "'inline', got '" +
                           value + "'");
       }
-      entry.radius = radius;
+      entry.inlineImage = true;
+    } else if (key == "@oneshot") {
+      entry.oneshot = directiveU64(key, value) != 0;
     } else if (key == "@shard") {
       int gx = 0;
       int gy = 0;
@@ -294,7 +315,8 @@ ManifestEntry parseManifestLine(const std::string& line) {
     } else {
       throw EngineError("unknown job directive '" + key +
                         "' (expected @iters, @seed, @trace, @label, "
-                        "@radius, @shard or @halo)");
+                        "@radius, @radius-std, @radius-min, @radius-max, "
+                        "@count, @image, @oneshot, @shard or @halo)");
     }
   }
   // Validate option tokens through the same parser --opt uses, so a stray

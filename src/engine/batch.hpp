@@ -146,8 +146,9 @@ class BatchRunner {
 /// the serve protocol's SUBMIT payload (normative spec: docs/PROTOCOL.md):
 ///   <image.pgm | synth> <strategy> [@directive=value ...] [key=value ...]
 /// `@`-prefixed tokens are job-level directives (@iters, @seed, @trace,
-/// @label, @shard, @halo); bare key=value tokens go to the strategy. Blank
-/// lines and lines starting with '#' are skipped by the manifest reader.
+/// @label, @radius, @radius-std/min/max, @count, @image, @oneshot, @shard,
+/// @halo); bare key=value tokens go to the strategy. Blank lines and lines
+/// starting with '#' are skipped by the manifest reader.
 ///
 /// `@shard=KxL [@halo=N]` is grammar-level sugar making the job a shard
 /// coordinator: the parser rewrites the entry to the "sharded" strategy
@@ -155,7 +156,7 @@ class BatchRunner {
 /// option forwarded as `inner.<key>=<value>` — so a served job can itself
 /// fan out across the serving layer's shared budget.
 struct ManifestEntry {
-  std::string image;     ///< PGM path, or "synth" for the front-end's scene
+  std::string image;     ///< PGM path, "synth", or an UPLOAD id (inline)
   std::string strategy;  ///< registry key
   std::vector<std::string> options;  ///< key=value strategy options
   std::optional<std::uint64_t> iterations;  ///< @iters: per-job budget
@@ -164,10 +165,29 @@ struct ManifestEntry {
   std::string label;  ///< @label: caller's tag ("" = image path)
 
   /// @radius: per-job circle-prior radius mean, overriding the front-end's
-  /// default (--radius); std/min/max derive from it by the shared rule.
-  /// The shard coordinator's socket backend sets it so remote tiles sample
-  /// under the coordinator's prior, not the remote server's default.
+  /// default (--radius). Unless the explicit @radius-std/@radius-min/
+  /// @radius-max directives are present, std/min/max derive from the mean
+  /// by the shared rule. The shard coordinator's socket backend sets all
+  /// four so remote tiles sample under the coordinator's exact prior, not
+  /// the remote server's default.
   std::optional<double> radius;
+  std::optional<double> radiusStd;  ///< @radius-std
+  std::optional<double> radiusMin;  ///< @radius-min
+  std::optional<double> radiusMax;  ///< @radius-max
+
+  /// @count: fixed expected artifact count — disables the per-image eq. 5
+  /// estimate (Problem.estimateCount) on the serving side, the way a local
+  /// caller sets estimateCount=false with a fixed prior.expectedCount.
+  std::optional<double> expectedCount;
+
+  /// @image=inline: the image token names an UPLOAD id on the submitting
+  /// connection instead of a path. Only the socket front-end can satisfy
+  /// it; manifest files and the watch front-end reject such entries.
+  bool inlineImage = false;
+
+  /// @oneshot=1: resolve the image with cache bypass — a miss is served
+  /// but not inserted, so single-use jobs don't evict warm entries.
+  bool oneshot = false;
 };
 
 /// Parse one job line. Throws EngineError on fewer than two fields, unknown

@@ -1,7 +1,10 @@
 #include "serve/image_cache.hpp"
 
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <iterator>
 #include <system_error>
 #include <utility>
 
@@ -30,49 +33,125 @@ std::pair<std::int64_t, std::uintmax_t> fileIdentity(const std::string& path) {
   return {mtimeNs, size};
 }
 
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnvMix(std::uint64_t& hash, const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+}
+
 }  // namespace
+
+std::uint64_t ImageCache::hashFrame(int width, int height, int bytesPerPixel,
+                                    const void* data,
+                                    std::size_t size) noexcept {
+  std::uint64_t hash = kFnvOffset;
+  const std::int64_t header[3] = {width, height, bytesPerPixel};
+  fnvMix(hash, header, sizeof(header));
+  fnvMix(hash, data, size);
+  return hash;
+}
+
+std::uint64_t ImageCache::hashImage(const img::ImageU8& image) noexcept {
+  return hashFrame(image.width(), image.height(), 1, image.pixels().data(),
+                   image.pixelCount());
+}
+
+std::string ImageCache::hashHex(std::uint64_t hash) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
 
 ImageCache::ImageCache(std::size_t capacityBytes)
     : capacityBytes_(capacityBytes) {}
 
-std::shared_ptr<const img::ImageF> ImageCache::get(const std::string& path) {
+std::shared_ptr<const img::ImageF> ImageCache::get(const std::string& path,
+                                                   bool bypass) {
   const auto [mtimeNs, fileSize] = fileIdentity(path);
 
   {
     const std::scoped_lock lock(mutex_);
-    const auto it = index_.find(path);
-    if (it != index_.end() && it->second->mtimeNs == mtimeNs &&
-        it->second->fileSize == fileSize) {
-      ++hits_;
-      lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
-      return it->second->image;
+    const auto known = identity_.find(path);
+    if (known != identity_.end() && known->second.mtimeNs == mtimeNs &&
+        known->second.fileSize == fileSize) {
+      const auto it = index_.find(known->second.hash);
+      if (it != index_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
+        return it->second->image;
+      }
+      identity_.erase(known);  // the content entry was evicted meanwhile
     }
   }
 
-  // Miss or stale: decode outside the lock (PGM reads can be slow and must
-  // not serialise concurrent hits on other paths).
-  auto image = std::make_shared<const img::ImageF>(
-      img::toF(img::readPgm(path)));
+  // Unknown or stale path: decode outside the lock (PGM reads can be slow
+  // and must not serialise concurrent hits on other paths).
+  const img::ImageU8 raw = img::readPgm(path);
+  const std::uint64_t hash = hashImage(raw);
+  auto image = std::make_shared<const img::ImageF>(img::toF(raw));
   const std::size_t bytes = image->pixelCount() * sizeof(float);
 
   const std::scoped_lock lock(mutex_);
-  ++misses_;
-  const auto it = index_.find(path);
-  if (it != index_.end()) {  // drop the stale (or racing) entry
-    bytes_ -= it->second->bytes;
-    lru_.erase(it->second);
-    index_.erase(it);
+  const auto it = index_.find(hash);
+  if (it != index_.end()) {
+    // Content dedup: these bytes are already resident (another path, or an
+    // upload). We paid the decode, so the load still counts as a miss, but
+    // the path now stat-hits the shared entry.
+    ++misses_;
+    identity_[path] = PathIdentity{mtimeNs, fileSize, hash};
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->image;
   }
+  ++misses_;
+  if (bypass) return image;  // one-shot: never insert, never evict others
   if (capacityBytes_ != 0 && bytes > capacityBytes_) {
     return image;  // would evict everything and still not fit: pass through
   }
-  lru_.push_front(Entry{path, image, mtimeNs, fileSize, bytes});
-  index_[path] = lru_.begin();
-  bytes_ += bytes;
+  identity_[path] = PathIdentity{mtimeNs, fileSize, hash};
+  return insertLocked(hash, Entry{hash, std::move(image), bytes});
+}
+
+std::shared_ptr<const img::ImageF> ImageCache::intern(std::uint64_t hash,
+                                                      img::ImageF image,
+                                                      bool bypass) {
+  auto shared = std::make_shared<const img::ImageF>(std::move(image));
+  const std::size_t bytes = shared->pixelCount() * sizeof(float);
+
+  const std::scoped_lock lock(mutex_);
+  const auto it = index_.find(hash);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->image;
+  }
+  ++misses_;
+  if (bypass) return shared;
+  if (capacityBytes_ != 0 && bytes > capacityBytes_) return shared;
+  return insertLocked(hash, Entry{hash, std::move(shared), bytes});
+}
+
+std::shared_ptr<const img::ImageF> ImageCache::insertLocked(std::uint64_t hash,
+                                                            Entry entry) {
+  std::shared_ptr<const img::ImageF> image = entry.image;
+  bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  index_[hash] = lru_.begin();
   while (capacityBytes_ != 0 && bytes_ > capacityBytes_ && lru_.size() > 1) {
     const Entry& victim = lru_.back();
     bytes_ -= victim.bytes;
-    index_.erase(victim.path);
+    index_.erase(victim.hash);
+    // Paths that resolved to the victim must re-load next time; the
+    // identity map is small (one entry per distinct path ever seen).
+    for (auto it = identity_.begin(); it != identity_.end();) {
+      it = it->second.hash == victim.hash ? identity_.erase(it)
+                                          : std::next(it);
+    }
     lru_.pop_back();
     ++evictions_;
   }
@@ -95,6 +174,7 @@ void ImageCache::clear() {
   const std::scoped_lock lock(mutex_);
   lru_.clear();
   index_.clear();
+  identity_.clear();
   bytes_ = 0;
 }
 

@@ -14,20 +14,29 @@ namespace mcmcpar::serve {
 /// Cache counters; a consistent snapshot under the cache mutex.
 struct ImageCacheStats {
   std::uint64_t hits = 0;
-  std::uint64_t misses = 0;      ///< loads (first sight or revalidation)
+  std::uint64_t misses = 0;      ///< loads/interns that found no resident entry
   std::uint64_t evictions = 0;   ///< LRU entries dropped for capacity
   std::size_t entries = 0;
   std::size_t bytes = 0;         ///< resident pixel bytes
   std::size_t capacityBytes = 0;
 };
 
-/// A thread-safe LRU cache of decoded images keyed by path + mtime + size.
+/// A thread-safe LRU cache of decoded images keyed by *content hash*.
 ///
-/// The serving front-end amortises PGM decode across requests: the first
-/// request for a path pays the read, later ones hit the cache, and a file
-/// that changed on disk (different mtime or byte size) is transparently
-/// reloaded. Entries hand out shared_ptr snapshots, so eviction never
-/// invalidates an image a running job still borrows.
+/// Once image bytes travel inside the protocol (UPLOAD frames) as well as
+/// by path, path+mtime stops being an identity: two paths with identical
+/// bytes are one image, an upload has no path at all, and a re-uploaded
+/// frame must hit. Entries are therefore keyed by a 64-bit FNV-1a hash of
+/// the frame (dimensions + raw payload); a path -> (mtime, size, hash)
+/// side-index keeps the hot filesystem path stat-only, so repeated gets of
+/// an unchanged file never re-read or re-hash it.
+///
+/// One-shot consumers (shard tile jobs) pass `bypass = true`: a resident
+/// entry is still returned (hits are free), but a miss is NOT inserted —
+/// never-reused tiles cannot evict warm entries.
+///
+/// Entries hand out shared_ptr snapshots, so eviction never invalidates an
+/// image a running job still borrows.
 class ImageCache {
  public:
   /// Hold at most `capacityBytes` of decoded pixels (0 = unbounded). An
@@ -37,10 +46,33 @@ class ImageCache {
   ImageCache(const ImageCache&) = delete;
   ImageCache& operator=(const ImageCache&) = delete;
 
-  /// Fetch the decoded image at `path`, loading it on a miss. Throws
-  /// img::PnmError on unreadable or malformed files.
+  /// 64-bit FNV-1a over a binary frame: dimensions, bytes-per-pixel and the
+  /// raw payload. The canonical content identity of the data plane — the
+  /// UPLOAD reply echoes it and the cache keys on it.
+  [[nodiscard]] static std::uint64_t hashFrame(int width, int height,
+                                               int bytesPerPixel,
+                                               const void* data,
+                                               std::size_t size) noexcept;
+
+  /// hashFrame over an 8-bit image (what a path load decodes to).
+  [[nodiscard]] static std::uint64_t hashImage(
+      const img::ImageU8& image) noexcept;
+
+  /// The 16-lowercase-hex-digit spelling used on the wire.
+  [[nodiscard]] static std::string hashHex(std::uint64_t hash);
+
+  /// Fetch the decoded image at `path`, loading it on a miss. Two paths
+  /// with identical bytes share one entry. Throws img::PnmError on
+  /// unreadable or malformed files. `bypass`: do not insert on a miss.
   [[nodiscard]] std::shared_ptr<const img::ImageF> get(
-      const std::string& path);
+      const std::string& path, bool bypass = false);
+
+  /// Intern an already-decoded image under its content `hash` (the UPLOAD
+  /// path). Returns the resident image when the hash already has an entry
+  /// (dedup), otherwise shares `image` — inserting it unless `bypass`.
+  [[nodiscard]] std::shared_ptr<const img::ImageF> intern(std::uint64_t hash,
+                                                          img::ImageF image,
+                                                          bool bypass);
 
   [[nodiscard]] ImageCacheStats stats() const;
 
@@ -49,16 +81,26 @@ class ImageCache {
 
  private:
   struct Entry {
-    std::string path;
+    std::uint64_t hash = 0;
     std::shared_ptr<const img::ImageF> image;
-    std::int64_t mtimeNs = 0;    ///< file mtime at load time
-    std::uintmax_t fileSize = 0; ///< file byte size at load time
-    std::size_t bytes = 0;       ///< decoded pixel bytes
+    std::size_t bytes = 0;  ///< decoded pixel bytes
   };
+  /// What `path` looked like when it last resolved to `hash`.
+  struct PathIdentity {
+    std::int64_t mtimeNs = 0;
+    std::uintmax_t fileSize = 0;
+    std::uint64_t hash = 0;
+  };
+
+  /// Insert under the lock, then evict LRU victims over capacity. Returns
+  /// the inserted image.
+  std::shared_ptr<const img::ImageF> insertLocked(std::uint64_t hash,
+                                                  Entry entry);
 
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  ///< front = most recently used
-  std::map<std::string, std::list<Entry>::iterator> index_;
+  std::map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::map<std::string, PathIdentity> identity_;  ///< stat-only fast path
   std::size_t capacityBytes_;
   std::size_t bytes_ = 0;
   std::uint64_t hits_ = 0;

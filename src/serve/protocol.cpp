@@ -15,6 +15,15 @@ std::string num(double value) {
   return buffer;
 }
 
+/// Exact round-trip formatting for values another process computes with:
+/// circle coordinates feed the shard coordinator's stitcher, so a remote
+/// tile must reproduce the local backend bit-for-bit.
+std::string numExact(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
 }  // namespace
 
 std::string jsonEscape(const std::string& text) {
@@ -80,11 +89,11 @@ std::string reportJson(const JobStatus& status,
     const model::Circle& c = report.circles[i];
     if (i != 0) out += ", ";
     out += '[';
-    out += num(c.x);
+    out += numExact(c.x);
     out += ", ";
-    out += num(c.y);
+    out += numExact(c.y);
     out += ", ";
-    out += num(c.r);
+    out += numExact(c.r);
     out += ']';
   }
   out += "]}";

@@ -20,6 +20,12 @@ inline constexpr const char* kErrUnknownJob = "UNKNOWN_JOB";
 inline constexpr const char* kErrPending = "PENDING";
 inline constexpr const char* kErrShuttingDown = "SHUTTING_DOWN";
 inline constexpr const char* kErrQueueFull = "QUEUE_FULL";
+/// Binary-frame rejections (UPLOAD): a frame whose decoded pixels exceed
+/// the server's cache capacity (or whose declared size is insane) vs. a
+/// malformed frame (bad header, zero-size, nbytes/dimension mismatch,
+/// truncated payload).
+inline constexpr const char* kErrTooLarge = "TOO_LARGE";
+inline constexpr const char* kErrBadFrame = "BAD_FRAME";
 
 /// JSON string escaping (quotes, backslashes, control characters).
 [[nodiscard]] std::string jsonEscape(const std::string& text);

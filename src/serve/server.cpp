@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <initializer_list>
 #include <utility>
 
 #include "engine/registry.hpp"
@@ -54,25 +55,69 @@ Server::Server(ServerOptions options)
 Server::~Server() { shutdown(0.0); }
 
 std::shared_ptr<const img::ImageF> Server::resolveImage(
-    const std::string& path) {
+    const std::string& path, bool oneshot) {
   if (path == "synth") return synthImage_;
-  return cache_.get(path);
+  return cache_.get(path, oneshot);
 }
 
-std::uint64_t Server::submit(const JobSpec& spec) {
+std::shared_ptr<const img::ImageF> Server::internUpload(std::uint64_t hash,
+                                                        img::ImageF image,
+                                                        bool oneshot) {
+  return cache_.intern(hash, std::move(image), oneshot);
+}
+
+namespace {
+
+/// Does a raw option token list carry any `key=` for one of `keys`?
+bool hasOptionKey(const std::vector<std::string>& options,
+                  std::initializer_list<const char*> keys) {
+  for (const std::string& option : options) {
+    for (const char* key : keys) {
+      if (option.rfind(std::string(key) + "=", 0) == 0) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t Server::submit(const JobSpec& spec,
+                             std::shared_ptr<const img::ImageF> inlineImage) {
+  JobSpec admitted = spec;
+  // A sharded socket job that names no endpoints inherits the server's
+  // fleet (--endpoints-file): the server is the natural owner of "which
+  // hosts are mine to fan out over".
+  if (!options_.fleetEndpoints.empty() && admitted.strategy == "sharded" &&
+      hasOptionKey(admitted.options, {"backend"}) &&
+      std::find(admitted.options.begin(), admitted.options.end(),
+                "backend=socket") != admitted.options.end() &&
+      !hasOptionKey(admitted.options, {"endpoints", "endpoints-file"})) {
+    admitted.options.push_back("endpoints=" + options_.fleetEndpoints);
+  }
+
   // Resolve the image and validate strategy + options at admission, so a
   // bad request fails the submitter with a descriptive error instead of
   // failing later on a worker thread.
-  std::shared_ptr<const img::ImageF> image = resolveImage(spec.image);
+  std::shared_ptr<const img::ImageF> image;
+  if (admitted.inlineImage) {
+    if (inlineImage == nullptr) {
+      throw engine::EngineError(
+          "@image=inline requires a preceding UPLOAD '" + admitted.image +
+          "' on the submitting connection (docs/PROTOCOL.md Binary frames)");
+    }
+    image = std::move(inlineImage);
+  } else {
+    image = resolveImage(admitted.image, admitted.oneshot);
+  }
   (void)engine::StrategyRegistry::builtin().create(
-      spec.strategy, engine::ExecResources{}, spec.options);
+      admitted.strategy, engine::ExecResources{}, admitted.options);
 
   std::uint64_t id = 0;
   {
     // Hold imageMutex_ across admission so a worker that dequeues the job
     // immediately blocks here until its image is pinned.
     const std::scoped_lock lock(imageMutex_);
-    id = queue_.submit(spec);
+    id = queue_.submit(admitted);
     jobImages_.emplace(id, std::move(image));
   }
   emit(JobEvent{JobEvent::Type::Admitted, id, 0, 0});
@@ -175,12 +220,19 @@ void Server::workerLoop(const std::stop_token& stop) {
       job.options = spec->options;
       job.problem.filtered = image.get();
       // @radius overrides the server-wide prior knob (shard coordinators
-      // use it so remote tiles sample under the coordinator's prior).
+      // use it so remote tiles sample under the coordinator's prior);
+      // @radius-std/min/max carry an exact prior instead of the derived
+      // rule, and @count pins the expected artifact count the way a local
+      // caller sets estimateCount=false.
       const double radius = spec->radius.value_or(options_.radius);
       job.problem.prior.radiusMean = radius;
-      job.problem.prior.radiusStd = radius / 8.0;
-      job.problem.prior.radiusMin = radius / 2.0;
-      job.problem.prior.radiusMax = radius * 1.8;
+      job.problem.prior.radiusStd = spec->radiusStd.value_or(radius / 8.0);
+      job.problem.prior.radiusMin = spec->radiusMin.value_or(radius / 2.0);
+      job.problem.prior.radiusMax = spec->radiusMax.value_or(radius * 1.8);
+      if (spec->expectedCount) {
+        job.problem.estimateCount = false;
+        job.problem.prior.expectedCount = *spec->expectedCount;
+      }
       job.budget = options_.defaultBudget;
       if (spec->iterations) job.budget.iterations = *spec->iterations;
       if (spec->trace) job.budget.traceInterval = *spec->trace;

@@ -56,6 +56,14 @@ struct ServerOptions {
   /// (`ERR QUEUE_FULL` over the socket) so clients can back off instead of
   /// growing the backlog without bound.
   std::size_t maxQueued = 0;
+
+  /// Default endpoint fleet, as the `endpoints=` option value
+  /// (host:port[*weight][,...]). When non-empty, a submitted "sharded" job
+  /// with backend=socket but no endpoints/endpoints-file option fans out
+  /// over this fleet — mcmcpar_serve --endpoints-file fills it in. Kept as
+  /// the option string (not parsed structs) so the serve layer stays free
+  /// of shard-layer types.
+  std::string fleetEndpoints;
 };
 
 /// One progress/lifecycle event of a job, streamed to subscribers.
@@ -101,7 +109,20 @@ class Server {
   /// malformed options, or after shutdown began; throws img::PnmError when
   /// the image path cannot be read (the image is resolved through the cache
   /// at admission, so a bad path fails the request, not the worker).
-  [[nodiscard]] std::uint64_t submit(const JobSpec& spec);
+  ///
+  /// `inlineImage` satisfies a spec with `@image=inline`: the front-end
+  /// resolved the image from its own upload namespace (UPLOAD frames are
+  /// per-connection) and passes it here pre-decoded. An inline spec without
+  /// an image is rejected — manifest files cannot carry pixels.
+  [[nodiscard]] std::uint64_t submit(
+      const JobSpec& spec,
+      std::shared_ptr<const img::ImageF> inlineImage = nullptr);
+
+  /// Intern an uploaded frame into the image cache under its content hash
+  /// (UPLOAD). `oneshot` bypasses insertion so single-use tiles don't evict
+  /// warm entries; a resident duplicate is returned either way.
+  [[nodiscard]] std::shared_ptr<const img::ImageF> internUpload(
+      std::uint64_t hash, img::ImageF image, bool oneshot);
 
   /// Parse a protocol job line and submit it.
   [[nodiscard]] std::uint64_t submitLine(const std::string& line);
@@ -135,7 +156,7 @@ class Server {
   void workerLoop(const std::stop_token& stop);
   void emit(const JobEvent& event);
   [[nodiscard]] std::shared_ptr<const img::ImageF> resolveImage(
-      const std::string& path);
+      const std::string& path, bool oneshot);
 
   ServerOptions options_;
   par::PoolBudget budget_;

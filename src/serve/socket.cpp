@@ -6,7 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdlib>
@@ -15,6 +17,7 @@
 #include <iterator>
 #include <sstream>
 
+#include "engine/batch.hpp"
 #include "engine/options.hpp"
 #include "img/pnm_io.hpp"
 #include "serve/protocol.hpp"
@@ -26,6 +29,18 @@ namespace {
 /// Receive timeout applied to every server-side connection so handler
 /// threads poll the stopping flag instead of blocking in recv forever.
 constexpr int kPollMillis = 200;
+
+/// Binary-frame bounds: a declared dimension past kMaxFrameDim or payload
+/// past kMaxFrameBytes is rejected (TOO_LARGE) without reading the body; a
+/// payload within bounds is fully consumed even when the frame is rejected,
+/// so the connection stays usable. kFrameReadMillis bounds how long the
+/// server waits for a slow/truncated body before giving up on it.
+constexpr std::uint64_t kMaxFrameDim = 1u << 16;
+constexpr std::uint64_t kMaxFrameBytes = 1u << 30;
+constexpr int kFrameReadMillis = 30000;
+
+/// Uploads retained per connection; the oldest is dropped past the cap.
+constexpr std::size_t kMaxUploadsPerConnection = 64;
 
 void setRecvTimeout(int fd, long millis) {
   timeval tv{};
@@ -47,6 +62,41 @@ bool sendAll(int fd, const std::string& text) {
 
 bool sendLine(int fd, const std::string& line) {
   return sendAll(fd, line + "\n");
+}
+
+/// Read exactly `want` bytes of a frame body into `out` (or discard them
+/// when `out` is null), draining `buffer` (bytes received past the header
+/// line) first. False on EOF, error, stop, or the frame-read deadline.
+bool readBody(int fd, std::string& buffer, char* out, std::size_t want,
+              const std::atomic<bool>& stopping) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(kFrameReadMillis);
+  std::size_t got = 0;
+  char scratch[65536];
+  if (!buffer.empty()) {
+    const std::size_t take = std::min(want, buffer.size());
+    if (out != nullptr) std::memcpy(out, buffer.data(), take);
+    buffer.erase(0, take);
+    got = take;
+  }
+  while (got < want) {
+    if (stopping.load() || std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    char* dst = out != nullptr ? out + got : scratch;
+    const std::size_t room =
+        out != nullptr ? want - got : std::min(want - got, sizeof(scratch));
+    const ssize_t n = ::recv(fd, dst, room, 0);
+    if (n == 0) return false;  // client closed mid-frame
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        continue;  // poll tick: re-check stopping_ and the deadline
+      }
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
 }
 
 /// Parse a strict decimal job id; false on anything else.
@@ -144,6 +194,7 @@ void SocketFrontend::handleConnection(int fd) {
   std::string buffer;
   char chunk[4096];
   bool keepOpen = true;
+  ConnectionState state;
   while (keepOpen && !stopping_.load()) {
     const std::size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
@@ -162,14 +213,126 @@ void SocketFrontend::handleConnection(int fd) {
     buffer.erase(0, newline + 1);
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    const std::string reply = dispatch(line, fd, keepOpen);
+    // UPLOAD is the one command followed by a binary body, so it cannot go
+    // through the line dispatcher: the body is consumed here, from `buffer`
+    // (bytes already received) plus the socket.
+    const std::string reply =
+        line.rfind("UPLOAD", 0) == 0 &&
+                (line.size() == 6 || line[6] == ' ' || line[6] == '\t')
+            ? handleUpload(line, fd, buffer, state, keepOpen)
+            : dispatch(line, fd, state, keepOpen);
     if (!reply.empty() && !sendLine(fd, reply)) break;
   }
   ::close(fd);
 }
 
+std::string SocketFrontend::handleUpload(const std::string& line, int fd,
+                                         std::string& buffer,
+                                         ConnectionState& state,
+                                         bool& keepOpen) {
+  std::istringstream tokens(line);
+  std::string command, id, wText, hText, nText, extra;
+  tokens >> command >> id >> wText >> hText >> nText;
+  std::uint64_t width = 0;
+  std::uint64_t height = 0;
+  std::uint64_t nbytes = 0;
+  bool headerOk = !id.empty() && parseId(wText, width) &&
+                  parseId(hText, height) && parseId(nText, nbytes);
+  bool oneshot = false;
+  if (headerOk && tokens >> extra) {
+    if (extra == "oneshot" && !(tokens >> extra)) {
+      oneshot = true;
+    } else {
+      headerOk = false;
+    }
+  }
+  if (!headerOk) {
+    // The body length is unknowable from a malformed header, so the stream
+    // cannot be resynchronised: reply and drop the connection.
+    keepOpen = false;
+    return protocol::errLine(
+        protocol::kErrBadFrame,
+        "expected 'UPLOAD <id> <w> <h> <nbytes> [oneshot]', got '" + line +
+            "'");
+  }
+
+  // A well-formed header declares the body length, so a rejected frame can
+  // still be drained and the connection kept: discard the payload (bounded
+  // by kMaxFrameBytes — past that, close instead of reading a gigabyte).
+  const auto reject = [&](const char* code, const std::string& message) {
+    if (nbytes > kMaxFrameBytes ||
+        !readBody(fd, buffer, nullptr, nbytes, stopping_)) {
+      keepOpen = false;
+    }
+    return protocol::errLine(code, message);
+  };
+
+  if (width == 0 || height == 0 || nbytes == 0) {
+    return reject(protocol::kErrBadFrame,
+                  "zero-size frame: w, h and nbytes must all be > 0");
+  }
+  if (width > kMaxFrameDim || height > kMaxFrameDim ||
+      nbytes > kMaxFrameBytes) {
+    return reject(protocol::kErrTooLarge,
+                  "frame exceeds protocol bounds (max dimension " +
+                      std::to_string(kMaxFrameDim) + ", max payload " +
+                      std::to_string(kMaxFrameBytes) + " bytes)");
+  }
+  const std::uint64_t pixels = width * height;
+  if (nbytes != pixels && nbytes != 4 * pixels) {
+    return reject(protocol::kErrBadFrame,
+                  "nbytes " + nText + " matches neither w*h (gray8, " +
+                      std::to_string(pixels) + ") nor 4*w*h (float32, " +
+                      std::to_string(4 * pixels) + ")");
+  }
+  const std::size_t cacheCapacity = server_.options().cacheBytes;
+  if (cacheCapacity != 0 && pixels * sizeof(float) > cacheCapacity) {
+    return reject(protocol::kErrTooLarge,
+                  "decoded image (" + std::to_string(pixels * sizeof(float)) +
+                      " bytes) exceeds the server's image cache capacity (" +
+                      std::to_string(cacheCapacity) + " bytes)");
+  }
+
+  std::string body(static_cast<std::size_t>(nbytes), '\0');
+  if (!readBody(fd, buffer, body.data(), body.size(), stopping_)) {
+    keepOpen = false;  // truncated mid-frame: the stream is desynchronised
+    return protocol::errLine(protocol::kErrBadFrame,
+                             "truncated frame: connection delivered fewer "
+                             "than the declared " +
+                                 nText + " payload bytes");
+  }
+
+  const int w = static_cast<int>(width);
+  const int h = static_cast<int>(height);
+  const bool floatFrame = nbytes == 4 * pixels;
+  const std::uint64_t hash = ImageCache::hashFrame(
+      w, h, floatFrame ? 4 : 1, body.data(), body.size());
+  img::ImageF image(w, h);
+  if (floatFrame) {
+    std::memcpy(image.pixels().data(), body.data(), body.size());
+  } else {
+    for (std::size_t i = 0; i < pixels; ++i) {
+      image.pixels()[i] = static_cast<float>(
+                              static_cast<unsigned char>(body[i])) /
+                          255.0f;
+    }
+  }
+  std::shared_ptr<const img::ImageF> interned =
+      server_.internUpload(hash, std::move(image), oneshot);
+
+  if (state.uploads.find(id) == state.uploads.end()) {
+    state.uploadOrder.push_back(id);
+    if (state.uploadOrder.size() > kMaxUploadsPerConnection) {
+      state.uploads.erase(state.uploadOrder.front());
+      state.uploadOrder.erase(state.uploadOrder.begin());
+    }
+  }
+  state.uploads[id] = std::move(interned);
+  return protocol::okLine(id + " " + ImageCache::hashHex(hash));
+}
+
 std::string SocketFrontend::dispatch(const std::string& line, int fd,
-                                     bool& keepOpen) {
+                                     ConnectionState& state, bool& keepOpen) {
   std::istringstream tokens(line);
   std::string command;
   tokens >> command;
@@ -180,7 +343,19 @@ std::string SocketFrontend::dispatch(const std::string& line, int fd,
     std::string payload;
     std::getline(tokens, payload);
     try {
-      const std::uint64_t id = server_.submitLine(payload);
+      const engine::ManifestEntry entry = engine::parseManifestLine(payload);
+      std::shared_ptr<const img::ImageF> inlineImage;
+      if (entry.inlineImage) {
+        const auto it = state.uploads.find(entry.image);
+        if (it == state.uploads.end()) {
+          return protocol::errLine(
+              protocol::kErrBadJob,
+              "@image=inline: no upload named '" + entry.image +
+                  "' on this connection (send an UPLOAD frame first)");
+        }
+        inlineImage = it->second;
+      }
+      const std::uint64_t id = server_.submit(entry, std::move(inlineImage));
       return protocol::okLine(std::to_string(id));
     } catch (const QueueFullError& e) {
       return protocol::errLine(protocol::kErrQueueFull, e.what());
@@ -426,6 +601,45 @@ std::uint64_t Client::submit(const std::string& jobLine) {
     throw ProtocolError("SUBMIT rejected: " + reply);
   }
   return id;
+}
+
+std::string Client::upload(const std::string& id, const img::ImageU8& image,
+                           bool oneshot) {
+  return uploadFrame(id, image.width(), image.height(),
+                     image.pixels().data(), image.pixelCount(), oneshot);
+}
+
+std::string Client::upload(const std::string& id, const img::ImageF& image,
+                           bool oneshot) {
+  return uploadFrame(id, image.width(), image.height(),
+                     image.pixels().data(),
+                     image.pixelCount() * sizeof(float), oneshot);
+}
+
+std::string Client::uploadFrame(const std::string& id, int width, int height,
+                                const void* data, std::size_t nbytes,
+                                bool oneshot) {
+  if (fd_ < 0) throw ProtocolError("not connected");
+  if (id.empty() || id.find_first_of(" \t\r\n") != std::string::npos) {
+    throw ProtocolError("upload id must be non-empty without whitespace, "
+                        "got '" +
+                        id + "'");
+  }
+  std::string frame = "UPLOAD " + id + " " + std::to_string(width) + " " +
+                      std::to_string(height) + " " + std::to_string(nbytes) +
+                      (oneshot ? " oneshot" : "") + "\n";
+  frame.append(static_cast<const char*>(data), nbytes);
+  if (!sendAll(fd_, frame)) {
+    throw ProtocolError("send failed: " + std::string(std::strerror(errno)));
+  }
+  const std::string reply = readLine();
+  std::istringstream tokens(reply);
+  std::string status, replyId, hash;
+  tokens >> status >> replyId >> hash;
+  if (status != "OK" || replyId != id || hash.size() != 16) {
+    throw ProtocolError("UPLOAD rejected: " + reply);
+  }
+  return hash;
 }
 
 std::string Client::report(std::uint64_t id) {

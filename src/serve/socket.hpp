@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "serve/server.hpp"
 
@@ -27,6 +29,11 @@ class ProtocolError : public std::runtime_error {
 /// Commands (normative spec with the full grammar and a worked transcript:
 /// docs/PROTOCOL.md):
 ///   SUBMIT <job line>   -> OK <id>
+///   UPLOAD <id> <w> <h> <nbytes> [oneshot]
+///                       -> binary frame: <nbytes> raw payload bytes follow
+///                          the newline; reply OK <id> <hash> — the image
+///                          is interned by content hash and addressable as
+///                          `<id> ... @image=inline` on this connection
 ///   STATUS <id>         -> OK <id> <state> <done> <total>
 ///   RESULT <id>         -> OK <id> <json>
 ///   REPORT <id>         -> OK <id> <json + circles_detail> (shard merges)
@@ -36,7 +43,7 @@ class ProtocolError : public std::runtime_error {
 ///   PING                -> OK pong
 ///   SHUTDOWN            -> OK draining (and fires the onShutdown callback)
 /// Failures reply `ERR <code> <message>` (QUEUE_FULL when bounded
-/// admission rejects a SUBMIT).
+/// admission rejects a SUBMIT; BAD_FRAME/TOO_LARGE reject an UPLOAD).
 class SocketFrontend {
  public:
   /// Bind 127.0.0.1:`port` (0 = pick an ephemeral port) and start
@@ -59,10 +66,26 @@ class SocketFrontend {
   void stop();
 
  private:
+  /// Per-connection state: the UPLOAD namespace. Uploads are addressable
+  /// only from the connection that sent them and die with it — jobs that
+  /// consumed one keep the image pinned through the server instead. The
+  /// namespace is bounded (oldest dropped) so an id-churning client cannot
+  /// grow server memory.
+  struct ConnectionState {
+    std::map<std::string, std::shared_ptr<const img::ImageF>> uploads;
+    std::vector<std::string> uploadOrder;  ///< insertion order, for the cap
+  };
+
   void acceptLoop();
   void handleConnection(int fd);
   [[nodiscard]] std::string dispatch(const std::string& line, int fd,
-                                     bool& keepOpen);
+                                     ConnectionState& state, bool& keepOpen);
+  /// Consume and validate one binary frame (the UPLOAD body follows the
+  /// header line). `buffer` holds bytes already received past the header.
+  [[nodiscard]] std::string handleUpload(const std::string& line, int fd,
+                                         std::string& buffer,
+                                         ConnectionState& state,
+                                         bool& keepOpen);
 
   /// One live (or finished-but-unreaped) connection handler.
   struct Connection {
@@ -115,6 +138,18 @@ class Client {
   /// an ERR reply (message carries the server's code and text).
   [[nodiscard]] std::uint64_t submit(const std::string& jobLine);
 
+  /// UPLOAD a binary image frame under `id` (no whitespace), making it
+  /// addressable as `<id> ... @image=inline` on this connection. The 8-bit
+  /// overload sends gray8 (nbytes = w*h); the float overload sends exact
+  /// float32 pixels (nbytes = 4*w*h, native byte order — coordinator and
+  /// endpoint must share endianness). `oneshot` asks the server not to
+  /// insert the frame into its image cache. Returns the server's content
+  /// hash (16 hex digits); throws ProtocolError on an ERR reply.
+  std::string upload(const std::string& id, const img::ImageU8& image,
+                     bool oneshot = false);
+  std::string upload(const std::string& id, const img::ImageF& image,
+                     bool oneshot = false);
+
   /// WAIT for a job, forwarding EVENT lines to `onEvent` (may be null).
   /// Returns the final state word of the `OK <id> <state>` terminator.
   [[nodiscard]] std::string wait(
@@ -126,6 +161,9 @@ class Client {
   [[nodiscard]] std::string report(std::uint64_t id);
 
  private:
+  std::string uploadFrame(const std::string& id, int width, int height,
+                          const void* data, std::size_t nbytes, bool oneshot);
+
   int fd_ = -1;
   std::string buffer_;
 };

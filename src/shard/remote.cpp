@@ -124,4 +124,19 @@ TileReportJson parseReportJson(const std::string& json) {
   return report;
 }
 
+FailureKind classifyFailure(const std::string& message) {
+  // serve::Client embeds the server's reply verbatim in its exception text
+  // ("SUBMIT rejected: ERR QUEUE_FULL ..."), so the reply's error code is
+  // recoverable from the message; anything without an `ERR ` reply never
+  // reached a healthy server (refused, EOF, timeout).
+  const std::size_t err = message.find("ERR ");
+  if (err == std::string::npos) return FailureKind::EndpointDown;
+  const std::string rest = message.substr(err + 4);
+  if (rest.rfind("QUEUE_FULL", 0) == 0 ||
+      rest.rfind("SHUTTING_DOWN", 0) == 0) {
+    return FailureKind::EndpointBusy;
+  }
+  return FailureKind::Fatal;
+}
+
 }  // namespace mcmcpar::shard::remote

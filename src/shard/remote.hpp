@@ -27,4 +27,22 @@ struct TileReportJson {
 /// general one; throws std::runtime_error naming the missing/bad field.
 [[nodiscard]] TileReportJson parseReportJson(const std::string& json);
 
+/// How the coordinator should react to a failed remote exchange, judged
+/// from the exception text serve::Client surfaces.
+enum class FailureKind {
+  Fatal,          ///< deterministic rejection (ERR BAD_JOB, TOO_LARGE, ...):
+                  ///< would fail on every endpoint — doom the run
+  EndpointDown,   ///< transport-level (refused, EOF, timeout): mark the
+                  ///< endpoint dead and requeue the tile elsewhere
+  EndpointBusy,   ///< ERR QUEUE_FULL / SHUTTING_DOWN: the endpoint answers
+                  ///< but cannot take work now — requeue without marking it
+                  ///< dead
+};
+
+/// Classify a serve::Client failure message. Messages without an embedded
+/// `ERR ` reply are transport failures (EndpointDown); ERR QUEUE_FULL and
+/// ERR SHUTTING_DOWN are transient (EndpointBusy); any other ERR code is a
+/// deterministic rejection (Fatal).
+[[nodiscard]] FailureKind classifyFailure(const std::string& message);
+
 }  // namespace mcmcpar::shard::remote

@@ -29,6 +29,9 @@ struct TileRun {
   bool cancelled = false;
   std::string error;  ///< non-empty when the tile job failed
   mcmc::Diagnostics diagnostics;
+
+  std::string endpoint;   ///< "host:port" that ran it ("" = local backend)
+  unsigned attempts = 1;  ///< submissions including requeues after failures
 };
 
 /// The merged outcome of a sharded run: tile layout, per-tile diagnostics
@@ -44,6 +47,12 @@ struct ShardReport {
 
   std::size_t haloDropped = 0;  ///< detections outside their tile's core
   std::size_t duplicatesRemoved = 0;  ///< cross-tile IoU duplicates removed
+
+  /// Socket-backend resilience accounting: tiles re-submitted after a
+  /// transport failure or transient rejection, and endpoints the
+  /// coordinator considered dead by the end of the run.
+  std::size_t requeues = 0;
+  std::size_t endpointsDead = 0;
 
   double maxTileSeconds = 0.0;  ///< slowest tile (the parallel wall floor)
   double sumTileSeconds = 0.0;  ///< total tile compute (the serial cost)

@@ -10,14 +10,11 @@
 
 #include "shard/strategy.hpp"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
-#include <filesystem>
+#include <iterator>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -27,12 +24,12 @@
 
 #include "engine/batch.hpp"
 #include "engine/registry.hpp"
-#include "img/pnm_io.hpp"
 #include "model/posterior.hpp"
 #include "par/concurrency.hpp"
 #include "par/virtual_clock.hpp"
 #include "partition/prior_estimation.hpp"
 #include "serve/socket.hpp"
+#include "shard/endpoints.hpp"
 #include "shard/remote.hpp"
 #include "shard/report.hpp"
 #include "shard/stitcher.hpp"
@@ -42,43 +39,13 @@ namespace mcmcpar::shard {
 
 namespace {
 
-namespace fs = std::filesystem;
-
-struct Endpoint {
-  std::string host;
-  std::uint16_t port = 0;
-};
-
-std::vector<Endpoint> parseEndpoints(const std::string& text) {
-  std::vector<Endpoint> endpoints;
-  std::size_t begin = 0;
-  while (begin <= text.size()) {
-    std::size_t end = text.find(',', begin);
-    if (end == std::string::npos) end = text.size();
-    const std::string token = text.substr(begin, end - begin);
-    begin = end + 1;
-    if (token.empty()) continue;
-    const std::size_t colon = token.rfind(':');
-    if (colon == std::string::npos || colon == 0 ||
-        colon + 1 >= token.size()) {
-      throw engine::EngineError(
-          "sharded: endpoints must be host:port[,host:port...], got '" +
-          token + "'");
-    }
-    Endpoint endpoint;
-    endpoint.host = token.substr(0, colon);
-    const std::string portText = token.substr(colon + 1);
-    const engine::OptionMap parsed =
-        engine::OptionMap::parse({"port=" + portText});
-    const std::uint64_t port = parsed.u64("port", 0);
-    if (port == 0 || port > 65535) {
-      throw engine::EngineError("sharded: endpoint port out of range in '" +
-                                token + "'");
-    }
-    endpoint.port = static_cast<std::uint16_t>(port);
-    endpoints.push_back(std::move(endpoint));
-  }
-  return endpoints;
+/// Exact round-trip formatting for prior directives: the remote server's
+/// strtod recovers the coordinator's double bit-for-bit, so the socket
+/// backend samples under the identical prior the local backend would.
+std::string fmtExact(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
 }
 
 /// One tile's outcome in coordinator-neutral form, before stitching.
@@ -92,6 +59,8 @@ struct TileOutcome {
   std::vector<model::Circle> circles;  ///< crop-local coordinates
   mcmc::Diagnostics diagnostics;       ///< local backend only
   std::optional<std::uint64_t> itersToConverge;
+  std::string endpoint;   ///< socket backend: "host:port" that ran it
+  unsigned attempts = 0;  ///< socket backend: submissions incl. requeues
 };
 
 class ShardStrategy final : public engine::Strategy {
@@ -132,12 +101,26 @@ class ShardStrategy final : public engine::Strategy {
                                 "got '" +
                                 backend + "'");
     }
-    endpoints_ = parseEndpoints(options.str("endpoints", ""));
+    try {
+      endpoints_ = parseEndpointList(options.str("endpoints", ""));
+      const std::string endpointsFile = options.str("endpoints-file", "");
+      if (!endpointsFile.empty()) {
+        std::vector<Endpoint> fromFile = loadEndpointsFile(endpointsFile);
+        endpoints_.insert(endpoints_.end(),
+                          std::make_move_iterator(fromFile.begin()),
+                          std::make_move_iterator(fromFile.end()));
+      }
+    } catch (const engine::EngineError& e) {
+      throw engine::EngineError("strategy '" + name_ + "': " + e.what());
+    }
     if (socketBackend_ && endpoints_.empty()) {
       throw engine::EngineError(
           "strategy '" + name_ +
-          "': backend=socket requires endpoints=host:port[,host:port...]");
+          "': backend=socket requires endpoints=host:port[*weight][,...] "
+          "or endpoints-file=PATH");
     }
+    pingTimeout_ = options.dbl("ping-timeout", 5.0);
+    pingInterval_ = options.dbl("ping-interval", 30.0);
 
     innerStrategy_ = options.str("strategy", "serial");
     if (innerStrategy_ == name_) {
@@ -342,86 +325,125 @@ class ShardStrategy final : public engine::Strategy {
     return outcomes;
   }
 
-  // ---- socket backend: serve::Client fan-out over shared endpoints ----
+  // ---- socket backend: serve::Client fan-out over an endpoint fleet ----
+
+  /// The job line for tile `i`: an @image=inline reference to the one-shot
+  /// upload that precedes it, plus the coordinator's exact prior (%.17g
+  /// round-trips every double bit-for-bit), so the remote tile runs the
+  /// identical problem the local backend would build in tileProblem().
+  [[nodiscard]] std::string tileJobLine(const TileGrid& grid, std::size_t i,
+                                        std::uint64_t iters,
+                                        const engine::RunBudget& budget)
+      const {
+    const TileSpec& tile = grid.tiles[i];
+    std::string line =
+        tileLabel(tile) + " " + innerStrategy_ +
+        " @image=inline @iters=" + std::to_string(iters) + " @seed=" +
+        std::to_string(engine::deriveJobSeed(resources_.seed, i)) +
+        " @label=" + tileLabel(tile) +
+        " @radius=" + fmtExact(problem_.prior.radiusMean) +
+        " @radius-std=" + fmtExact(problem_.prior.radiusStd) +
+        " @radius-min=" + fmtExact(problem_.prior.radiusMin) +
+        " @radius-max=" + fmtExact(problem_.prior.radiusMax);
+    if (!problem_.estimateCount) {
+      // Mirror tileProblem's area-share scaling of a caller-fixed count.
+      const double share =
+          static_cast<double>(tile.core.area()) /
+          static_cast<double>(problem_.filtered->pixelCount());
+      line += " @count=" +
+              fmtExact(std::max(problem_.prior.expectedCount * share, 0.5));
+    }
+    if (budget.traceInterval != 0) {
+      line += " @trace=" + std::to_string(budget.traceInterval);
+    }
+    for (const std::string& option : innerOptions_) line += " " + option;
+    return line;
+  }
 
   [[nodiscard]] std::vector<TileOutcome> runSocket(
       const TileGrid& grid, const std::vector<std::uint64_t>& budgets,
-      const engine::RunBudget& budget, const engine::RunHooks& hooks) const {
-    // Tile crops travel by file: endpoints are expected to share a
-    // filesystem with the coordinator (binary upload is ROADMAP item (d)).
-    static std::atomic<std::uint64_t> runCounter{0};
-    const fs::path dir =
-        fs::temp_directory_path() /
-        ("mcmcpar_shard_" + std::to_string(::getpid()) + "_" +
-         std::to_string(runCounter.fetch_add(1)));
-    // The job grammar is line-oriented and whitespace-tokenized, so a tile
-    // path containing whitespace (e.g. a TMPDIR with a space) cannot be
-    // submitted; fail with the reason instead of a baffling grammar error.
-    const std::string dirText = dir.string();
-    if (dirText.find_first_of(" \t\r\n") != std::string::npos) {
+      const engine::RunBudget& budget, const engine::RunHooks& hooks) {
+    requeues_ = 0;
+    endpointsDead_ = 0;
+
+    // Tile crops travel as float32 binary frames inside the protocol — no
+    // temp files, no shared filesystem, no 8-bit quantisation: the remote
+    // tile sees the coordinator's pixels bit-for-bit.
+    std::vector<img::ImageF> crops;
+    crops.reserve(grid.tiles.size());
+    for (const TileSpec& tile : grid.tiles) {
+      crops.push_back(problem_.filtered->crop(tile.halo.x0, tile.halo.y0,
+                                              tile.halo.w, tile.halo.h));
+    }
+
+    EndpointPool pool(endpoints_, pingTimeout_, pingInterval_);
+    if (pool.checkAll() == 0) {
       throw engine::EngineError(
-          "strategy '" + name_ + "': temp directory '" + dirText +
-          "' contains whitespace, which the line-oriented job grammar "
-          "cannot carry; set TMPDIR to a whitespace-free path");
+          "strategy '" + name_ + "': no endpoint answered PING (fleet: " +
+          formatEndpointList(endpoints_) + ")");
     }
-    fs::create_directories(dir);
-    struct DirCleanup {
-      fs::path dir;
-      ~DirCleanup() {
-        std::error_code ec;
-        fs::remove_all(dir, ec);
-      }
-    } cleanup{dir};
 
+    struct Flight {
+      serve::Client client;
+      std::size_t endpoint = 0;  ///< pool index currently running the tile
+      std::uint64_t jobId = 0;
+      bool submitted = false;
+      std::vector<char> tried;  ///< pool indices already tried for the
+                                ///< current placement round
+    };
     std::vector<TileOutcome> outcomes(grid.tiles.size());
-    std::vector<serve::Client> clients(grid.tiles.size());
-    std::vector<std::uint64_t> jobIds(grid.tiles.size(), 0);
-    std::vector<char> submitted(grid.tiles.size(), 0);
+    std::vector<Flight> flights(grid.tiles.size());
+    for (Flight& flight : flights) flight.tried.assign(pool.size(), 0);
 
-    // Fan out: submit every tile before waiting on any, so the servers run
-    // them concurrently; one connection per tile keeps WAIT streams apart.
-    // One failed submit dooms the run, so stop submitting on first error
-    // rather than hand the servers work that is about to be cancelled.
-    bool doomed = false;
-    for (std::size_t i = 0; i < grid.tiles.size(); ++i) {
-      if (doomed) {
-        outcomes[i].error = "not submitted: an earlier tile already failed";
-        continue;
-      }
-      const TileSpec& tile = grid.tiles[i];
-      const fs::path tilePath = dir / (tileLabel(tile) + ".pgm");
-      std::string line;
-      try {
-        img::writePgm(img::toU8(problem_.filtered->crop(
-                          tile.halo.x0, tile.halo.y0, tile.halo.w,
-                          tile.halo.h)),
-                      tilePath.string());
-        const Endpoint& endpoint = endpoints_[i % endpoints_.size()];
-        // @radius carries the coordinator's prior to the remote server,
-        // which would otherwise apply its own --radius default. Remote
-        // tiles approximate the local backend: std/min/max re-derive from
-        // the mean by the shared serving rule, and the crop is quantised
-        // to 8-bit PGM (exact prior transport rides with binary upload,
-        // ROADMAP item (d)).
-        char radiusText[32];
-        std::snprintf(radiusText, sizeof(radiusText), "%.6g",
-                      prior_.radiusMean);
-        line = tilePath.string() + " " + innerStrategy_ +
-               " @iters=" + std::to_string(budgets[i]) + " @seed=" +
-               std::to_string(engine::deriveJobSeed(resources_.seed, i)) +
-               " @label=" + tileLabel(tile) + " @radius=" + radiusText;
-        if (budget.traceInterval != 0) {
-          line += " @trace=" + std::to_string(budget.traceInterval);
+    // Place tile i on the least-loaded surviving endpoint it has not tried
+    // this round: upload the crop one-shot, submit @image=inline on the
+    // same connection. Transport failures mark the endpoint dead; ERR
+    // QUEUE_FULL / SHUTTING_DOWN skip it without marking. Returns false
+    // (outcome.error set) on a deterministic rejection or when no endpoint
+    // remains.
+    const auto submitTile = [&](std::size_t i) -> bool {
+      TileOutcome& outcome = outcomes[i];
+      Flight& flight = flights[i];
+      flight.submitted = false;
+      while (true) {
+        pool.refresh();
+        const std::optional<std::size_t> picked = pool.pick(flight.tried);
+        if (!picked) {
+          outcome.error =
+              "no usable endpoint left (fleet: " +
+              formatEndpointList(endpoints_) + ", " +
+              std::to_string(pool.deadCount()) + " marked dead)";
+          return false;
         }
-        for (const std::string& option : innerOptions_) line += " " + option;
-        clients[i].connect(endpoint.host, endpoint.port, timeoutSeconds_);
-        jobIds[i] = clients[i].submit(line);
-        submitted[i] = 1;
-      } catch (const std::exception& e) {
-        outcomes[i].error = e.what();
-        doomed = true;
+        flight.endpoint = *picked;
+        flight.tried[*picked] = 1;
+        const Endpoint& endpoint = pool.endpoint(*picked);
+        ++outcome.attempts;
+        try {
+          flight.client.connect(endpoint.host, endpoint.port,
+                                timeoutSeconds_);
+          (void)flight.client.upload(tileLabel(grid.tiles[i]), crops[i],
+                                     /*oneshot=*/true);
+          flight.jobId = flight.client.submit(
+              tileJobLine(grid, i, budgets[i], budget));
+          flight.submitted = true;
+          outcome.endpoint = endpoint.label();
+          return true;
+        } catch (const std::exception& e) {
+          flight.client.close();
+          pool.release(*picked);
+          const remote::FailureKind kind = remote::classifyFailure(e.what());
+          if (kind == remote::FailureKind::Fatal) {
+            outcome.error = e.what();
+            return false;
+          }
+          if (kind == remote::FailureKind::EndpointDown) {
+            pool.markDead(*picked);
+          }
+          ++requeues_;
+        }
       }
-    }
+    };
 
     // Any tile failure dooms the whole run (a missing region cannot be
     // stitched), so the moment one is recorded, cancel every not-yet-reaped
@@ -429,67 +451,118 @@ class ShardStrategy final : public engine::Strategy {
     // letting doomed tiles burn their full remote budgets.
     const auto cancelSiblingsFrom = [&](std::size_t from) {
       for (std::size_t j = from; j < grid.tiles.size(); ++j) {
-        if (submitted[j] == 0) continue;
+        if (!flights[j].submitted) continue;
         try {
-          (void)clients[j].request("CANCEL " + std::to_string(jobIds[j]));
+          (void)flights[j].client.request(
+              "CANCEL " + std::to_string(flights[j].jobId));
         } catch (const std::exception&) {
           // Best effort; the per-tile read timeout still bounds the wait.
         }
       }
     };
-    if (doomed) cancelSiblingsFrom(0);  // a submit itself already failed
+
+    // Fan out: submit every tile before waiting on any, so the fleet runs
+    // them concurrently; one connection per tile keeps WAIT streams apart.
+    // A deterministic rejection dooms the run, so stop submitting on first
+    // fatal error rather than hand the fleet work about to be cancelled.
+    bool doomed = false;
+    for (std::size_t i = 0; i < grid.tiles.size(); ++i) {
+      if (doomed) {
+        outcomes[i].error = "not submitted: an earlier tile already failed";
+        continue;
+      }
+      if (!submitTile(i)) {
+        doomed = true;
+        cancelSiblingsFrom(0);
+      }
+    }
 
     std::size_t tilesDone = 0;
     for (std::size_t i = 0; i < grid.tiles.size(); ++i) {
-      if (submitted[i] == 0) continue;
       TileOutcome& outcome = outcomes[i];
-      const Endpoint& endpoint = endpoints_[i % endpoints_.size()];
-      // Cooperative cancellation: before the blocking WAIT, and from its
-      // event stream (a WAITing connection processes no further commands,
-      // so the mid-wait CANCEL goes over a second connection). This bounds
-      // cancellation/shutdown latency at one remote progress quantum
-      // instead of the tile's full budget.
-      bool cancelSent = false;
-      const auto cancelRemote = [&] {
-        if (cancelSent || !hooks.cancelled()) return;
-        cancelSent = true;
+      Flight& flight = flights[i];
+      while (flight.submitted) {
+        // Copy: pool state may change while this tile is in flight.
+        const Endpoint endpoint = pool.endpoint(flight.endpoint);
+        const std::uint64_t jobId = flight.jobId;
+        // Cooperative cancellation: before the blocking WAIT, and from its
+        // event stream (a WAITing connection processes no further commands,
+        // so the mid-wait CANCEL goes over a second connection). This
+        // bounds cancellation/shutdown latency at one remote progress
+        // quantum instead of the tile's full budget.
+        bool cancelSent = false;
+        const auto cancelRemote = [&] {
+          if (cancelSent || !hooks.cancelled()) return;
+          cancelSent = true;
+          try {
+            serve::Client canceller;
+            canceller.connect(endpoint.host, endpoint.port, 10.0);
+            (void)canceller.request("CANCEL " + std::to_string(jobId));
+          } catch (const std::exception&) {
+            // Best effort; the read timeout still bounds the wait.
+          }
+        };
         try {
-          serve::Client canceller;
-          canceller.connect(endpoint.host, endpoint.port, 10.0);
-          (void)canceller.request("CANCEL " + std::to_string(jobIds[i]));
-        } catch (const std::exception&) {
-          // Best effort; the read timeout still bounds the wait.
+          cancelRemote();
+          (void)flight.client.wait(
+              jobId, [&](const std::string&) { cancelRemote(); });
+          const remote::TileReportJson remote =
+              remote::parseReportJson(flight.client.report(jobId));
+          outcome.iterations = remote.iterations;
+          outcome.wallSeconds = remote.wallSeconds;
+          outcome.acceptanceRate = remote.acceptance;
+          outcome.logPosterior = remote.logPosterior;
+          outcome.cancelled =
+              remote.cancelled || remote.state == "cancelled";
+          outcome.error = remote.state == "failed"
+                              ? (remote.error.empty() ? "remote job failed"
+                                                      : remote.error)
+                              : "";
+          outcome.circles = remote.circles;
+          pool.release(flight.endpoint);
+          break;
+        } catch (const std::exception& e) {
+          flight.client.close();
+          pool.release(flight.endpoint);
+          const remote::FailureKind kind =
+              remote::classifyFailure(e.what());
+          if (kind == remote::FailureKind::Fatal || doomed ||
+              hooks.cancelled()) {
+            outcome.error = e.what();
+            break;
+          }
+          if (kind == remote::FailureKind::EndpointDown) {
+            pool.markDead(flight.endpoint);
+          }
+          // The job may still be running on a live-but-unreachable host;
+          // best-effort cancel so the fleet doesn't burn an abandoned
+          // budget. Safe to retry regardless: the Stitcher is
+          // deterministic, so the requeued tile reproduces the same result.
+          try {
+            serve::Client canceller;
+            canceller.connect(endpoint.host, endpoint.port, 5.0);
+            (void)canceller.request("CANCEL " + std::to_string(jobId));
+          } catch (const std::exception&) {
+          }
+          // Fresh placement round: only the endpoint that just failed is
+          // excluded up front (a still-alive host that merely refused an
+          // earlier round deserves another chance).
+          flight.tried.assign(pool.size(), 0);
+          flight.tried[flight.endpoint] = 1;
+          ++requeues_;
+          if (!submitTile(i)) break;  // outcome.error already set
         }
-      };
-      try {
-        cancelRemote();
-        (void)clients[i].wait(jobIds[i],
-                              [&](const std::string&) { cancelRemote(); });
-        const remote::TileReportJson remote =
-            remote::parseReportJson(clients[i].report(jobIds[i]));
-        outcome.iterations = remote.iterations;
-        outcome.wallSeconds = remote.wallSeconds;
-        outcome.acceptanceRate = remote.acceptance;
-        outcome.logPosterior = remote.logPosterior;
-        outcome.cancelled = remote.cancelled || remote.state == "cancelled";
-        outcome.error =
-            remote.state == "failed"
-                ? (remote.error.empty() ? "remote job failed" : remote.error)
-                : "";
-        outcome.circles = remote.circles;
-      } catch (const std::exception& e) {
-        outcome.error = e.what();
       }
       if (!doomed && !outcome.error.empty()) {
-        // First wait/report-phase failure: stop the siblings we have not
-        // reaped yet (a remote failure or timeout dooms the run just like
-        // a submit failure does).
+        // First irrecoverable failure in the reap phase: stop the siblings
+        // we have not reaped yet.
         doomed = true;
         cancelSiblingsFrom(i + 1);
       }
       ++tilesDone;
       hooks.progress(tilesDone, grid.tiles.size(), "shard");
     }
+    endpointsDead_ = pool.deadCount();
     return outcomes;
   }
 
@@ -520,6 +593,8 @@ class ShardStrategy final : public engine::Strategy {
     shardReport.innerStrategy = innerStrategy_;
     shardReport.haloDropped = stitched.haloDropped;
     shardReport.duplicatesRemoved = stitched.duplicatesRemoved;
+    shardReport.requeues = requeues_;
+    shardReport.endpointsDead = endpointsDead_;
 
     engine::RunReport report;
     report.strategy = name_;
@@ -539,6 +614,8 @@ class ShardStrategy final : public engine::Strategy {
       tile.cancelled = outcome.cancelled;
       tile.error = outcome.error;
       tile.diagnostics = outcome.diagnostics;
+      tile.endpoint = outcome.endpoint;
+      tile.attempts = std::max(outcome.attempts, 1u);
       shardReport.tiles.push_back(std::move(tile));
 
       report.iterations += outcome.iterations;
@@ -599,6 +676,10 @@ class ShardStrategy final : public engine::Strategy {
   double timeoutSeconds_ = 600.0;
   bool socketBackend_ = false;
   std::vector<Endpoint> endpoints_;
+  double pingTimeout_ = 5.0;
+  double pingInterval_ = 30.0;
+  std::size_t requeues_ = 0;       ///< last runSocket's re-submissions
+  std::size_t endpointsDead_ = 0;  ///< dead endpoints at end of last run
   std::string innerStrategy_;
   std::vector<std::string> innerOptions_;
   engine::Problem problem_;
@@ -614,9 +695,9 @@ void registerShardedStrategy(engine::StrategyRegistry& registry) {
       {"sharded", "§VIII-IX + serving",
        "shard coordinator: tile + halo fan-out, IoU-stitched merge",
        "ShardReport",
-       "tiles=KxL halo=N backend=local|socket endpoints=host:port,... "
-       "strategy=NAME inner.K=V tile-iters=N min-tile-iters=N iou=X "
-       "timeout=X",
+       "tiles=KxL halo=N backend=local|socket endpoints=host:port[*W],... "
+       "endpoints-file=PATH ping-timeout=X ping-interval=X strategy=NAME "
+       "inner.K=V tile-iters=N min-tile-iters=N iou=X timeout=X",
        [reg](const engine::ExecResources& res,
              const engine::OptionMap& opts) {
          return std::make_unique<ShardStrategy>("sharded", reg, res, opts);

@@ -17,12 +17,22 @@ namespace mcmcpar::shard {
 ///   tiles=KxL        tile grid (default 2x2)
 ///   halo=N           overlap margin in pixels (default 16)
 ///   backend=local|socket          (default local)
-///   endpoints=host:port[,host:port...]   socket backend servers,
-///                    round-robin across tiles (required for socket).
-///                    Tiles travel as 8-bit PGMs and only the prior's
-///                    radius mean is forwarded (@radius); custom
+///   endpoints=host:port[*weight][,...]   socket backend fleet. Tiles are
+///                    placed weighted-least-loaded on endpoints that
+///                    answered the startup PING check; a tile whose
+///                    endpoint dies mid-run is requeued onto a surviving
+///                    host (safe: the Stitcher is deterministic). Tile
+///                    crops travel as float32 binary frames (UPLOAD) and
+///                    the full radius prior + fixed count are forwarded
+///                    exactly, so no filesystem is shared and remote tiles
+///                    reproduce local-backend tiles bit-for-bit; custom
 ///                    likelihood/moves/theta stay local-backend-only
 ///                    (docs/ARCHITECTURE.md "Socket-backend fidelity")
+///   endpoints-file=PATH   fleet from a file (one `host:port [weight]` per
+///                    line, `#` comments), merged after endpoints=
+///   ping-timeout=X   health-probe PING timeout, seconds (default 5)
+///   ping-interval=X  min seconds between re-probes of an endpoint
+///                    (default 30)
 ///   strategy=NAME    inner per-tile strategy (default serial; "sharded"
 ///                    itself is rejected — no recursive sharding)
 ///   inner.K=V        forwarded to the inner strategy as K=V

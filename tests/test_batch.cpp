@@ -337,6 +337,40 @@ TEST(BatchManifest, ParsesJobDirectivesSeparatelyFromStrategyOptions) {
   EXPECT_EQ(entry.label, "probe");
 }
 
+TEST(BatchManifest, ParsesDataPlaneAndPriorDirectives) {
+  const ManifestEntry entry = parseManifestLine(
+      "tile-0x0 serial @image=inline @oneshot=1 @radius=8.5 @radius-std=1.25"
+      " @radius-min=4.5 @radius-max=14.5 @count=6.5");
+  EXPECT_TRUE(entry.inlineImage);
+  EXPECT_TRUE(entry.oneshot);
+  ASSERT_TRUE(entry.radius.has_value());
+  EXPECT_DOUBLE_EQ(*entry.radius, 8.5);
+  ASSERT_TRUE(entry.radiusStd.has_value());
+  EXPECT_DOUBLE_EQ(*entry.radiusStd, 1.25);
+  ASSERT_TRUE(entry.radiusMin.has_value());
+  EXPECT_DOUBLE_EQ(*entry.radiusMin, 4.5);
+  ASSERT_TRUE(entry.radiusMax.has_value());
+  EXPECT_DOUBLE_EQ(*entry.radiusMax, 14.5);
+  ASSERT_TRUE(entry.expectedCount.has_value());
+  EXPECT_DOUBLE_EQ(*entry.expectedCount, 6.5);
+
+  // Defaults: the whole family is absent unless spelled out.
+  const ManifestEntry plain = parseManifestLine("synth serial");
+  EXPECT_FALSE(plain.inlineImage);
+  EXPECT_FALSE(plain.oneshot);
+  EXPECT_FALSE(plain.radiusStd.has_value());
+  EXPECT_FALSE(plain.expectedCount.has_value());
+  EXPECT_FALSE(parseManifestLine("synth serial @oneshot=0").oneshot);
+
+  // @image accepts only "inline"; prior directives must be positive.
+  EXPECT_THROW((void)parseManifestLine("synth serial @image=file"),
+               EngineError);
+  EXPECT_THROW((void)parseManifestLine("synth serial @radius-std=0"),
+               EngineError);
+  EXPECT_THROW((void)parseManifestLine("synth serial @count=-2"),
+               EngineError);
+}
+
 TEST(BatchManifest, UnknownDirectivesAndStrayTokensRaiseDescriptiveErrors) {
   // Unknown @directive: named, with the valid set listed.
   try {

@@ -1,4 +1,6 @@
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -120,9 +122,10 @@ TEST(ImageCache, ReloadsWhenTheFileChangesOnDisk) {
 
 TEST(ImageCache, EvictsLeastRecentlyUsedWhenOverCapacity) {
   const TempDir dir;
-  const std::string a = writeScenePgm(dir.path, "a.pgm");
-  const std::string b = writeScenePgm(dir.path, "b.pgm");
-  const std::string c = writeScenePgm(dir.path, "c.pgm");
+  // Distinct seeds: identical content would dedup to one hash entry.
+  const std::string a = writeScenePgm(dir.path, "a.pgm", 64, 11);
+  const std::string b = writeScenePgm(dir.path, "b.pgm", 64, 22);
+  const std::string c = writeScenePgm(dir.path, "c.pgm", 64, 33);
   const std::size_t oneImage = 64 * 64 * sizeof(float);
   ImageCache cache(2 * oneImage + oneImage / 2);  // room for two
 
@@ -152,6 +155,86 @@ TEST(ImageCache, ImageLargerThanCapacityPassesThroughUncached) {
 TEST(ImageCache, UnreadablePathThrowsPnmError) {
   ImageCache cache(0);
   EXPECT_THROW((void)cache.get("/nonexistent/nowhere.pgm"), img::PnmError);
+}
+
+TEST(ImageCache, IdenticalContentAcrossPathsSharesOneEntry) {
+  const TempDir dir;
+  // Same seed, two paths: byte-identical files.
+  const std::string a = writeScenePgm(dir.path, "a.pgm", 64, 5);
+  const std::string b = writeScenePgm(dir.path, "b.pgm", 64, 5);
+  ImageCache cache(64u << 20);
+  const auto first = cache.get(a);
+  const auto second = cache.get(b);
+  EXPECT_EQ(first.get(), second.get());  // one resident image
+  EXPECT_EQ(cache.stats().entries, 1u);
+  // b paid its decode (a miss), but stat-hits the shared entry from now on.
+  EXPECT_EQ(cache.stats().misses, 2u);
+  (void)cache.get(b);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ImageCache, BypassReadsWarmEntriesButNeverInserts) {
+  const TempDir dir;
+  const std::string warm = writeScenePgm(dir.path, "warm.pgm", 64, 5);
+  const std::string cold = writeScenePgm(dir.path, "cold.pgm", 64, 99);
+  ImageCache cache(64u << 20);
+  const auto resident = cache.get(warm);
+  ASSERT_EQ(cache.stats().entries, 1u);
+
+  // Bypass miss: served, not inserted.
+  const auto oneshot = cache.get(cold, /*bypass=*/true);
+  ASSERT_NE(oneshot, nullptr);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().bytes, resident->pixelCount() * sizeof(float));
+
+  // Bypass hit: hits are free, so the warm entry is shared as usual.
+  const auto hit = cache.get(warm, /*bypass=*/true);
+  EXPECT_EQ(hit.get(), resident.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ImageCache, OneshotInternNeverEvictsWarmEntries) {
+  // The cache-pollution regression the shard backend relies on: a stream of
+  // one-shot tile frames (bypass interns) must leave warm entries resident
+  // even when each frame alone would overflow the remaining capacity.
+  const TempDir dir;
+  const std::string warm = writeScenePgm(dir.path, "warm.pgm", 64, 5);
+  const std::size_t oneImage = 64 * 64 * sizeof(float);
+  ImageCache cache(oneImage + oneImage / 2);  // room for one, a bit spare
+  const auto resident = cache.get(warm);
+  ASSERT_EQ(cache.stats().entries, 1u);
+
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    const img::Scene scene =
+        img::generateScene(img::cellScene(64, 64, 3, 8.0, seed));
+    img::ImageF copy = scene.image;
+    const std::uint64_t hash = ImageCache::hashFrame(
+        copy.width(), copy.height(), 4, copy.pixels().data(),
+        copy.pixelCount() * sizeof(float));
+    (void)cache.intern(hash, std::move(copy), /*bypass=*/true);
+  }
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  const auto again = cache.get(warm);
+  EXPECT_EQ(again.get(), resident.get());  // still warm, still a hit
+}
+
+TEST(ImageCache, InternDedupsByHashAndHexIsStable) {
+  const img::Scene scene =
+      img::generateScene(img::cellScene(32, 32, 2, 6.0, 3));
+  img::ImageF first = scene.image;
+  img::ImageF second = scene.image;
+  const std::uint64_t hash = ImageCache::hashFrame(
+      first.width(), first.height(), 4, first.pixels().data(),
+      first.pixelCount() * sizeof(float));
+  ImageCache cache(64u << 20);
+  const auto a = cache.intern(hash, std::move(first), false);
+  const auto b = cache.intern(hash, std::move(second), false);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(ImageCache::hashHex(hash).size(), 16u);
+  EXPECT_EQ(ImageCache::hashHex(0x1234abcdull), "000000001234abcd");
 }
 
 // ---------------------------------------------------------------------------
@@ -601,6 +684,181 @@ TEST(Socket, QueueFullSubmitRepliesErrQueueFull) {
             0u);
   frontend.stop();
   server.shutdown(10.0);
+}
+
+// ---------------------------------------------------------------------------
+// Binary frames (UPLOAD) and inline submission
+// ---------------------------------------------------------------------------
+
+/// Open a raw TCP connection, send `bytes` verbatim, half-close the write
+/// side and return the first reply line — for frames Client refuses to
+/// produce (truncated bodies).
+std::string rawExchange(std::uint16_t port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  ::shutdown(fd, SHUT_WR);
+  std::string reply;
+  char c = 0;
+  while (::recv(fd, &c, 1, 0) == 1 && c != '\n') reply += c;
+  ::close(fd);
+  return reply;
+}
+
+img::ImageF testSceneF(std::uint64_t seed = 5) {
+  return img::generateScene(img::cellScene(64, 64, 3, 8.0, seed)).image;
+}
+
+TEST_F(SocketFixture, UploadThenInlineSubmitRoundTrip) {
+  const img::ImageU8 image = img::toU8(testSceneF());
+  const std::string hash = client.upload("tile", image);
+  EXPECT_EQ(hash.size(), 16u);
+  EXPECT_EQ(hash, ImageCache::hashHex(ImageCache::hashImage(image)));
+
+  const std::uint64_t id =
+      client.submit("tile serial @iters=300 @image=inline");
+  EXPECT_EQ(client.wait(id), "done");
+  const auto report = server->result(id);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->iterations, 300u);
+}
+
+TEST_F(SocketFixture, FloatFrameCarriesExactPixels) {
+  // The float32 frame's hash covers the raw payload: a matching reply hash
+  // proves the pixels arrived bit-for-bit, no quantisation in transit.
+  const img::ImageF image = testSceneF();
+  const std::string hash = client.upload("exact", image);
+  EXPECT_EQ(hash,
+            ImageCache::hashHex(ImageCache::hashFrame(
+                image.width(), image.height(), 4, image.pixels().data(),
+                image.pixelCount() * sizeof(float))));
+  const std::uint64_t id =
+      client.submit("exact serial @iters=200 @image=inline");
+  EXPECT_EQ(client.wait(id), "done");
+}
+
+TEST_F(SocketFixture, ReuploadDedupsToOneCacheEntry) {
+  const img::ImageU8 image = img::toU8(testSceneF());
+  const std::string first = client.upload("one", image);
+  const std::string second = client.upload("two", image);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(server->stats().cache.entries, 1u);
+  EXPECT_GE(server->stats().cache.hits, 1u);
+}
+
+TEST_F(SocketFixture, OneshotUploadBypassesTheCache) {
+  const img::ImageU8 warm = img::toU8(testSceneF(5));
+  const img::ImageU8 tile = img::toU8(testSceneF(99));
+  (void)client.upload("warm", warm);
+  EXPECT_EQ(server->stats().cache.entries, 1u);
+  (void)client.upload("tile", tile, /*oneshot=*/true);
+  EXPECT_EQ(server->stats().cache.entries, 1u);  // not inserted
+  // Still runnable: the connection holds the frame, the job pins it.
+  const std::uint64_t id =
+      client.submit("tile serial @iters=200 @image=inline");
+  EXPECT_EQ(client.wait(id), "done");
+}
+
+TEST_F(SocketFixture, InlineWithoutUploadIsBadJob) {
+  const std::string reply =
+      client.request("SUBMIT ghost serial @image=inline");
+  EXPECT_EQ(reply.rfind("ERR BAD_JOB", 0), 0u) << reply;
+  EXPECT_NE(reply.find("no upload named 'ghost'"), std::string::npos)
+      << reply;
+}
+
+TEST_F(SocketFixture, ZeroByteFrameIsBadFrame) {
+  const std::string reply = client.request("UPLOAD z 0 0 0");
+  EXPECT_EQ(reply.rfind("ERR BAD_FRAME", 0), 0u) << reply;
+  // The connection survives a well-formed-header rejection.
+  EXPECT_EQ(client.request("PING"), "OK pong");
+}
+
+TEST_F(SocketFixture, PayloadDimensionMismatchIsBadFrame) {
+  // 4x4 must be 16 (gray8) or 64 (float32) bytes; 10 is neither. send()
+  // appends the newline that completes the 10-byte body.
+  client.send("UPLOAD m 4 4 10");
+  client.send("012345678");
+  const std::string reply = client.readLine();
+  EXPECT_EQ(reply.rfind("ERR BAD_FRAME", 0), 0u) << reply;
+  EXPECT_NE(reply.find("16"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("64"), std::string::npos) << reply;
+  EXPECT_EQ(client.request("PING"), "OK pong");
+}
+
+TEST_F(SocketFixture, OversizedDimensionsAreTooLarge) {
+  client.send("UPLOAD big 70000 70000 100");
+  client.send(std::string(99, 'x'));  // the declared 100-byte body
+  const std::string reply = client.readLine();
+  EXPECT_EQ(reply.rfind("ERR TOO_LARGE", 0), 0u) << reply;
+  EXPECT_EQ(client.request("PING"), "OK pong");
+}
+
+TEST_F(SocketFixture, MalformedHeaderClosesTheConnection) {
+  // Without a parseable nbytes the stream position is unknowable, so the
+  // server must reply and drop the connection rather than desync.
+  const std::string reply = client.request("UPLOAD only-an-id");
+  EXPECT_EQ(reply.rfind("ERR BAD_FRAME", 0), 0u) << reply;
+  EXPECT_THROW((void)client.request("PING"), ProtocolError);
+}
+
+TEST(Socket, UploadLargerThanCacheCapacityIsTooLarge) {
+  ServerOptions options = tinyServer();
+  options.cacheBytes = 64;  // no frame fits
+  Server server(options);
+  SocketFrontend frontend(server, /*port=*/0);
+  Client client;
+  client.connect("127.0.0.1", frontend.port(), 30.0);
+  const img::ImageU8 image = img::toU8(testSceneF());
+  try {
+    (void)client.upload("big", image);
+    FAIL() << "expected TOO_LARGE";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("ERR TOO_LARGE"),
+              std::string::npos)
+        << e.what();
+  }
+  frontend.stop();
+  server.shutdown(5.0);
+}
+
+TEST(Socket, TruncatedFrameIsBadFrame) {
+  Server server(tinyServer());
+  SocketFrontend frontend(server, /*port=*/0);
+  // 16 bytes promised, 3 delivered, then EOF.
+  const std::string reply =
+      rawExchange(frontend.port(), "UPLOAD t 4 4 16\nABC");
+  EXPECT_EQ(reply.rfind("ERR BAD_FRAME", 0), 0u) << reply;
+  EXPECT_NE(reply.find("truncated"), std::string::npos) << reply;
+  frontend.stop();
+  server.shutdown(5.0);
+}
+
+TEST(Server, OneshotJobDoesNotPolluteTheImageCache) {
+  const TempDir dir;
+  const std::string warm = writeScenePgm(dir.path, "warm.pgm", 64, 5);
+  const std::string tile = writeScenePgm(dir.path, "tile.pgm", 64, 99);
+  Server server(tinyServer());
+  const std::uint64_t warmId =
+      server.submitLine(warm + " serial @iters=200");
+  EXPECT_EQ(server.stats().cache.entries, 1u);
+  const std::uint64_t tileId =
+      server.submitLine(tile + " serial @iters=200 @oneshot=1");
+  EXPECT_EQ(server.stats().cache.entries, 1u);  // bypass honoured
+  for (const std::uint64_t id : {warmId, tileId}) {
+    ASSERT_TRUE(waitFor([&] {
+      const auto status = server.status(id);
+      return status && status->state == JobState::Done;
+    }));
+  }
+  EXPECT_EQ(server.stats().cache.entries, 1u);
 }
 
 // ---------------------------------------------------------------------------

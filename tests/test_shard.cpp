@@ -7,10 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/batch.hpp"
@@ -19,6 +24,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/socket.hpp"
+#include "shard/endpoints.hpp"
 #include "shard/remote.hpp"
 #include "shard/report.hpp"
 #include "shard/stitcher.hpp"
@@ -230,6 +236,118 @@ TEST(RemoteReport, ResultJsonWithoutCircleDetailIsRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// Endpoint fleets
+// ---------------------------------------------------------------------------
+
+TEST(Endpoints, ParsesListWithWeights) {
+  const std::vector<shard::Endpoint> fleet =
+      shard::parseEndpointList("alpha:7001,beta:7002*3");
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_EQ(fleet[0].host, "alpha");
+  EXPECT_EQ(fleet[0].port, 7001);
+  EXPECT_EQ(fleet[0].weight, 1u);
+  EXPECT_EQ(fleet[1].host, "beta");
+  EXPECT_EQ(fleet[1].port, 7002);
+  EXPECT_EQ(fleet[1].weight, 3u);
+  EXPECT_EQ(shard::formatEndpointList(fleet), "alpha:7001,beta:7002*3");
+  EXPECT_TRUE(shard::parseEndpointList("").empty());
+}
+
+TEST(Endpoints, RejectsMalformedListEntries) {
+  for (const char* bad :
+       {"nope", ":7001", "host:", "host:0", "host:99999", "host:7001*0",
+        "host:7001*bogus", "host:7001*9999999"}) {
+    EXPECT_THROW((void)shard::parseEndpointList(bad), engine::EngineError)
+        << bad;
+  }
+}
+
+TEST(Endpoints, ParsesFileWithCommentsAndWeights) {
+  std::istringstream in(
+      "# fleet\n"
+      "\n"
+      "alpha:7001\n"
+      "beta:7002 3  # the big box\n");
+  const std::vector<shard::Endpoint> fleet =
+      shard::parseEndpointsFile(in, "fleet.txt");
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_EQ(fleet[0].label(), "alpha:7001");
+  EXPECT_EQ(fleet[1].label(), "beta:7002");
+  EXPECT_EQ(fleet[1].weight, 3u);
+}
+
+TEST(Endpoints, FileDiagnosticsCarryLineNumbers) {
+  {
+    // Duplicate host:port — names both the offending and defining lines.
+    std::istringstream in("alpha:7001\n# x\nalpha:7001 2\n");
+    try {
+      (void)shard::parseEndpointsFile(in, "fleet.txt");
+      FAIL() << "duplicate endpoint accepted";
+    } catch (const engine::EngineError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("fleet.txt' line 3"), std::string::npos) << what;
+      EXPECT_NE(what.find("first defined on line 1"), std::string::npos)
+          << what;
+    }
+  }
+  {
+    std::istringstream in("alpha:7001 0\n");
+    try {
+      (void)shard::parseEndpointsFile(in, "fleet.txt");
+      FAIL() << "zero weight accepted";
+    } catch (const engine::EngineError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+    }
+  }
+  {
+    std::istringstream in("alpha:7001 2 junk\n");
+    EXPECT_THROW((void)shard::parseEndpointsFile(in, "fleet.txt"),
+                 engine::EngineError);
+  }
+}
+
+TEST(Endpoints, PoolPicksWeightedLeastLoadedAndSkipsDead) {
+  shard::EndpointPool pool(
+      shard::parseEndpointList("alpha:7001,beta:7002*2"));
+  // All probes unrun: the pool starts optimistic (checkAll is the caller's
+  // startup gate). Four picks: beta takes twice alpha's share.
+  std::size_t alpha = 0;
+  std::size_t beta = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto picked = pool.pick();
+    ASSERT_TRUE(picked.has_value());
+    (*picked == 0 ? alpha : beta) += 1;
+  }
+  EXPECT_EQ(alpha, 2u);
+  EXPECT_EQ(beta, 4u);
+
+  pool.markDead(1);
+  EXPECT_EQ(pool.deadCount(), 1u);
+  const auto survivor = pool.pick();
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(*survivor, 0u);
+  // Excluding the lone survivor leaves nothing.
+  EXPECT_FALSE(pool.pick(std::vector<char>{1, 0}).has_value());
+}
+
+TEST(RemoteFailure, ClassifiesTransportBusyAndFatal) {
+  using shard::remote::FailureKind;
+  using shard::remote::classifyFailure;
+  EXPECT_EQ(classifyFailure("connect to 127.0.0.1:1 failed: refused"),
+            FailureKind::EndpointDown);
+  EXPECT_EQ(classifyFailure("read timed out after 30s"),
+            FailureKind::EndpointDown);
+  EXPECT_EQ(classifyFailure("SUBMIT rejected: ERR QUEUE_FULL queue full"),
+            FailureKind::EndpointBusy);
+  EXPECT_EQ(classifyFailure("SUBMIT rejected: ERR SHUTTING_DOWN bye"),
+            FailureKind::EndpointBusy);
+  EXPECT_EQ(classifyFailure("SUBMIT rejected: ERR BAD_JOB no such strategy"),
+            FailureKind::Fatal);
+  EXPECT_EQ(classifyFailure("UPLOAD rejected: ERR TOO_LARGE frame"),
+            FailureKind::Fatal);
+}
+
+// ---------------------------------------------------------------------------
 // @shard manifest sugar
 // ---------------------------------------------------------------------------
 
@@ -437,6 +555,43 @@ TEST(ShardedStrategy, SocketBackendRoundTripsThroughALiveServer) {
   server.shutdown(5.0);
 }
 
+TEST(ShardedStrategy, SocketBackendMatchesLocalBackendBitExactly) {
+  // The binary data plane closes the fidelity gap: float32 frames carry the
+  // coordinator's crop pixels exactly, the %.17g prior directives carry its
+  // prior exactly, and @seed pins the tile chains — so for a default-theta
+  // default-likelihood problem the socket backend must reproduce the local
+  // backend circle-for-circle, not just statistically.
+  serve::ServerOptions serverOptions;
+  serverOptions.threads = 2;
+  serve::Server server(serverOptions);
+  serve::SocketFrontend socket(server, 0);
+
+  const img::Scene scene = shardScene();
+  const engine::Engine engine(engine::ExecResources{2, false, 7});
+  const std::vector<std::string> common = {"tiles=2x1", "halo=12",
+                                           "min-tile-iters=500"};
+  std::vector<std::string> viaSocket = common;
+  viaSocket.push_back("backend=socket");
+  viaSocket.push_back("endpoints=127.0.0.1:" +
+                      std::to_string(socket.port()));
+
+  const engine::RunReport local = engine.run(
+      "sharded", shardProblem(scene), engine::RunBudget{4000, 0}, {}, common);
+  const engine::RunReport remote =
+      engine.run("sharded", shardProblem(scene), engine::RunBudget{4000, 0},
+                 {}, viaSocket);
+
+  ASSERT_EQ(local.circles.size(), remote.circles.size());
+  for (std::size_t i = 0; i < local.circles.size(); ++i) {
+    EXPECT_EQ(local.circles[i], remote.circles[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(local.logPosterior, remote.logPosterior);
+  EXPECT_EQ(local.iterations, remote.iterations);
+
+  socket.stop();
+  server.shutdown(5.0);
+}
+
 TEST(ShardedStrategy, SocketBackendFailsLoudlyOnDeadEndpoint) {
   const img::Scene scene = shardScene();
   const engine::Engine engine(engine::ExecResources{1, false, 7});
@@ -448,30 +603,102 @@ TEST(ShardedStrategy, SocketBackendFailsLoudlyOnDeadEndpoint) {
       engine::EngineError);
 }
 
-TEST(ShardedStrategy, SubmitFailureCancelsHealthySiblingTiles) {
-  serve::ServerOptions serverOptions;
-  serverOptions.threads = 2;
-  serve::Server server(serverOptions);
-  serve::SocketFrontend socket(server, 0);
+TEST(ShardedStrategy, FatalRejectionCancelsHealthySiblingTiles) {
+  // Endpoint A is healthy; endpoint B's image cache is too small for any
+  // tile frame, so its UPLOAD replies ERR TOO_LARGE — a deterministic
+  // (Fatal) rejection that must doom the run and cancel the sibling tile
+  // already running on A after a cancel quantum, not after its (enormous)
+  // full budget. A requeue onto A would be wrong: TOO_LARGE is the
+  // coordinator's mistake, not B's.
+  serve::ServerOptions optionsA;
+  optionsA.threads = 2;
+  serve::Server serverA(optionsA);
+  serve::SocketFrontend socketA(serverA, 0);
+  serve::ServerOptions optionsB;
+  optionsB.threads = 2;
+  optionsB.cacheBytes = 64;  // no tile frame fits
+  serve::Server serverB(optionsB);
+  serve::SocketFrontend socketB(serverB, 0);
 
-  // One healthy endpoint, one dead: the doomed run must come back after a
-  // cancel quantum, not after the healthy tile's (enormous) full budget.
   const img::Scene scene = shardScene();
   const engine::Engine engine(engine::ExecResources{2, false, 7});
+  // Weighted least-loaded placement: tile 0 lands on A (listed first),
+  // tile 1 on the still-idle B.
   EXPECT_THROW(
       (void)engine.run("sharded", shardProblem(scene),
                        engine::RunBudget{400000000, 0}, {},
                        {"tiles=2x1", "backend=socket", "timeout=30",
                         "endpoints=127.0.0.1:" +
-                            std::to_string(socket.port()) +
-                            ",127.0.0.1:1"}),
+                            std::to_string(socketA.port()) + ",127.0.0.1:" +
+                            std::to_string(socketB.port())}),
       engine::EngineError);
-  const serve::ServerStats stats = server.stats();
-  EXPECT_EQ(stats.jobs.done, 0u);
-  EXPECT_EQ(stats.jobs.cancelled, 1u);
+  const serve::ServerStats statsA = serverA.stats();
+  EXPECT_EQ(statsA.jobs.done, 0u);
+  EXPECT_EQ(statsA.jobs.cancelled, 1u);
+  EXPECT_EQ(serverB.stats().jobs.submitted, 0u);
 
-  socket.stop();
-  server.shutdown(5.0);
+  socketA.stop();
+  serverA.shutdown(5.0);
+  socketB.stop();
+  serverB.shutdown(5.0);
+}
+
+TEST(ShardedStrategy, DeadEndpointMidRunRequeuesTilesOntoSurvivor) {
+  // Two endpoints take two tiles; endpoint B is stopped while its tile is
+  // still running. The coordinator must classify the broken WAIT as
+  // EndpointDown, mark B dead and requeue the tile onto A — completing the
+  // run with every tile accounted for and the requeue visible in the
+  // ShardReport.
+  serve::ServerOptions options;
+  options.threads = 2;
+  serve::Server serverA(options);
+  serve::SocketFrontend socketA(serverA, 0);
+  auto serverB = std::make_unique<serve::Server>(options);
+  auto socketB = std::make_unique<serve::SocketFrontend>(*serverB, 0);
+
+  const img::Scene scene = shardScene();
+  const std::uint16_t portB = socketB->port();
+  std::atomic<bool> killed{false};
+  std::thread killer([&] {
+    // Wait until B has real work, then kill it mid-flight.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (serverB->stats().jobs.running > 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    socketB->stop();
+    serverB->shutdown(0.0);
+    socketB.reset();
+    serverB.reset();
+    killed = true;
+  });
+
+  const engine::Engine engine(engine::ExecResources{2, false, 7});
+  const engine::RunReport report = engine.run(
+      "sharded", shardProblem(scene), engine::RunBudget{600000, 0}, {},
+      {"tiles=2x1", "halo=12", "min-tile-iters=500", "backend=socket",
+       "timeout=15",
+       "endpoints=127.0.0.1:" + std::to_string(socketA.port()) +
+           ",127.0.0.1:" + std::to_string(portB)});
+  killer.join();
+  ASSERT_TRUE(killed.load());
+
+  EXPECT_FALSE(report.cancelled);
+  const auto& extras = std::get<shard::ShardReport>(report.extras);
+  ASSERT_EQ(extras.tiles.size(), 2u);
+  for (const shard::TileRun& tile : extras.tiles) {
+    EXPECT_TRUE(tile.error.empty()) << tile.error;
+    EXPECT_GT(tile.iterations, 0u);
+    // Every survivor ran on A by the end.
+    EXPECT_EQ(tile.endpoint,
+              "127.0.0.1:" + std::to_string(socketA.port()));
+  }
+  EXPECT_GE(extras.requeues, 1u);
+  EXPECT_EQ(extras.endpointsDead, 1u);
+
+  socketA.stop();
+  serverA.shutdown(5.0);
 }
 
 }  // namespace

@@ -70,8 +70,8 @@ void printUsage() {
       "  --shard KxL         run through the 'sharded' coordinator: split the\n"
       "                      image into KxL tiles with --strategy on each\n"
       "                      tile; shard knobs (halo=N backend=local|socket\n"
-      "                      endpoints=h:p,... iou=X) and inner.key=value\n"
-      "                      options go through --opt\n"
+      "                      endpoints=h:p[*W],... endpoints-file=PATH iou=X)\n"
+      "                      and inner.key=value options go through --opt\n"
       "  --progress          print progress beats from RunHooks\n"
       "  --batch FILE        run a job manifest through BatchRunner; each\n"
       "                      line is '<image.pgm|synth> <strategy>\n"
@@ -255,11 +255,21 @@ void printExtras(const engine::RunReport& report) {
         sharded->innerStrategy.c_str(), sharded->maxTileSeconds,
         sharded->sumTileSeconds, sharded->haloDropped,
         sharded->duplicatesRemoved, sharded->mergeSeconds);
+    if (sharded->requeues > 0 || sharded->endpointsDead > 0) {
+      std::printf("  [%s] %zu requeue(s), %zu dead endpoint(s)\n",
+                  report.strategy.c_str(), sharded->requeues,
+                  sharded->endpointsDead);
+    }
     for (const shard::TileRun& tile : sharded->tiles) {
-      std::printf("    %-10s %llu iters, %zu found -> %zu kept, logP %.1f\n",
+      std::printf("    %-10s %llu iters, %zu found -> %zu kept, logP %.1f",
                   tile.label.c_str(),
                   static_cast<unsigned long long>(tile.iterations),
                   tile.circlesFound, tile.circlesKept, tile.logPosterior);
+      if (!tile.endpoint.empty()) {
+        std::printf(" @%s", tile.endpoint.c_str());
+        if (tile.attempts > 1) std::printf(" (attempt %u)", tile.attempts);
+      }
+      std::printf("\n");
     }
   }
 }
@@ -296,6 +306,15 @@ int runBatch(const CliOptions& cli) {
   // is node-based, so Problem's borrowed pointers stay stable.
   std::map<std::string, img::ImageF> images;
   for (const engine::ManifestEntry& entry : entries) {
+    if (entry.inlineImage) {
+      // There is no connection to have UPLOADed on: inline frames are a
+      // socket-front-end feature (docs/PROTOCOL.md Binary frames).
+      std::fprintf(stderr,
+                   "%s: @image=inline is only valid on the socket "
+                   "front-end, not in --batch manifests (job '%s')\n",
+                   cli.batchPath.c_str(), entry.image.c_str());
+      return 2;
+    }
     if (images.count(entry.image) != 0) continue;
     if (entry.image == "synth") {
       img::Scene scene = img::generateScene(img::cellScene(
@@ -321,6 +340,13 @@ int runBatch(const CliOptions& cli) {
     CliOptions jobCli = cli;
     if (entry.radius) jobCli.radius = *entry.radius;
     job.problem = makeProblem(images.at(entry.image), jobCli);
+    if (entry.radiusStd) job.problem.prior.radiusStd = *entry.radiusStd;
+    if (entry.radiusMin) job.problem.prior.radiusMin = *entry.radiusMin;
+    if (entry.radiusMax) job.problem.prior.radiusMax = *entry.radiusMax;
+    if (entry.expectedCount) {
+      job.problem.estimateCount = false;
+      job.problem.prior.expectedCount = *entry.expectedCount;
+    }
     job.budget = cli.budget;
     // @directives on the manifest line override the CLI-wide defaults.
     if (entry.iterations) job.budget.iterations = *entry.iterations;

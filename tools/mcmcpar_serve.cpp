@@ -26,10 +26,14 @@
 #include <string>
 #include <thread>
 
+#include <vector>
+
+#include "engine/options.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/socket.hpp"
 #include "serve/watch.hpp"
+#include "shard/endpoints.hpp"
 
 using namespace mcmcpar;
 
@@ -42,8 +46,10 @@ void onSignal(int) { shutdownRequested.store(true); }
 struct CliOptions {
   std::optional<unsigned> listenPort;  // --listen (0 = ephemeral)
   std::string watchDir;                // --watch
+  std::string endpointsFile;           // --endpoints-file
   unsigned pollMillis = 250;           // --poll-ms
   double drainTimeout = 10.0;          // --drain-timeout
+  double pingInterval = 30.0;          // --ping-interval
   serve::ServerOptions server;
   bool help = false;
 };
@@ -57,6 +63,13 @@ void printUsage() {
       "  --watch DIR         ingest *.manifest files dropped into DIR and\n"
       "                      write <name>.manifest.result.json next to them\n"
       "  --poll-ms N         watch-directory poll interval (default: 250)\n"
+      "  --endpoints-file F  fleet config (one 'host:port [weight]' per\n"
+      "                      line, '#' comments). Validated at startup\n"
+      "                      (duplicates and zero weights are line-numbered\n"
+      "                      errors); sharded backend=socket jobs with no\n"
+      "                      endpoints of their own fan out to this fleet\n"
+      "  --ping-interval X   seconds between fleet health probes\n"
+      "                      (default: 30)\n"
       "  --threads N         total worker budget, 0 = hardware (default: 0)\n"
       "  --jobs N            jobs in flight, 0 = thread budget (default: 0)\n"
       "  --max-queued N      bounded admission: reject SUBMITs with\n"
@@ -143,6 +156,13 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
     } else if (std::strcmp(arg, "--poll-ms") == 0) {
       if ((v = value(i)) == nullptr || !parseUnsigned(arg, v, cli.pollMillis))
         return std::nullopt;
+    } else if (std::strcmp(arg, "--endpoints-file") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      cli.endpointsFile = v;
+    } else if (std::strcmp(arg, "--ping-interval") == 0) {
+      if ((v = value(i)) == nullptr ||
+          !parseDouble(arg, v, cli.pingInterval))
+        return std::nullopt;
     } else if (std::strcmp(arg, "--threads") == 0) {
       if ((v = value(i)) == nullptr ||
           !parseUnsigned(arg, v, cli.server.threads))
@@ -221,7 +241,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  serve::Server server(cli.server);
+  serve::ServerOptions serverOptions = cli.server;
+  std::vector<shard::Endpoint> fleet;
+  if (!cli.endpointsFile.empty()) {
+    try {
+      fleet = shard::loadEndpointsFile(cli.endpointsFile);
+    } catch (const engine::EngineError& e) {
+      std::fprintf(stderr, "--endpoints-file: %s\n", e.what());
+      return 2;
+    }
+    // Sharded backend=socket jobs that name no endpoints of their own fan
+    // out to this fleet (Server::submit injects it as a default).
+    serverOptions.fleetEndpoints = shard::formatEndpointList(fleet);
+  }
+
+  serve::Server server(serverOptions);
   const serve::ServerStats startup = server.stats();
   std::printf("mcmcpar_serve: %u-thread budget, %u workers, %zu MB cache, "
               "default %llu iterations/job\n",
@@ -248,6 +282,46 @@ int main(int argc, char** argv) {
                                                    cli.pollMillis);
     std::printf("WATCHING %s\n", cli.watchDir.c_str());
   }
+  // Fleet health: a startup PING round (machine-parseable ENDPOINT lines)
+  // and a background probe that reports every up/down transition.
+  std::unique_ptr<shard::EndpointPool> pool;
+  std::jthread health;
+  if (!fleet.empty()) {
+    pool = std::make_unique<shard::EndpointPool>(fleet, /*pingTimeout=*/5.0,
+                                                 cli.pingInterval);
+    (void)pool->checkAll();
+    std::printf("FLEET %s\n", shard::formatEndpointList(fleet).c_str());
+    const auto printEndpoint = [&](std::size_t i) {
+      std::printf("ENDPOINT %s weight=%u %s\n",
+                  pool->endpoint(i).label().c_str(), pool->endpoint(i).weight,
+                  pool->alive(i) ? "up" : "down");
+    };
+    for (std::size_t i = 0; i < pool->size(); ++i) printEndpoint(i);
+    health = std::jthread([&pool, &printEndpoint,
+                           interval = cli.pingInterval](std::stop_token st) {
+      std::vector<bool> last;
+      for (std::size_t i = 0; i < pool->size(); ++i) {
+        last.push_back(pool->alive(i));
+      }
+      while (!st.stop_requested()) {
+        // Sleep in short ticks so shutdown stays prompt.
+        const auto wake = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(interval);
+        while (!st.stop_requested() &&
+               std::chrono::steady_clock::now() < wake) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+        if (st.stop_requested()) break;
+        pool->refresh();
+        for (std::size_t i = 0; i < pool->size(); ++i) {
+          if (pool->alive(i) == last[i]) continue;
+          last[i] = pool->alive(i);
+          printEndpoint(i);
+          std::fflush(stdout);
+        }
+      }
+    });
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, onSignal);
@@ -255,6 +329,7 @@ int main(int argc, char** argv) {
   while (!shutdownRequested.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
+  health = {};  // stop probing before the drain begins
 
   std::printf("draining (up to %.1f s) ...\n", cli.drainTimeout);
   std::fflush(stdout);

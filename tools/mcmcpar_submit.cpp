@@ -4,6 +4,7 @@
 //
 //   mcmcpar_submit --port 7333 synth serial @iters=5000
 //   mcmcpar_submit --port 7333 --no-wait cells.pgm mc3 chains=4
+//   mcmcpar_submit --port 7333 --upload cells.pgm mc3 chains=4
 //   mcmcpar_submit --port 7333 --status 3
 //   mcmcpar_submit --port 7333 --stats
 //   mcmcpar_submit --port 7333 --shutdown
@@ -20,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "img/pnm_io.hpp"
 #include "serve/socket.hpp"
 
 using namespace mcmcpar;
@@ -35,6 +37,12 @@ void printUsage() {
       "  --no-wait           submit and print the id without waiting\n"
       "  --progress          print EVENT lines to stderr while waiting\n"
       "  --timeout X         read timeout in seconds (default: 300)\n"
+      "  --upload            read the first job token as a local PGM, push\n"
+      "                      its pixels over the connection as a binary\n"
+      "                      UPLOAD frame and submit with @image=inline --\n"
+      "                      the server never touches the filesystem\n"
+      "  --oneshot           with --upload: bypass the server's image cache\n"
+      "                      (one-off inputs should not evict warm entries)\n"
       "single commands (instead of a job line):\n"
       "  --wait ID           wait for an already-submitted job and print its\n"
       "                      result; exits 0 only when it ends 'done', so\n"
@@ -43,6 +51,21 @@ void printUsage() {
       "  --shutdown          print the server's raw reply\n"
       "\nA job line is '<image.pgm|synth> <strategy> [@directive=value ...]"
       " [key=value ...]'\n(docs/PROTOCOL.md).\n");
+}
+
+/// Strip directories and replace protocol-hostile characters so a local
+/// path becomes a safe upload id ("data/run 1/cells.pgm" -> "cells.pgm").
+/// Upload ids are single whitespace-free tokens in the job line grammar.
+std::string uploadIdFor(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string id = slash == std::string::npos ? path : path.substr(slash + 1);
+  for (char& c : id) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+        c != '_' && c != '-') {
+      c = '_';
+    }
+  }
+  return id.empty() ? "upload" : id;
 }
 
 /// WAIT on `id`, then print its RESULT JSON. Exit status 0 only when the
@@ -75,6 +98,8 @@ int main(int argc, char** argv) {
   unsigned port = 0;
   bool wait = true;
   bool progress = false;
+  bool upload = false;
+  bool oneshot = false;
   double timeoutSeconds = 300.0;
   std::optional<std::string> command;   // raw single-command request
   std::optional<std::uint64_t> waitId;  // --wait ID
@@ -104,6 +129,10 @@ int main(int argc, char** argv) {
       wait = false;
     } else if (arg == "--progress") {
       progress = true;
+    } else if (arg == "--upload") {
+      upload = true;
+    } else if (arg == "--oneshot") {
+      oneshot = true;
     } else if (arg == "--timeout") {
       const char* v = value();
       if (v == nullptr) return 2;
@@ -146,6 +175,28 @@ int main(int argc, char** argv) {
     printUsage();
     return 2;
   }
+  if (oneshot && !upload) {
+    std::fprintf(stderr, "--oneshot only makes sense with --upload\n");
+    return 2;
+  }
+  if (upload && jobTokens.empty()) {
+    std::fprintf(stderr,
+                 "--upload needs a job line whose first token is a local "
+                 "PGM path\n");
+    return 2;
+  }
+
+  // Read the image before dialling the server: a bad path should not cost a
+  // connection, and PnmError is a usage error (exit 2), not a job failure.
+  img::ImageU8 pixels;
+  if (upload) {
+    try {
+      pixels = img::readPgm(jobTokens[0]);
+    } catch (const img::PnmError& e) {
+      std::fprintf(stderr, "--upload: %s\n", e.what());
+      return 2;
+    }
+  }
 
   serve::Client client;
   try {
@@ -157,6 +208,17 @@ int main(int argc, char** argv) {
       const std::string reply = client.request(*command);
       std::printf("%s\n", reply.c_str());
       return reply.rfind("OK", 0) == 0 ? 0 : 1;
+    }
+
+    if (upload) {
+      const std::string frameId = uploadIdFor(jobTokens[0]);
+      const std::string hash = client.upload(frameId, pixels, oneshot);
+      std::fprintf(stderr, "uploaded %s as '%s' (%dx%d, hash %s)%s\n",
+                   jobTokens[0].c_str(), frameId.c_str(), pixels.width(),
+                   pixels.height(), hash.c_str(),
+                   oneshot ? " [oneshot]" : "");
+      jobTokens[0] = frameId;
+      jobTokens.push_back("@image=inline");
     }
 
     std::string jobLine;

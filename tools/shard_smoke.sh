@@ -2,11 +2,17 @@
 # End-to-end smoke test of the sharded-execution subsystem against live
 # servers:
 #   1. socket fan-out — mcmcpar_run --shard with backend=socket splits a
-#      synthetic image into tiles, round-trips them through a live
-#      mcmcpar_serve and stitches the merged report;
-#   2. SHARD directive — a served job line carrying @shard becomes a shard
+#      synthetic image into tiles, pushes each as a binary UPLOAD frame to a
+#      two-endpoint fleet (endpoints-file) and stitches the merged report,
+#      with tiles landing on both endpoints and zero shared filesystem;
+#   2. --upload — mcmcpar_submit pushes a local PGM inline;
+#   3. requeue — one endpoint is SIGKILLed mid-run and the coordinator
+#      still completes by requeueing its tile onto the survivor;
+#   4. endpoints-file validation — a bad fleet file is rejected at startup
+#      with a line-numbered diagnostic;
+#   5. SHARD directive — a served job line carrying @shard becomes a shard
 #      coordinator inside the server itself;
-#   3. bounded admission — a --max-queued server answers ERR QUEUE_FULL
+#   6. bounded admission — a --max-queued server answers ERR QUEUE_FULL
 #      once its backlog is at capacity.
 #
 # usage: shard_smoke.sh <mcmcpar_serve> <mcmcpar_submit> <mcmcpar_run>
@@ -18,10 +24,13 @@ RUN_BIN=$3
 
 WORK=$(mktemp -d)
 SERVER_PID=""
+SERVER2_PID=""
+VICTIM_PID=""
 SMALL_PID=""
 cleanup() {
-  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
-  [[ -n "$SMALL_PID" ]] && kill "$SMALL_PID" 2>/dev/null || true
+  for PID in "$SERVER_PID" "$SERVER2_PID" "$VICTIM_PID" "$SMALL_PID"; do
+    [[ -n "$PID" ]] && kill "$PID" 2>/dev/null || true
+  done
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -37,23 +46,114 @@ wait_port() { # logfile -> port
   echo "$port"
 }
 
-echo "== starting mcmcpar_serve (worker for remote tiles) =="
+echo "== starting a two-endpoint mcmcpar_serve fleet =="
 "$SERVE_BIN" --listen 0 --iterations 2000 --drain-timeout 20 \
   > "$WORK/serve.log" 2>&1 &
 SERVER_PID=$!
 PORT=$(wait_port "$WORK/serve.log")
-echo "worker server on port $PORT (pid $SERVER_PID)"
+"$SERVE_BIN" --listen 0 --iterations 2000 --drain-timeout 20 \
+  > "$WORK/serve2.log" 2>&1 &
+SERVER2_PID=$!
+PORT2=$(wait_port "$WORK/serve2.log")
+echo "worker servers on ports $PORT (pid $SERVER_PID) and $PORT2 (pid $SERVER2_PID)"
+printf '# smoke fleet\n127.0.0.1:%s\n127.0.0.1:%s\n' "$PORT" "$PORT2" \
+  > "$WORK/fleet.txt"
 
-echo "== mcmcpar_run --shard, socket backend =="
+echo "== mcmcpar_run --shard, socket backend, inline frames on both endpoints =="
 OUT=$("$RUN_BIN" --shard 2x2 --strategy serial --iterations 8000 \
   --width 192 --height 192 --cells 10 \
-  --opt halo=12 --opt backend=socket --opt endpoints=127.0.0.1:"$PORT")
+  --opt halo=12 --opt backend=socket \
+  --opt endpoints-file="$WORK/fleet.txt")
 echo "$OUT"
 echo "$OUT" | grep -q 'sharded' || { echo "no sharded report row"; exit 1; }
 echo "$OUT" | grep -q '2x2 tiles (halo 12, socket/serial)' \
   || { echo "missing shard extras line"; exit 1; }
 echo "$OUT" | grep -Eq 'tile-1x1 +[0-9]+ iters' \
   || { echo "missing per-tile breakdown"; exit 1; }
+echo "$OUT" | grep -q "@127.0.0.1:$PORT" \
+  || { echo "no tile ran on endpoint $PORT"; exit 1; }
+echo "$OUT" | grep -q "@127.0.0.1:$PORT2" \
+  || { echo "no tile ran on endpoint $PORT2"; exit 1; }
+
+echo "== mcmcpar_submit --upload: inline submission of a local PGM =="
+printf 'P5\n32 32\n255\n' > "$WORK/up.pgm"
+head -c 1024 /dev/zero >> "$WORK/up.pgm"
+OUT=$("$SUBMIT_BIN" --port "$PORT" --upload "$WORK/up.pgm" serial @iters=500 \
+  2> "$WORK/upload.err")
+echo "$OUT"
+grep -q 'uploaded .*up.pgm' "$WORK/upload.err" \
+  || { echo "--upload printed no upload line"; cat "$WORK/upload.err"; exit 1; }
+echo "$OUT" | grep -q '"state": "done"' \
+  || { echo "uploaded job did not finish"; exit 1; }
+
+echo "== mid-run endpoint kill: the coordinator requeues onto the survivor =="
+"$SERVE_BIN" --listen 0 --drain-timeout 20 > "$WORK/victim.log" 2>&1 &
+VICTIM_PID=$!
+VICTIM_PORT=$(wait_port "$WORK/victim.log")
+"$RUN_BIN" --shard 2x1 --strategy serial --iterations 4000000 \
+  --width 192 --height 192 --cells 10 \
+  --opt halo=12 --opt backend=socket \
+  --opt endpoints=127.0.0.1:"$PORT",127.0.0.1:"$VICTIM_PORT" \
+  > "$WORK/requeue.out" 2>&1 &
+COORD_PID=$!
+for _ in $(seq 1 100); do  # wait until the victim is actually running a tile
+  "$SUBMIT_BIN" --port "$VICTIM_PORT" --stats 2>/dev/null \
+    | grep -Eq '"running": [1-9]' && break
+  sleep 0.2
+done
+"$SUBMIT_BIN" --port "$VICTIM_PORT" --stats | grep -Eq '"running": [1-9]' \
+  || { echo "victim endpoint never picked a tile up"; exit 1; }
+kill -9 "$VICTIM_PID"
+VICTIM_PID=""
+set +e
+wait "$COORD_PID"
+COORD_STATUS=$?
+set -e
+cat "$WORK/requeue.out"
+[[ $COORD_STATUS -eq 0 ]] \
+  || { echo "coordinator failed after endpoint kill"; exit 1; }
+grep -Eq '[1-9][0-9]* requeue' "$WORK/requeue.out" \
+  || { echo "report shows no requeue"; exit 1; }
+grep -Eq "tile-0x0 .*@127.0.0.1:$PORT" "$WORK/requeue.out" \
+  || { echo "tile-0x0 did not finish on the survivor"; exit 1; }
+grep -Eq "tile-1x0 .*@127.0.0.1:$PORT" "$WORK/requeue.out" \
+  || { echo "tile-1x0 did not finish on the survivor"; exit 1; }
+
+echo "== endpoints-file validation: bad fleet files are rejected at startup =="
+printf '127.0.0.1:7001\n# comment\n127.0.0.1:7001\n' > "$WORK/bad.txt"
+set +e
+BAD=$("$SERVE_BIN" --listen 0 --endpoints-file "$WORK/bad.txt" 2>&1)
+BAD_STATUS=$?
+set -e
+[[ $BAD_STATUS -eq 2 ]] \
+  || { echo "duplicate-endpoint fleet file accepted (exit $BAD_STATUS)"; exit 1; }
+echo "$BAD" | grep -q 'line 3' \
+  || { echo "diagnostic carries no line number: $BAD"; exit 1; }
+printf '127.0.0.1:7001 0\n' > "$WORK/bad2.txt"
+set +e
+BAD=$("$SERVE_BIN" --listen 0 --endpoints-file "$WORK/bad2.txt" 2>&1)
+BAD_STATUS=$?
+set -e
+[[ $BAD_STATUS -eq 2 ]] \
+  || { echo "zero-weight fleet file accepted (exit $BAD_STATUS)"; exit 1; }
+echo "$BAD" | grep -q 'line 1' \
+  || { echo "zero-weight diagnostic carries no line number: $BAD"; exit 1; }
+
+echo "== mcmcpar_serve --endpoints-file: fleet is probed and printed =="
+"$SERVE_BIN" --listen 0 --endpoints-file "$WORK/fleet.txt" \
+  --drain-timeout 5 > "$WORK/fleet.log" 2>&1 &
+FLEET_PID=$!
+FLEET_PORT=$(wait_port "$WORK/fleet.log")
+for _ in $(seq 1 50); do
+  grep -q '^FLEET ' "$WORK/fleet.log" && break
+  sleep 0.1
+done
+grep -q "^FLEET 127.0.0.1:$PORT,127.0.0.1:$PORT2" "$WORK/fleet.log" \
+  || { echo "no FLEET line"; cat "$WORK/fleet.log"; exit 1; }
+grep -q "^ENDPOINT 127.0.0.1:$PORT weight=1 up" "$WORK/fleet.log" \
+  || { echo "endpoint $PORT not probed up"; cat "$WORK/fleet.log"; exit 1; }
+"$SUBMIT_BIN" --port "$FLEET_PORT" --shutdown >/dev/null
+wait "$FLEET_PID" 2>/dev/null || true
 
 echo "== SHARD directive: a served job fans out inside the server =="
 OUT=$("$SUBMIT_BIN" --port "$PORT" synth serial @shard=2x2 @halo=8 @iters=4000)
@@ -91,8 +191,9 @@ set -e
 
 echo "== shutdown =="
 "$SUBMIT_BIN" --port "$SMALL_PORT" --shutdown >/dev/null
+"$SUBMIT_BIN" --port "$PORT2" --shutdown >/dev/null
 "$SUBMIT_BIN" --port "$PORT" --shutdown | grep -q '^OK draining' || exit 1
-for PID in "$SERVER_PID" "$SMALL_PID"; do
+for PID in "$SERVER_PID" "$SERVER2_PID" "$SMALL_PID"; do
   for _ in $(seq 1 100); do
     kill -0 "$PID" 2>/dev/null || break
     sleep 0.2
@@ -100,6 +201,7 @@ for PID in "$SERVER_PID" "$SMALL_PID"; do
   kill -0 "$PID" 2>/dev/null && { echo "server $PID ignored SHUTDOWN"; exit 1; }
 done
 SERVER_PID=""
+SERVER2_PID=""
 SMALL_PID=""
 
 echo "shard smoke OK"
