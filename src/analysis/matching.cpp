@@ -39,4 +39,47 @@ MatchResult matchCircles(const std::vector<model::Circle>& found,
   return result;
 }
 
+double circleIoU(const model::Circle& a, const model::Circle& b) noexcept {
+  const double overlap = model::overlapArea(a, b);
+  if (overlap <= 0.0) return 0.0;
+  const double unionArea = model::discArea(a) + model::discArea(b) - overlap;
+  return unionArea > 0.0 ? overlap / unionArea : 0.0;
+}
+
+IouMatchResult matchCirclesIoU(const std::vector<model::Circle>& found,
+                               const std::vector<model::Circle>& truth,
+                               double minIoU) {
+  struct Pair {
+    double iou;
+    std::size_t f, t;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t f = 0; f < found.size(); ++f) {
+    for (std::size_t t = 0; t < truth.size(); ++t) {
+      const double iou = circleIoU(found[f], truth[t]);
+      if (iou >= minIoU) pairs.push_back(Pair{iou, f, t});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.iou != b.iou) return a.iou > b.iou;
+    if (a.f != b.f) return a.f < b.f;
+    return a.t < b.t;
+  });
+
+  IouMatchResult result;
+  std::vector<bool> fUsed(found.size(), false), tUsed(truth.size(), false);
+  for (const Pair& p : pairs) {
+    if (fUsed[p.f] || tUsed[p.t]) continue;
+    fUsed[p.f] = tUsed[p.t] = true;
+    result.matches.push_back(IouMatch{p.f, p.t, p.iou});
+  }
+  for (std::size_t f = 0; f < found.size(); ++f) {
+    if (!fUsed[f]) result.unmatchedFound.push_back(f);
+  }
+  for (std::size_t t = 0; t < truth.size(); ++t) {
+    if (!tUsed[t]) result.unmatchedTruth.push_back(t);
+  }
+  return result;
+}
+
 }  // namespace mcmcpar::analysis

@@ -28,4 +28,30 @@ struct MatchResult {
                                        const std::vector<model::Circle>& truth,
                                        double maxDistance);
 
+/// Intersection-over-union of two discs (exact lens formula), in [0, 1].
+[[nodiscard]] double circleIoU(const model::Circle& a,
+                               const model::Circle& b) noexcept;
+
+/// One matched (found, truth) pair under the IoU gate.
+struct IouMatch {
+  std::size_t foundIndex;
+  std::size_t truthIndex;
+  double iou;
+};
+
+/// Matching of detections against a reference set by disc overlap.
+struct IouMatchResult {
+  std::vector<IouMatch> matches;
+  std::vector<std::size_t> unmatchedFound;
+  std::vector<std::size_t> unmatchedTruth;
+};
+
+/// Greedy highest-IoU-first matching: sort all (found, truth) pairs with
+/// IoU >= minIoU descending and accept a pair when both sides are still
+/// free. Ties break on (foundIndex, truthIndex) so the result is fully
+/// deterministic — the cross-frame Tracker in src/stream depends on that.
+[[nodiscard]] IouMatchResult matchCirclesIoU(
+    const std::vector<model::Circle>& found,
+    const std::vector<model::Circle>& truth, double minIoU);
+
 }  // namespace mcmcpar::analysis

@@ -312,11 +312,22 @@ ManifestEntry parseManifestLine(const std::string& line) {
       shardTiles = value;
     } else if (key == "@halo") {
       shardHalo = directiveU64(key, value);
+    } else if (key == "@sequence") {
+      if (value.empty()) {
+        throw EngineError(
+            "directive '@sequence': expected a frame count or glob pattern");
+      }
+      entry.sequence = value;
+    } else if (key == "@warm-start") {
+      entry.warmStart = directiveU64(key, value) != 0;
+    } else if (key == "@track") {
+      entry.track = directiveU64(key, value) != 0;
     } else {
       throw EngineError("unknown job directive '" + key +
                         "' (expected @iters, @seed, @trace, @label, "
                         "@radius, @radius-std, @radius-min, @radius-max, "
-                        "@count, @image, @oneshot, @shard or @halo)");
+                        "@count, @image, @oneshot, @shard, @halo, "
+                        "@sequence, @warm-start or @track)");
     }
   }
   // Validate option tokens through the same parser --opt uses, so a stray
@@ -327,6 +338,14 @@ ManifestEntry parseManifestLine(const std::string& line) {
 
   if (shardHalo && shardTiles.empty()) {
     throw EngineError("directive '@halo' requires '@shard=KxL'");
+  }
+  if (entry.sequence.empty() && (entry.warmStart || entry.track)) {
+    throw EngineError(
+        "directives '@warm-start' and '@track' require '@sequence'");
+  }
+  if (!entry.sequence.empty() && !shardTiles.empty()) {
+    throw EngineError(
+        "directive '@sequence' cannot be combined with '@shard'");
   }
   if (!shardTiles.empty()) {
     // Desugar into the shard coordinator: the named strategy becomes the

@@ -188,6 +188,23 @@ struct ManifestEntry {
   /// @oneshot=1: resolve the image with cache bypass — a miss is served
   /// but not inserted, so single-use jobs don't evict warm entries.
   bool oneshot = false;
+
+  /// @sequence: non-empty makes the job a frame-sequence run
+  /// (stream::SequenceRunner) instead of a single image. A pure decimal
+  /// value N names N frames `<image>.0` .. `<image>.N-1` — UPLOAD ids
+  /// when combined with @image=inline, or a generated drifting scene when
+  /// the image token is "synth". Any other value is a filesystem glob
+  /// whose sorted matches are the frames (the image token is then only a
+  /// display label). See docs/PROTOCOL.md.
+  std::string sequence;
+
+  /// @warm-start=0|1 (sequence only; default on): seed frame N's chain
+  /// from frame N-1's final configuration.
+  std::optional<bool> warmStart;
+
+  /// @track=0|1 (sequence only; default on): assign stable object ids
+  /// across frames and report per-track lifetimes.
+  std::optional<bool> track;
 };
 
 /// Parse one job line. Throws EngineError on fewer than two fields, unknown

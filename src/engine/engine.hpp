@@ -19,6 +19,7 @@
 #include "model/prior.hpp"
 #include "shard/report.hpp"
 #include "spec/speculative.hpp"
+#include "stream/report.hpp"
 
 namespace mcmcpar::par {
 class PoolBudget;
@@ -44,6 +45,18 @@ struct Problem {
   /// sampling (overrides prior.expectedCount).
   bool estimateCount = true;
   float theta = 0.5f;  ///< eq. 5 threshold
+
+  /// Warm start: circles carried from a closely-related earlier run (e.g.
+  /// the previous frame of a sequence). When non-empty, strategies that
+  /// build their state through the common seeding path (serial,
+  /// speculative, periodic) commit these circles against the *current*
+  /// image — re-scoring them under the new likelihood — and then add only
+  /// `warmFreshFraction` of the usual random initial circles so new
+  /// objects can still appear. Strategies with bespoke multi-state
+  /// initialisation (mc3, partition pipelines, sharded) ignore it.
+  std::vector<model::Circle> warmStart;
+  double warmFreshFraction = 0.25;  ///< fresh random seeds, as a fraction
+                                    ///< of the eq. 5 expected count
 };
 
 /// Execution resources shared by every strategy — the one place the
@@ -71,7 +84,7 @@ struct RunBudget {
 using ReportExtras =
     std::variant<std::monostate, spec::SpeculativeStats, mcmc::Mc3Stats,
                  core::PeriodicReport, core::PipelineReport,
-                 shard::ShardReport>;
+                 shard::ShardReport, stream::StreamReport>;
 
 /// The uniform outcome of any strategy run: common diagnostics every
 /// front-end can print side by side, plus a typed extras variant for the

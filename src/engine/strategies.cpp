@@ -69,10 +69,27 @@ class StrategyBase : public Strategy {
     return static_cast<std::size_t>(std::llround(prior_.expectedCount));
   }
 
-  /// Whole-image chain state seeded from `stream`.
+  /// Whole-image chain state seeded from `stream`. With a warm start the
+  /// carried circles are committed first — re-scoring them against *this*
+  /// problem's image — and only a fraction of the usual random circles are
+  /// added on top, so the chain starts near the previous posterior mode
+  /// while birth moves can still discover new objects.
   [[nodiscard]] model::ModelState makeState(rng::Stream& stream) const {
     model::ModelState state(*problem_.filtered, prior_, problem_.likelihood);
-    state.initialiseRandom(initialCircleCount(), stream);
+    if (problem_.warmStart.empty()) {
+      state.initialiseRandom(initialCircleCount(), stream);
+      return state;
+    }
+    const model::PriorParams& p = prior_;
+    for (model::Circle c : problem_.warmStart) {
+      c.r = std::clamp(c.r, p.radiusMin, p.radiusMax);
+      if (!state.discInDomain(c)) continue;
+      (void)state.commitAdd(c);
+    }
+    const double fraction = std::clamp(problem_.warmFreshFraction, 0.0, 1.0);
+    const auto fresh = static_cast<std::size_t>(std::llround(
+        fraction * static_cast<double>(initialCircleCount())));
+    state.initialiseRandom(fresh, stream);
     return state;
   }
 

@@ -52,12 +52,53 @@ std::vector<SceneCircle> scatter(rng::Stream& stream, double x0, double y0,
   return placed;
 }
 
+/// Render a truth layout into a fresh image: soft discs over the
+/// background, optional illumination gradient, Gaussian noise from
+/// `stream`, clamped to [0, 1].
+ImageF renderScene(const SceneSpec& spec,
+                   const std::vector<SceneCircle>& truth,
+                   rng::Stream& stream) {
+  ImageF image(spec.width, spec.height, spec.background);
+
+  for (const SceneCircle& c : truth) {
+    renderSoftDisc(image, c.x, c.y, c.r, spec.foreground - spec.background,
+                   spec.edgeSoftness);
+  }
+
+  if (spec.gradientAmplitude != 0.0f && spec.width > 1) {
+    for (int y = 0; y < spec.height; ++y) {
+      float* row = image.row(y);
+      for (int x = 0; x < spec.width; ++x) {
+        row[x] += spec.gradientAmplitude * static_cast<float>(x) /
+                  static_cast<float>(spec.width - 1);
+      }
+    }
+  }
+
+  if (spec.noiseStd > 0.0f) {
+    for (float& v : image.pixels()) {
+      v += static_cast<float>(stream.normal(0.0, spec.noiseStd));
+    }
+  }
+
+  clampInPlace(image, 0.0f, 1.0f);
+  return image;
+}
+
+/// Reflect `v` into [lo, hi] (bounce off both ends).
+double reflectInto(double v, double lo, double hi) {
+  if (hi <= lo) return lo;
+  const double span = hi - lo;
+  double t = std::fmod(v - lo, 2.0 * span);
+  if (t < 0.0) t += 2.0 * span;
+  return t <= span ? lo + t : lo + 2.0 * span - t;
+}
+
 }  // namespace
 
 Scene generateScene(const SceneSpec& spec) {
   rng::Stream stream(spec.seed);
   Scene scene;
-  scene.image = ImageF(spec.width, spec.height, spec.background);
 
   if (spec.clusters.empty()) {
     scene.truth = scatter(stream, 0.0, 0.0, spec.width, spec.height,
@@ -74,29 +115,47 @@ Scene generateScene(const SceneSpec& spec) {
     }
   }
 
-  for (const SceneCircle& c : scene.truth) {
-    renderSoftDisc(scene.image, c.x, c.y, c.r,
-                   spec.foreground - spec.background, spec.edgeSoftness);
-  }
-
-  if (spec.gradientAmplitude != 0.0f && spec.width > 1) {
-    for (int y = 0; y < spec.height; ++y) {
-      float* row = scene.image.row(y);
-      for (int x = 0; x < spec.width; ++x) {
-        row[x] += spec.gradientAmplitude * static_cast<float>(x) /
-                  static_cast<float>(spec.width - 1);
-      }
-    }
-  }
-
-  if (spec.noiseStd > 0.0f) {
-    for (float& v : scene.image.pixels()) {
-      v += static_cast<float>(stream.normal(0.0, spec.noiseStd));
-    }
-  }
-
-  clampInPlace(scene.image, 0.0f, 1.0f);
+  scene.image = renderScene(spec, scene.truth, stream);
   return scene;
+}
+
+std::vector<Scene> generateDriftingSequence(const DriftSpec& spec) {
+  const int count = std::max(1, spec.frames);
+  std::vector<Scene> frames;
+  frames.reserve(static_cast<std::size_t>(count));
+  frames.push_back(generateScene(spec.scene));
+
+  // Velocities come from a derived stream so the frame-0 layout and noise
+  // stay bit-identical to a plain generateScene call.
+  rng::Stream motion = rng::Stream(spec.scene.seed).derive(0x6d6f7469u);
+  struct Velocity {
+    double dx, dy;
+  };
+  std::vector<Velocity> velocities;
+  velocities.reserve(frames.front().truth.size());
+  for (std::size_t i = 0; i < frames.front().truth.size(); ++i) {
+    velocities.push_back(Velocity{
+        motion.uniform(-spec.maxSpeed, spec.maxSpeed),
+        motion.uniform(-spec.maxSpeed, spec.maxSpeed)});
+  }
+
+  std::vector<SceneCircle> truth = frames.front().truth;
+  const rng::Stream noiseBase = rng::Stream(spec.scene.seed).derive(0x6e6f6973u);
+  for (int k = 1; k < count; ++k) {
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      const double margin = truth[i].r + 1.0;
+      truth[i].x = reflectInto(truth[i].x + velocities[i].dx, margin,
+                               spec.scene.width - margin);
+      truth[i].y = reflectInto(truth[i].y + velocities[i].dy, margin,
+                               spec.scene.height - margin);
+    }
+    rng::Stream noise = noiseBase.substream(static_cast<unsigned>(k));
+    Scene frame;
+    frame.truth = truth;
+    frame.image = renderScene(spec.scene, frame.truth, noise);
+    frames.push_back(std::move(frame));
+  }
+  return frames;
 }
 
 SceneSpec cellScene(int width, int height, int count, double radius,

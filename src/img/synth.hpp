@@ -77,4 +77,22 @@ struct Scene {
 /// empty columns so the intelligent partitioner can cut between them.
 [[nodiscard]] SceneSpec beadsScene(std::uint64_t seed);
 
+/// Parameters of the synthetic drifting-circles sequence (the microscopy
+/// time-lapse stand-in shared by the stream tests, tools/stream_smoke.sh
+/// and bench_stream, instead of checked-in binaries).
+struct DriftSpec {
+  SceneSpec scene;   ///< frame-0 layout and per-frame rendering knobs
+  int frames = 8;
+  /// Per-axis, per-frame displacement bound in pixels; each circle gets a
+  /// constant velocity drawn uniformly from [-maxSpeed, maxSpeed].
+  double maxSpeed = 1.5;
+};
+
+/// Generate a frame sequence: frame 0 is exactly generateScene(spec.scene);
+/// later frames move each circle by its constant velocity (reflecting off
+/// the image border) and re-render with frame-specific noise. Fully
+/// deterministic given the spec — same spec, same frames, bit for bit.
+[[nodiscard]] std::vector<Scene> generateDriftingSequence(
+    const DriftSpec& spec);
+
 }  // namespace mcmcpar::img

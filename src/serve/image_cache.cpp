@@ -109,7 +109,10 @@ std::shared_ptr<const img::ImageF> ImageCache::get(const std::string& path,
     return it->second->image;
   }
   ++misses_;
-  if (bypass) return image;  // one-shot: never insert, never evict others
+  if (bypass) {
+    ++oneshotBypasses_;  // one-shot: never insert, never evict others
+    return image;
+  }
   if (capacityBytes_ != 0 && bytes > capacityBytes_) {
     return image;  // would evict everything and still not fit: pass through
   }
@@ -131,8 +134,12 @@ std::shared_ptr<const img::ImageF> ImageCache::intern(std::uint64_t hash,
     return it->second->image;
   }
   ++misses_;
-  if (bypass) return shared;
+  if (bypass) {
+    ++oneshotBypasses_;
+    return shared;
+  }
   if (capacityBytes_ != 0 && bytes > capacityBytes_) return shared;
+  ++interned_;
   return insertLocked(hash, Entry{hash, std::move(shared), bytes});
 }
 
@@ -164,6 +171,8 @@ ImageCacheStats ImageCache::stats() const {
   stats.hits = hits_;
   stats.misses = misses_;
   stats.evictions = evictions_;
+  stats.oneshotBypasses = oneshotBypasses_;
+  stats.interned = interned_;
   stats.entries = lru_.size();
   stats.bytes = bytes_;
   stats.capacityBytes = capacityBytes_;

@@ -16,6 +16,9 @@ struct ImageCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;      ///< loads/interns that found no resident entry
   std::uint64_t evictions = 0;   ///< LRU entries dropped for capacity
+  std::uint64_t oneshotBypasses = 0;  ///< misses passed through uncached
+                                      ///< because the caller flagged oneshot
+  std::uint64_t interned = 0;    ///< uploaded frames inserted via intern()
   std::size_t entries = 0;
   std::size_t bytes = 0;         ///< resident pixel bytes
   std::size_t capacityBytes = 0;
@@ -106,6 +109,8 @@ class ImageCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t oneshotBypasses_ = 0;
+  std::uint64_t interned_ = 0;
 };
 
 }  // namespace mcmcpar::serve

@@ -115,6 +115,34 @@ void JobQueue::progress(std::uint64_t id, std::uint64_t done,
   it->second.progressTotal = total;
 }
 
+std::uint64_t JobQueue::nextEventSeq(std::uint64_t id) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return 0;
+  return ++it->second.eventSeq;
+}
+
+void JobQueue::recordFrame(std::uint64_t id, FrameMark mark) {
+  // A glob sequence can name arbitrarily many frames; keep only the most
+  // recent window so retained records stay small.
+  constexpr std::size_t kMaxFrameMarks = 4096;
+  const std::scoped_lock lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return;
+  std::vector<FrameMark>& marks = it->second.frameMarks;
+  if (marks.size() >= kMaxFrameMarks) {
+    marks.erase(marks.begin());
+  }
+  marks.push_back(mark);
+}
+
+std::vector<FrameMark> JobQueue::frameHistory(std::uint64_t id) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return {};
+  return it->second.frameMarks;
+}
+
 void JobQueue::finish(std::uint64_t id, engine::RunReport report,
                       std::string error) {
   {

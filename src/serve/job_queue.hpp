@@ -63,6 +63,16 @@ struct JobCounts {
   std::uint64_t cancelled = 0;
 };
 
+/// One retained FRAME event of a streaming job: enough to replay the
+/// `EVENT <id> FRAME frame=<k>/<n> seq=<s>` line to a subscriber that
+/// attached after the frame finished (a fast first frame can complete
+/// before the submitting client's WAIT reaches the server).
+struct FrameMark {
+  std::uint64_t frame = 0;  ///< 0-based index of the finished frame
+  std::uint64_t total = 0;  ///< frames in the sequence
+  std::uint64_t seq = 0;    ///< the event's per-job sequence number
+};
+
 /// What JobQueue::cancel found, so the caller can emit the right event.
 enum class CancelOutcome {
   Unknown,          ///< no such job
@@ -111,6 +121,19 @@ class JobQueue {
   /// Record a progress beat of a running job.
   void progress(std::uint64_t id, std::uint64_t done, std::uint64_t total);
 
+  /// Next per-job event sequence number, monotonic from 1 (0 for unknown or
+  /// already-forgotten ids). Every EVENT line a job emits is stamped
+  /// through this so streaming clients can detect drops and reorders.
+  [[nodiscard]] std::uint64_t nextEventSeq(std::uint64_t id);
+
+  /// Retain one emitted FRAME event so late subscribers can replay it.
+  /// Bounded per job (oldest dropped first); no-op for unknown ids.
+  void recordFrame(std::uint64_t id, FrameMark mark);
+
+  /// The retained FRAME events of a job, in emission (seq) order. Empty
+  /// for unknown ids and non-sequence jobs.
+  [[nodiscard]] std::vector<FrameMark> frameHistory(std::uint64_t id) const;
+
   /// Move a Running job to its terminal state: Failed when `error` is
   /// non-empty, Cancelled when the report says so, Done otherwise.
   void finish(std::uint64_t id, engine::RunReport report, std::string error);
@@ -154,6 +177,8 @@ class JobQueue {
     double latencySeconds = 0.0;
     std::string error;
     engine::RunReport report;
+    std::uint64_t eventSeq = 0;  ///< last event sequence number handed out
+    std::vector<FrameMark> frameMarks;  ///< retained FRAME events (bounded)
   };
 
   void pruneLocked();

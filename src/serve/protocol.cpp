@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <sstream>
+#include <variant>
 
 namespace mcmcpar::serve::protocol {
 
@@ -96,7 +97,32 @@ std::string reportJson(const JobStatus& status,
     out += numExact(c.r);
     out += ']';
   }
-  out += "]}";
+  out += ']';
+  if (const auto* seq = std::get_if<stream::StreamReport>(&report.extras)) {
+    std::ostringstream extra;
+    extra << ", \"frames\": [";
+    for (std::size_t i = 0; i < seq->perFrame.size(); ++i) {
+      const stream::FrameResult& frame = seq->perFrame[i];
+      if (i != 0) extra << ", ";
+      extra << "{\"frame\": " << frame.index                        //
+            << ", \"label\": \"" << jsonEscape(frame.label) << "\""  //
+            << ", \"iterations\": " << frame.iterations              //
+            << ", \"circles\": " << frame.circles                    //
+            << ", \"carried\": " << frame.carried                    //
+            << ", \"log_posterior\": " << num(frame.logPosterior)    //
+            << ", \"wall_seconds\": " << num(frame.wallSeconds) << "}";
+    }
+    extra << "], \"tracks\": [";
+    for (std::size_t i = 0; i < seq->tracks.size(); ++i) {
+      const stream::TrackSummary& track = seq->tracks[i];
+      if (i != 0) extra << ", ";
+      extra << '[' << track.id << ", " << track.firstFrame << ", "
+            << track.lastFrame << ']';
+    }
+    extra << ']';
+    out += extra.str();
+  }
+  out += '}';
   return out;
 }
 
@@ -111,6 +137,8 @@ std::string statsJson(const ServerStats& stats) {
       << ", \"cache_hits\": " << stats.cache.hits                    //
       << ", \"cache_misses\": " << stats.cache.misses                //
       << ", \"cache_evictions\": " << stats.cache.evictions          //
+      << ", \"cache_oneshot_bypasses\": " << stats.cache.oneshotBypasses  //
+      << ", \"cache_interned\": " << stats.cache.interned            //
       << ", \"cache_entries\": " << stats.cache.entries              //
       << ", \"cache_bytes\": " << stats.cache.bytes                  //
       << ", \"thread_budget\": " << stats.threadBudget               //
@@ -135,7 +163,10 @@ std::string eventLine(const JobEvent& event) {
   out << "EVENT " << event.id << " " << toString(event.type);
   if (event.type == JobEvent::Type::Progress) {
     out << " " << event.done << " " << event.total;
+  } else if (event.type == JobEvent::Type::Frame) {
+    out << " frame=" << event.done << "/" << event.total;
   }
+  out << " seq=" << event.seq;
   return out.str();
 }
 

@@ -37,7 +37,9 @@ inline constexpr const char* kErrBadFrame = "BAD_FRAME";
 
 /// The REPORT payload: jobJson plus the full detected-circle list as
 /// `"circles_detail": [[x, y, r], ...]` — what a shard coordinator needs to
-/// stitch remote tiles back together.
+/// stitch remote tiles back together. Sequence jobs additionally carry
+/// `"frames": [...]` (per-frame iterations/circles/logP) and
+/// `"tracks": [[id, first, last], ...]` from the cross-frame tracker.
 [[nodiscard]] std::string reportJson(const JobStatus& status,
                                      const engine::RunReport& report);
 
@@ -49,7 +51,13 @@ inline constexpr const char* kErrBadFrame = "BAD_FRAME";
 [[nodiscard]] std::string errLine(const std::string& code,
                                   const std::string& message);
 
-/// `EVENT <id> <TYPE> [done total]` stream lines (WAIT).
+/// Event stream lines (WAIT):
+///   `EVENT <id> <TYPE> seq=<n>`                     lifecycle events
+///   `EVENT <id> PROGRESS <done> <total> seq=<n>`    decile progress
+///   `EVENT <id> FRAME frame=<k>/<count> seq=<n>`    one finished sequence
+///                                                   frame (k is 0-based)
+/// `seq` is per-job monotonic from 1; gaps are normal (throttling), a
+/// non-increasing value means the transport dropped or reordered events.
 [[nodiscard]] std::string eventLine(const JobEvent& event);
 
 }  // namespace mcmcpar::serve::protocol

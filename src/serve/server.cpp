@@ -19,6 +19,8 @@ const char* toString(JobEvent::Type type) noexcept {
       return "STARTED";
     case JobEvent::Type::Progress:
       return "PROGRESS";
+    case JobEvent::Type::Frame:
+      return "FRAME";
     case JobEvent::Type::Done:
       return "DONE";
     case JobEvent::Type::Failed:
@@ -79,10 +81,111 @@ bool hasOptionKey(const std::vector<std::string>& options,
   return false;
 }
 
+/// The job-level prior/count directives applied over the server defaults —
+/// shared by the single-image and sequence execution paths.
+engine::Problem problemFor(const ServerOptions& options, const JobSpec& spec) {
+  engine::Problem problem;
+  // @radius overrides the server-wide prior knob (shard coordinators use
+  // it so remote tiles sample under the coordinator's prior);
+  // @radius-std/min/max carry an exact prior instead of the derived rule,
+  // and @count pins the expected artifact count the way a local caller
+  // sets estimateCount=false.
+  const double radius = spec.radius.value_or(options.radius);
+  problem.prior.radiusMean = radius;
+  problem.prior.radiusStd = spec.radiusStd.value_or(radius / 8.0);
+  problem.prior.radiusMin = spec.radiusMin.value_or(radius / 2.0);
+  problem.prior.radiusMax = spec.radiusMax.value_or(radius * 1.8);
+  if (spec.expectedCount) {
+    problem.estimateCount = false;
+    problem.prior.expectedCount = *spec.expectedCount;
+  }
+  return problem;
+}
+
+engine::RunBudget budgetFor(const ServerOptions& options,
+                            const JobSpec& spec) {
+  engine::RunBudget budget = options.defaultBudget;
+  if (spec.iterations) budget.iterations = *spec.iterations;
+  if (spec.trace) budget.traceInterval = *spec.trace;
+  return budget;
+}
+
 }  // namespace
 
-std::uint64_t Server::submit(const JobSpec& spec,
-                             std::shared_ptr<const img::ImageF> inlineImage) {
+std::vector<stream::Frame> Server::resolveSequenceFrames(
+    const JobSpec& spec,
+    std::vector<std::shared_ptr<const img::ImageF>> inlineFrames) {
+  constexpr std::uint64_t kMaxSynthFrames = 4096;
+  std::vector<stream::Frame> frames;
+  const std::optional<std::uint64_t> count =
+      stream::parseFrameCount(spec.sequence);
+
+  if (spec.inlineImage) {
+    if (!count) {
+      throw engine::EngineError(
+          "@sequence with @image=inline requires a decimal frame count, "
+          "got '" +
+          spec.sequence + "'");
+    }
+    if (inlineFrames.size() != *count) {
+      throw engine::EngineError(
+          "@sequence=" + spec.sequence + " requires uploads '" + spec.image +
+          ".0' .. '" + spec.image + "." + std::to_string(*count - 1) +
+          "' on the submitting connection (docs/PROTOCOL.md Sequences)");
+    }
+    frames.reserve(inlineFrames.size());
+    for (std::size_t k = 0; k < inlineFrames.size(); ++k) {
+      frames.push_back(stream::Frame{std::move(inlineFrames[k]),
+                                     spec.image + "." + std::to_string(k)});
+    }
+    return frames;
+  }
+
+  if (count) {
+    if (spec.image != "synth") {
+      throw engine::EngineError(
+          "a decimal @sequence count requires @image=inline uploads or the "
+          "'synth' image; use a glob pattern for on-disk frames");
+    }
+    if (*count > kMaxSynthFrames) {
+      throw engine::EngineError("@sequence=" + spec.sequence +
+                                ": at most " +
+                                std::to_string(kMaxSynthFrames) +
+                                " synth frames per job");
+    }
+    // The served drifting scene: same geometry as the "synth" still, with
+    // circles moving deterministically from the server seed.
+    img::DriftSpec drift;
+    drift.scene =
+        img::cellScene(options_.synthWidth, options_.synthHeight,
+                       options_.synthCells, options_.radius, options_.seed);
+    drift.frames = static_cast<int>(*count);
+    std::vector<img::Scene> scenes = img::generateDriftingSequence(drift);
+    frames.reserve(scenes.size());
+    for (std::size_t k = 0; k < scenes.size(); ++k) {
+      frames.push_back(stream::Frame{
+          std::make_shared<const img::ImageF>(std::move(scenes[k].image)),
+          "synth." + std::to_string(k)});
+    }
+    return frames;
+  }
+
+  const std::vector<std::string> paths =
+      stream::expandFrameGlob(spec.sequence);
+  if (paths.empty()) {
+    throw engine::EngineError("@sequence glob '" + spec.sequence +
+                              "' matched no files");
+  }
+  frames.reserve(paths.size());
+  for (const std::string& path : paths) {
+    frames.push_back(stream::Frame{resolveImage(path, spec.oneshot), path});
+  }
+  return frames;
+}
+
+std::uint64_t Server::submit(
+    const JobSpec& spec, std::shared_ptr<const img::ImageF> inlineImage,
+    std::vector<std::shared_ptr<const img::ImageF>> inlineFrames) {
   JobSpec admitted = spec;
   // A sharded socket job that names no endpoints inherits the server's
   // fleet (--endpoints-file): the server is the natural owner of "which
@@ -95,19 +198,22 @@ std::uint64_t Server::submit(const JobSpec& spec,
     admitted.options.push_back("endpoints=" + options_.fleetEndpoints);
   }
 
-  // Resolve the image and validate strategy + options at admission, so a
-  // bad request fails the submitter with a descriptive error instead of
+  // Resolve the image(s) and validate strategy + options at admission, so
+  // a bad request fails the submitter with a descriptive error instead of
   // failing later on a worker thread.
-  std::shared_ptr<const img::ImageF> image;
-  if (admitted.inlineImage) {
+  std::vector<stream::Frame> frames;
+  if (!admitted.sequence.empty()) {
+    frames = resolveSequenceFrames(admitted, std::move(inlineFrames));
+  } else if (admitted.inlineImage) {
     if (inlineImage == nullptr) {
       throw engine::EngineError(
           "@image=inline requires a preceding UPLOAD '" + admitted.image +
           "' on the submitting connection (docs/PROTOCOL.md Binary frames)");
     }
-    image = std::move(inlineImage);
+    frames.push_back(stream::Frame{std::move(inlineImage), admitted.image});
   } else {
-    image = resolveImage(admitted.image, admitted.oneshot);
+    frames.push_back(stream::Frame{
+        resolveImage(admitted.image, admitted.oneshot), admitted.image});
   }
   (void)engine::StrategyRegistry::builtin().create(
       admitted.strategy, engine::ExecResources{}, admitted.options);
@@ -115,10 +221,10 @@ std::uint64_t Server::submit(const JobSpec& spec,
   std::uint64_t id = 0;
   {
     // Hold imageMutex_ across admission so a worker that dequeues the job
-    // immediately blocks here until its image is pinned.
+    // immediately blocks here until its frames are pinned.
     const std::scoped_lock lock(imageMutex_);
     id = queue_.submit(admitted);
-    jobImages_.emplace(id, std::move(image));
+    jobImages_.emplace(id, std::move(frames));
   }
   emit(JobEvent{JobEvent::Type::Admitted, id, 0, 0});
   return id;
@@ -176,9 +282,50 @@ void Server::unsubscribe(std::uint64_t token) {
   listeners_.erase(token);
 }
 
-void Server::emit(const JobEvent& event) {
+void Server::emit(JobEvent event) {
+  // Stamp the per-job sequence number at emission, under the queue's lock,
+  // so concurrent emitters (worker + canceller) never hand out duplicates.
+  event.seq = queue_.nextEventSeq(event.id);
+  if (event.type == JobEvent::Type::Frame) {
+    // Retain FRAME events so a WAIT that attaches after a fast early frame
+    // can still replay the full per-frame stream (see socket.cpp).
+    queue_.recordFrame(event.id, {event.done, event.total, event.seq});
+  }
   const std::shared_lock lock(listenerMutex_);
   for (const auto& [token, fn] : listeners_) fn(event);
+}
+
+engine::RunReport Server::runSequenceJob(std::uint64_t id,
+                                         const JobSpec& spec,
+                                         std::vector<stream::Frame> frames) {
+  stream::SequenceSpec sequence;
+  sequence.strategy = spec.strategy;
+  sequence.options = spec.options;
+  sequence.problem = problemFor(options_, spec);
+  sequence.budget = budgetFor(options_, spec);  // per frame
+  sequence.warmStart = spec.warmStart.value_or(true);
+  sequence.track = spec.track.value_or(true);
+  const std::size_t frameCount = frames.size();
+  sequence.frames = std::move(frames);
+
+  engine::ExecResources resources;
+  resources.threads = options_.threads;
+  resources.useOpenMp = options_.useOpenMp;
+  resources.poolBudget = &budget_;
+  resources.seed =
+      spec.seed ? *spec.seed : engine::deriveJobSeed(options_.seed, id);
+
+  stream::SequenceHooks hooks;
+  hooks.cancelRequested = [this, id] { return queue_.cancelRequested(id); };
+  // One FRAME event per finished frame, never throttled — the per-frame
+  // stream IS the product of a sequence job. STATUS progress counts frames
+  // instead of iterations.
+  hooks.onFrame = [this, id, frameCount](const stream::FrameResult& frame,
+                                         const engine::RunReport&) {
+    queue_.progress(id, frame.index + 1, frameCount);
+    emit(JobEvent{JobEvent::Type::Frame, id, frame.index, frameCount});
+  };
+  return stream::SequenceRunner().run(sequence, resources, hooks);
 }
 
 void Server::workerLoop(const std::stop_token& stop) {
@@ -190,18 +337,18 @@ void Server::workerLoop(const std::stop_token& stop) {
     }
     const std::uint64_t id = *next;
     const std::optional<JobSpec> spec = queue_.spec(id);
-    std::shared_ptr<const img::ImageF> image;
+    std::vector<stream::Frame> frames;
     {
       const std::scoped_lock lock(imageMutex_);
       const auto it = jobImages_.find(id);
-      if (it != jobImages_.end()) image = it->second;
+      if (it != jobImages_.end()) frames = it->second;
     }
 
     // Reacquire this worker's thread from the long-lived budget (released
     // below when the job ends, so idle workers leave their thread leasable
     // by running strategies). A cancel while waiting aborts the wait.
     bool charged = false;
-    if (spec && image != nullptr) {
+    if (spec && !frames.empty()) {
       while (!queue_.cancelRequested(id)) {
         if (budget_.tryAcquireFor(1, 100ms) == 1) {
           charged = true;
@@ -212,59 +359,52 @@ void Server::workerLoop(const std::stop_token& stop) {
 
     engine::RunReport report;
     std::string error;
-    if (charged && spec && image != nullptr) {
+    if (charged && spec && !frames.empty()) {
       emit(JobEvent{JobEvent::Type::Started, id, 0, 0});
 
-      engine::BatchJob job;
-      job.strategy = spec->strategy;
-      job.options = spec->options;
-      job.problem.filtered = image.get();
-      // @radius overrides the server-wide prior knob (shard coordinators
-      // use it so remote tiles sample under the coordinator's prior);
-      // @radius-std/min/max carry an exact prior instead of the derived
-      // rule, and @count pins the expected artifact count the way a local
-      // caller sets estimateCount=false.
-      const double radius = spec->radius.value_or(options_.radius);
-      job.problem.prior.radiusMean = radius;
-      job.problem.prior.radiusStd = spec->radiusStd.value_or(radius / 8.0);
-      job.problem.prior.radiusMin = spec->radiusMin.value_or(radius / 2.0);
-      job.problem.prior.radiusMax = spec->radiusMax.value_or(radius * 1.8);
-      if (spec->expectedCount) {
-        job.problem.estimateCount = false;
-        job.problem.prior.expectedCount = *spec->expectedCount;
-      }
-      job.budget = options_.defaultBudget;
-      if (spec->iterations) job.budget.iterations = *spec->iterations;
-      if (spec->trace) job.budget.traceInterval = *spec->trace;
-      job.seed = spec->seed;
+      if (!spec->sequence.empty()) {
+        try {
+          report = runSequenceJob(id, *spec, std::move(frames));
+        } catch (const std::exception& e) {
+          error = e.what();
+        }
+      } else {
+        engine::BatchJob job;
+        job.strategy = spec->strategy;
+        job.options = spec->options;
+        job.problem = problemFor(options_, *spec);
+        job.problem.filtered = frames.front().image.get();
+        job.budget = budgetFor(options_, *spec);
+        job.seed = spec->seed;
 
-      engine::ExecResources resources;
-      resources.threads = options_.threads;
-      resources.useOpenMp = options_.useOpenMp;
-      resources.poolBudget = &budget_;
-      resources.seed = engine::deriveJobSeed(options_.seed, id);
+        engine::ExecResources resources;
+        resources.threads = options_.threads;
+        resources.useOpenMp = options_.useOpenMp;
+        resources.poolBudget = &budget_;
+        resources.seed = engine::deriveJobSeed(options_.seed, id);
 
-      engine::RunHooks hooks;
-      hooks.cancelRequested = [this, id] {
-        return queue_.cancelRequested(id);
-      };
-      // Record every beat (STATUS stays fine-grained) but fan events out
-      // only on decile changes, so hot strategies don't hammer listeners.
-      hooks.onProgress = [this, id,
-                          lastDecile = -1](const engine::RunProgress& p)
-          mutable {
-        queue_.progress(id, p.done, p.total);
-        const int decile =
-            p.total == 0 ? -1 : static_cast<int>(10 * p.done / p.total);
-        if (decile == lastDecile) return;
-        lastDecile = decile;
-        emit(JobEvent{JobEvent::Type::Progress, id, p.done, p.total});
-      };
+        engine::RunHooks hooks;
+        hooks.cancelRequested = [this, id] {
+          return queue_.cancelRequested(id);
+        };
+        // Record every beat (STATUS stays fine-grained) but fan events out
+        // only on decile changes, so hot strategies don't hammer listeners.
+        hooks.onProgress = [this, id,
+                            lastDecile = -1](const engine::RunProgress& p)
+            mutable {
+          queue_.progress(id, p.done, p.total);
+          const int decile =
+              p.total == 0 ? -1 : static_cast<int>(10 * p.done / p.total);
+          if (decile == lastDecile) return;
+          lastDecile = decile;
+          emit(JobEvent{JobEvent::Type::Progress, id, p.done, p.total});
+        };
 
-      try {
-        report = runner_.runOne(job, resources, hooks);
-      } catch (const std::exception& e) {
-        error = e.what();
+        try {
+          report = runner_.runOne(job, resources, hooks);
+        } catch (const std::exception& e) {
+          error = e.what();
+        }
       }
     } else {
       // Cancelled before it could start (or admission raced shutdown).

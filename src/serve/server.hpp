@@ -15,6 +15,7 @@
 #include "par/concurrency.hpp"
 #include "serve/image_cache.hpp"
 #include "serve/job_queue.hpp"
+#include "stream/sequence.hpp"
 
 namespace mcmcpar::serve {
 
@@ -68,11 +69,18 @@ struct ServerOptions {
 
 /// One progress/lifecycle event of a job, streamed to subscribers.
 struct JobEvent {
-  enum class Type { Admitted, Started, Progress, Done, Failed, Cancelled };
+  enum class Type { Admitted, Started, Progress, Frame, Done, Failed,
+                    Cancelled };
   Type type = Type::Admitted;
   std::uint64_t id = 0;
-  std::uint64_t done = 0;   ///< Progress only
-  std::uint64_t total = 0;  ///< Progress only
+  std::uint64_t done = 0;   ///< Progress: iterations done.
+                            ///< Frame: 0-based index of the finished frame.
+  std::uint64_t total = 0;  ///< Progress: iteration budget.
+                            ///< Frame: frames in the sequence.
+  /// Per-job monotonic sequence number, assigned from 1 when the event is
+  /// emitted. Gaps are normal (Progress events are decile-throttled); a
+  /// non-increasing seq means the transport dropped or reordered events.
+  std::uint64_t seq = 0;
 };
 
 [[nodiscard]] const char* toString(JobEvent::Type type) noexcept;
@@ -114,9 +122,17 @@ class Server {
   /// resolved the image from its own upload namespace (UPLOAD frames are
   /// per-connection) and passes it here pre-decoded. An inline spec without
   /// an image is rejected — manifest files cannot carry pixels.
+  ///
+  /// `inlineFrames` satisfies an inline `@sequence=N` spec the same way:
+  /// the front-end gathered the N uploaded frames (ids `<image>.0` ..
+  /// `<image>.N-1`) and passes them in order. Sequence specs naming paths
+  /// resolve their frames here at admission instead (glob expansion, or a
+  /// generated drifting scene for the "synth" image), so a bad frame fails
+  /// the request, not the worker.
   [[nodiscard]] std::uint64_t submit(
       const JobSpec& spec,
-      std::shared_ptr<const img::ImageF> inlineImage = nullptr);
+      std::shared_ptr<const img::ImageF> inlineImage = nullptr,
+      std::vector<std::shared_ptr<const img::ImageF>> inlineFrames = {});
 
   /// Intern an uploaded frame into the image cache under its content hash
   /// (UPLOAD). `oneshot` bypasses insertion so single-use tiles don't evict
@@ -141,6 +157,21 @@ class Server {
   [[nodiscard]] std::uint64_t subscribe(std::function<void(const JobEvent&)>);
   void unsubscribe(std::uint64_t token);
 
+  /// Next event sequence number for a job (monotonic from 1). Events
+  /// emitted through the server are stamped automatically; the socket
+  /// front-end uses this for the synthetic terminal event a late WAIT
+  /// fabricates, so that event too continues the job's sequence.
+  [[nodiscard]] std::uint64_t nextEventSeq(std::uint64_t id) {
+    return queue_.nextEventSeq(id);
+  }
+
+  /// FRAME events a sequence job already emitted, in seq order. A WAIT
+  /// that subscribes after a fast early frame replays these first so the
+  /// client still sees one event per frame.
+  [[nodiscard]] std::vector<FrameMark> frameHistory(std::uint64_t id) const {
+    return queue_.frameHistory(id);
+  }
+
   /// Graceful shutdown: stop admitting, wait up to `drainTimeoutSeconds`
   /// for queued+running jobs to finish, then cancel whatever is left and
   /// join the workers. Idempotent; the destructor calls it with no grace.
@@ -154,9 +185,15 @@ class Server {
 
  private:
   void workerLoop(const std::stop_token& stop);
-  void emit(const JobEvent& event);
+  void emit(JobEvent event);
   [[nodiscard]] std::shared_ptr<const img::ImageF> resolveImage(
       const std::string& path, bool oneshot);
+  [[nodiscard]] std::vector<stream::Frame> resolveSequenceFrames(
+      const JobSpec& spec,
+      std::vector<std::shared_ptr<const img::ImageF>> inlineFrames);
+  [[nodiscard]] engine::RunReport runSequenceJob(
+      std::uint64_t id, const JobSpec& spec,
+      std::vector<stream::Frame> frames);
 
   ServerOptions options_;
   par::PoolBudget budget_;
@@ -166,8 +203,8 @@ class Server {
   std::shared_ptr<const img::ImageF> synthImage_;
   std::chrono::steady_clock::time_point started_;
 
-  std::mutex imageMutex_;  ///< pins job-id -> image while the job is alive
-  std::map<std::uint64_t, std::shared_ptr<const img::ImageF>> jobImages_;
+  std::mutex imageMutex_;  ///< pins job-id -> frame(s) while the job is alive
+  std::map<std::uint64_t, std::vector<stream::Frame>> jobImages_;
 
   // Emits take the lock shared (concurrent, non-blocking between workers);
   // subscribe/unsubscribe take it unique, making unsubscribe a barrier.

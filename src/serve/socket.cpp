@@ -345,7 +345,32 @@ std::string SocketFrontend::dispatch(const std::string& line, int fd,
     try {
       const engine::ManifestEntry entry = engine::parseManifestLine(payload);
       std::shared_ptr<const img::ImageF> inlineImage;
-      if (entry.inlineImage) {
+      std::vector<std::shared_ptr<const img::ImageF>> inlineFrames;
+      if (entry.inlineImage && !entry.sequence.empty()) {
+        // An inline sequence names its frames `<image>.0` .. `<image>.N-1`
+        // in this connection's upload namespace; gather them in order.
+        const std::optional<std::uint64_t> count =
+            stream::parseFrameCount(entry.sequence);
+        if (!count) {
+          return protocol::errLine(
+              protocol::kErrBadJob,
+              "@sequence with @image=inline requires a decimal frame "
+              "count, got '" +
+                  entry.sequence + "'");
+        }
+        for (std::uint64_t k = 0; k < *count; ++k) {
+          const std::string frameId =
+              entry.image + "." + std::to_string(k);
+          const auto it = state.uploads.find(frameId);
+          if (it == state.uploads.end()) {
+            return protocol::errLine(
+                protocol::kErrBadJob,
+                "@sequence: no upload named '" + frameId +
+                    "' on this connection (send UPLOAD frames first)");
+          }
+          inlineFrames.push_back(it->second);
+        }
+      } else if (entry.inlineImage) {
         const auto it = state.uploads.find(entry.image);
         if (it == state.uploads.end()) {
           return protocol::errLine(
@@ -355,7 +380,8 @@ std::string SocketFrontend::dispatch(const std::string& line, int fd,
         }
         inlineImage = it->second;
       }
-      const std::uint64_t id = server_.submit(entry, std::move(inlineImage));
+      const std::uint64_t id = server_.submit(entry, std::move(inlineImage),
+                                              std::move(inlineFrames));
       return protocol::okLine(std::to_string(id));
     } catch (const QueueFullError& e) {
       return protocol::errLine(protocol::kErrQueueFull, e.what());
@@ -435,6 +461,36 @@ std::string SocketFrontend::dispatch(const std::string& line, int fd,
           eventReady.notify_one();
         });
 
+    // Replay FRAME events emitted before the subscription took effect — a
+    // fast first frame can finish before the client's WAIT arrives, and a
+    // WAIT on an already-finished sequence job should still stream one
+    // event per frame. Merge by seq with anything the listener queued in
+    // the meantime; equal seqs are the same event delivered both ways.
+    {
+      const std::vector<FrameMark> history = server_.frameHistory(id);
+      if (!history.empty()) {
+        std::deque<JobEvent> merged;
+        for (const FrameMark& mark : history) {
+          JobEvent event;
+          event.type = JobEvent::Type::Frame;
+          event.id = id;
+          event.done = mark.frame;
+          event.total = mark.total;
+          event.seq = mark.seq;
+          merged.push_back(event);
+        }
+        const std::scoped_lock lock(eventMutex);
+        for (const JobEvent& live : events) {
+          const auto pos = std::lower_bound(
+              merged.begin(), merged.end(), live.seq,
+              [](const JobEvent& e, std::uint64_t seq) { return e.seq < seq; });
+          if (pos != merged.end() && pos->seq == live.seq) continue;
+          merged.insert(pos, live);
+        }
+        events = std::move(merged);
+      }
+    }
+
     std::string finalState;
     bool vanished = false;  // pruned from retention while we waited
     // The job may already be terminal (subscribe raced the finish): emit
@@ -455,6 +511,9 @@ std::string SocketFrontend::dispatch(const std::string& line, int fd,
                        : now->state == JobState::Failed
                            ? JobEvent::Type::Failed
                            : JobEvent::Type::Cancelled;
+          // Continue the job's event numbering so even the synthetic
+          // terminal line keeps the stream monotonic for this client.
+          event.seq = server_.nextEventSeq(id);
           events.push_back(event);
         }
       }

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "analysis/matching.hpp"
+
 namespace mcmcpar::shard {
 
 TileGrid makeTileGrid(int width, int height, int gx, int gy, int halo) {
@@ -86,10 +88,7 @@ void parseTileCount(const std::string& text, int& gx, int& gy) {
 }
 
 double discIoU(const model::Circle& a, const model::Circle& b) noexcept {
-  const double overlap = model::overlapArea(a, b);
-  if (overlap <= 0.0) return 0.0;
-  const double unionArea = model::discArea(a) + model::discArea(b) - overlap;
-  return unionArea > 0.0 ? overlap / unionArea : 0.0;
+  return analysis::circleIoU(a, b);
 }
 
 }  // namespace mcmcpar::shard

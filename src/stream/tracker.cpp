@@ -1,0 +1,68 @@
+#include "stream/tracker.hpp"
+
+#include <algorithm>
+
+#include "analysis/matching.hpp"
+
+namespace mcmcpar::stream {
+
+Tracker::FrameUpdate Tracker::update(
+    std::size_t frameIndex, const std::vector<model::Circle>& detections) {
+  FrameUpdate result;
+  result.ids.assign(detections.size(), 0);
+
+  std::vector<model::Circle> previous;
+  previous.reserve(active_.size());
+  for (const Active& track : active_) previous.push_back(track.last);
+
+  const analysis::IouMatchResult matched =
+      analysis::matchCirclesIoU(detections, previous, minIoU_);
+
+  std::vector<Active> survivors;
+  survivors.reserve(active_.size() + matched.unmatchedFound.size());
+  // Matches arrive best-overlap-first; rebuild survivors in the previous
+  // active order so later frames see a stable matching order.
+  std::vector<std::size_t> matchOf(active_.size(), detections.size());
+  for (const analysis::IouMatch& m : matched.matches) {
+    matchOf[m.truthIndex] = m.foundIndex;
+  }
+  for (std::size_t t = 0; t < active_.size(); ++t) {
+    if (matchOf[t] == detections.size()) continue;
+    Active track = active_[t];
+    track.last = detections[matchOf[t]];
+    track.lastFrame = frameIndex;
+    result.ids[matchOf[t]] = track.id;
+    survivors.push_back(track);
+  }
+  for (std::size_t t : matched.unmatchedTruth) {
+    const Active& track = active_[t];
+    ended_.push_back(TrackSummary{track.id, track.firstFrame, track.lastFrame});
+    ++result.ended;
+  }
+  for (std::size_t f : matched.unmatchedFound) {
+    Active track;
+    track.id = nextId_++;
+    track.last = detections[f];
+    track.firstFrame = frameIndex;
+    track.lastFrame = frameIndex;
+    result.ids[f] = track.id;
+    survivors.push_back(track);
+    ++result.born;
+  }
+  active_ = std::move(survivors);
+  return result;
+}
+
+std::vector<TrackSummary> Tracker::tracks() const {
+  std::vector<TrackSummary> all = ended_;
+  for (const Active& track : active_) {
+    all.push_back(TrackSummary{track.id, track.firstFrame, track.lastFrame});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TrackSummary& a, const TrackSummary& b) {
+              return a.id < b.id;
+            });
+  return all;
+}
+
+}  // namespace mcmcpar::stream

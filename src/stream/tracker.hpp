@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/circle.hpp"
+#include "stream/report.hpp"
+
+namespace mcmcpar::stream {
+
+/// Deterministic cross-frame object tracker: frame K's detections are
+/// matched against the previous frame's surviving tracks by disc IoU
+/// (analysis::matchCirclesIoU, highest overlap first, index tie-break).
+/// Matched detections extend their track; unmatched detections open new
+/// tracks with ids assigned in detection order; tracks with no match end.
+/// Same detection sequence in, same track ids out — bit for bit.
+class Tracker {
+ public:
+  explicit Tracker(double minIoU = 0.25) : minIoU_(minIoU) {}
+
+  /// What one frame did to the track population.
+  struct FrameUpdate {
+    std::size_t born = 0;   ///< new tracks opened on this frame
+    std::size_t ended = 0;  ///< tracks that failed to match this frame
+    std::vector<std::uint64_t> ids;  ///< track id per detection (parallel
+                                     ///< to the `detections` argument)
+  };
+
+  /// Ingest one frame's detections. `frameIndex` must be non-decreasing
+  /// across calls; gaps are allowed (a skipped frame just widens the
+  /// motion the IoU gate must bridge).
+  FrameUpdate update(std::size_t frameIndex,
+                     const std::vector<model::Circle>& detections);
+
+  [[nodiscard]] std::size_t activeTracks() const noexcept {
+    return active_.size();
+  }
+
+  /// All tracks seen so far — ended and still active — sorted by id.
+  [[nodiscard]] std::vector<TrackSummary> tracks() const;
+
+ private:
+  struct Active {
+    std::uint64_t id = 0;
+    model::Circle last;  ///< most recent matched detection
+    std::size_t firstFrame = 0;
+    std::size_t lastFrame = 0;
+  };
+
+  double minIoU_;
+  std::uint64_t nextId_ = 1;
+  std::vector<Active> active_;
+  std::vector<TrackSummary> ended_;
+};
+
+}  // namespace mcmcpar::stream

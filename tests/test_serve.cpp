@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -258,9 +259,16 @@ TEST(Protocol, ReplyAndEventLines) {
   event.type = JobEvent::Type::Progress;
   event.done = 50;
   event.total = 100;
-  EXPECT_EQ(protocol::eventLine(event), "EVENT 3 PROGRESS 50 100");
+  event.seq = 5;
+  EXPECT_EQ(protocol::eventLine(event), "EVENT 3 PROGRESS 50 100 seq=5");
+  event.type = JobEvent::Type::Frame;
+  event.done = 2;
+  event.total = 8;
+  event.seq = 6;
+  EXPECT_EQ(protocol::eventLine(event), "EVENT 3 FRAME frame=2/8 seq=6");
   event.type = JobEvent::Type::Done;
-  EXPECT_EQ(protocol::eventLine(event), "EVENT 3 DONE");
+  event.seq = 7;
+  EXPECT_EQ(protocol::eventLine(event), "EVENT 3 DONE seq=7");
 }
 
 // ---------------------------------------------------------------------------
@@ -592,6 +600,10 @@ TEST_F(SocketFixture, StatusAndStats) {
   const std::string stats = client.request("STATS");
   EXPECT_NE(stats.find("\"done\": 1"), std::string::npos) << stats;
   EXPECT_NE(stats.find("\"thread_budget\": 2"), std::string::npos) << stats;
+  // The cache counters added for the streaming workload are always present.
+  EXPECT_NE(stats.find("\"cache_oneshot_bypasses\": "), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"cache_interned\": "), std::string::npos) << stats;
 }
 
 TEST_F(SocketFixture, ErrorCodesMatchTheProtocolSpec) {
@@ -629,6 +641,84 @@ TEST_F(SocketFixture, WaitStreamsProgressEvents) {
   // The last event is terminal; progress lines (if the job was slow enough
   // to emit any) carry "<done> <total>".
   EXPECT_NE(events.back().find("DONE"), std::string::npos);
+}
+
+/// The trailing `seq=<n>` of an EVENT line (0 when absent/unparseable).
+std::uint64_t eventSeqOf(const std::string& line) {
+  const std::size_t pos = line.rfind(" seq=");
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + pos + 5, nullptr, 10);
+}
+
+TEST_F(SocketFixture, EventSeqIsMonotonicPerJob) {
+  const std::uint64_t id =
+      client.submit("synth serial @iters=40000 @trace=100");
+  std::vector<std::string> events;
+  const std::string state = client.wait(
+      id, [&](const std::string& line) { events.push_back(line); });
+  EXPECT_EQ(state, "done");
+  ASSERT_FALSE(events.empty());
+  std::uint64_t last = 0;
+  for (const std::string& line : events) {
+    const std::uint64_t seq = eventSeqOf(line);
+    EXPECT_GT(seq, last) << line;  // strictly increasing; gaps are fine
+    last = seq;
+  }
+}
+
+TEST_F(SocketFixture, SequenceJobStreamsOrderedFrameEvents) {
+  const std::uint64_t id =
+      client.submit("synth serial @sequence=4 @iters=300");
+  std::vector<std::string> events;
+  const std::string state = client.wait(
+      id, [&](const std::string& line) { events.push_back(line); });
+  EXPECT_EQ(state, "done");
+
+  std::vector<std::string> frames;
+  std::uint64_t last = 0;
+  for (const std::string& line : events) {
+    const std::uint64_t seq = eventSeqOf(line);
+    EXPECT_GT(seq, last) << line;
+    last = seq;
+    if (line.find(" FRAME ") != std::string::npos) frames.push_back(line);
+  }
+  ASSERT_EQ(frames.size(), 4u);
+  for (std::size_t k = 0; k < frames.size(); ++k) {
+    EXPECT_NE(
+        frames[k].find("frame=" + std::to_string(k) + "/4"),
+        std::string::npos)
+        << frames[k];
+  }
+
+  const std::string json = client.report(id);
+  EXPECT_NE(json.find("\"frames\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tracks\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"label\": \"synth.0\""), std::string::npos) << json;
+}
+
+TEST_F(SocketFixture, InlineUploadedSequenceRunsEndToEnd) {
+  img::DriftSpec drift;
+  drift.scene = img::cellScene(48, 48, 2, 8.0, 9);
+  drift.frames = 3;
+  const std::vector<img::Scene> scenes = img::generateDriftingSequence(drift);
+  for (std::size_t k = 0; k < scenes.size(); ++k) {
+    (void)client.upload("cam." + std::to_string(k), scenes[k].image);
+  }
+  const std::uint64_t id =
+      client.submit("cam serial @sequence=3 @image=inline @iters=200");
+  EXPECT_EQ(client.wait(id), "done");
+  const std::string json = client.report(id);
+  EXPECT_NE(json.find("\"label\": \"cam.0\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"label\": \"cam.2\""), std::string::npos) << json;
+
+  // A frame that was never uploaded fails the SUBMIT, not the worker.
+  EXPECT_EQ(client.request("SUBMIT cam serial @sequence=5 @image=inline")
+                .rfind("ERR BAD_JOB", 0),
+            0u);
+  // An inline sequence needs a decimal count, not a glob.
+  EXPECT_EQ(client.request("SUBMIT cam serial @sequence=*.pgm @image=inline")
+                .rfind("ERR BAD_JOB", 0),
+            0u);
 }
 
 TEST_F(SocketFixture, ShutdownCommandFiresTheCallbackAndRejectsNewJobs) {

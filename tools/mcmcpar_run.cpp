@@ -30,6 +30,7 @@
 #include "engine/registry.hpp"
 #include "img/pnm_io.hpp"
 #include "img/synth.hpp"
+#include "stream/sequence.hpp"
 
 using namespace mcmcpar;
 
@@ -47,6 +48,10 @@ struct CliOptions {
   std::string imagePath;  // when set, run on this PGM instead of a scene
   std::string batchPath;  // when set, run the manifest through BatchRunner
   std::string shardTiles;  // --shard KxL: run through the shard coordinator
+  std::string sequence;   // --sequence N|GLOB: streaming frame-sequence run
+  bool noWarmStart = false;    // --no-warm-start: cold-start every frame
+  bool noTrack = false;        // --no-track: skip the cross-frame tracker
+  double freshFraction = 0.25; // --fresh-fraction: births on warm frames
   unsigned maxJobs = 0;   // --jobs: concurrent-job cap (0 = thread budget)
   double deadline = 0.0;  // --deadline: whole-batch wall limit in seconds
   bool list = false;
@@ -72,6 +77,15 @@ void printUsage() {
       "                      tile; shard knobs (halo=N backend=local|socket\n"
       "                      endpoints=h:p[*W],... endpoints-file=PATH iou=X)\n"
       "                      and inner.key=value options go through --opt\n"
+      "  --sequence N|GLOB   streaming run over an ordered frame sequence:\n"
+      "                      a decimal N generates N synthetic drifting\n"
+      "                      frames from the scene knobs; anything else is\n"
+      "                      a PGM glob (sorted). Frame K warm-starts from\n"
+      "                      frame K-1 and objects are tracked across frames\n"
+      "  --no-warm-start     sequence: cold-start every frame\n"
+      "  --no-track          sequence: skip the cross-frame tracker\n"
+      "  --fresh-fraction X  sequence: fresh births on warm frames as a\n"
+      "                      fraction of the expected count (default 0.25)\n"
       "  --progress          print progress beats from RunHooks\n"
       "  --batch FILE        run a job manifest through BatchRunner; each\n"
       "                      line is '<image.pgm|synth> <strategy>\n"
@@ -181,6 +195,16 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
     } else if (std::strcmp(arg, "--shard") == 0) {
       if ((v = value(i)) == nullptr) return std::nullopt;
       cli.shardTiles = v;
+    } else if (std::strcmp(arg, "--sequence") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      cli.sequence = v;
+    } else if (std::strcmp(arg, "--no-warm-start") == 0) {
+      cli.noWarmStart = true;
+    } else if (std::strcmp(arg, "--no-track") == 0) {
+      cli.noTrack = true;
+    } else if (std::strcmp(arg, "--fresh-fraction") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      if (!parseDouble(arg, v, cli.freshFraction)) return std::nullopt;
     } else if (std::strcmp(arg, "--jobs") == 0) {
       if ((v = value(i)) == nullptr) return std::nullopt;
       int jobs = 0;
@@ -270,6 +294,19 @@ void printExtras(const engine::RunReport& report) {
         if (tile.attempts > 1) std::printf(" (attempt %u)", tile.attempts);
       }
       std::printf("\n");
+    }
+  } else if (const auto* seq =
+                 std::get_if<stream::StreamReport>(&report.extras)) {
+    std::printf(
+        "  [%s] %zu/%zu frame(s), warm-start %s, p50 frame %.3f s, "
+        "%zu track(s)\n",
+        seq->innerStrategy.c_str(), seq->perFrame.size(), seq->frameCount,
+        seq->warmStart ? "on" : "off", seq->p50FrameSeconds,
+        seq->tracks.size());
+    for (const stream::TrackSummary& track : seq->tracks) {
+      std::printf("    track %llu: frames %zu..%zu (%zu frame(s))\n",
+                  static_cast<unsigned long long>(track.id), track.firstFrame,
+                  track.lastFrame, track.length());
     }
   }
 }
@@ -419,6 +456,109 @@ int runBatch(const CliOptions& cli) {
   return batch.failed == 0 ? 0 : 1;
 }
 
+/// --sequence: build the frame list (synthetic drifting scene or PGM glob),
+/// run it through stream::SequenceRunner with warm-started chains and the
+/// cross-frame tracker, and print the per-frame table plus track lifetimes.
+int runSequence(const CliOptions& cli) {
+  if (cli.strategy == "all") {
+    std::fprintf(stderr, "--sequence cannot be combined with --strategy all\n");
+    return 2;
+  }
+
+  stream::SequenceSpec spec;
+  spec.strategy = cli.strategy;
+  spec.options = cli.strategyOptions;
+  spec.budget = cli.budget;
+  spec.warmStart = !cli.noWarmStart;
+  spec.track = !cli.noTrack;
+  spec.freshFraction = cli.freshFraction;
+
+  if (const auto count = stream::parseFrameCount(cli.sequence)) {
+    constexpr std::uint64_t kMaxSynthFrames = 4096;
+    if (*count > kMaxSynthFrames) {
+      std::fprintf(stderr, "--sequence: at most %llu synthetic frames\n",
+                   static_cast<unsigned long long>(kMaxSynthFrames));
+      return 2;
+    }
+    img::DriftSpec drift;
+    drift.scene = img::cellScene(cli.width, cli.height, cli.cells, cli.radius,
+                                 cli.resources.seed);
+    drift.frames = static_cast<int>(*count);
+    std::vector<img::Scene> scenes = img::generateDriftingSequence(drift);
+    for (std::size_t k = 0; k < scenes.size(); ++k) {
+      spec.frames.push_back(
+          {std::make_shared<img::ImageF>(std::move(scenes[k].image)),
+           "synth." + std::to_string(k)});
+    }
+    std::printf("sequence: %zu synthetic drifting frames (%dx%d, %d cells)\n\n",
+                spec.frames.size(), cli.width, cli.height, cli.cells);
+  } else {
+    const std::vector<std::string> paths = stream::expandFrameGlob(cli.sequence);
+    if (paths.empty()) {
+      std::fprintf(stderr, "--sequence: no frames match '%s'\n",
+                   cli.sequence.c_str());
+      return 2;
+    }
+    for (const std::string& path : paths) {
+      try {
+        spec.frames.push_back(
+            {std::make_shared<img::ImageF>(img::toF(img::readPgm(path))),
+             path});
+      } catch (const img::PnmError& e) {
+        std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(), e.what());
+        return 2;
+      }
+    }
+    std::printf("sequence: %zu frames matching %s\n\n", spec.frames.size(),
+                cli.sequence.c_str());
+  }
+
+  spec.problem = makeProblem(*spec.frames.front().image, cli);
+
+  stream::SequenceHooks hooks;
+  if (cli.progress) {
+    hooks.onFrame = [](const stream::FrameResult& frame,
+                       const engine::RunReport&) {
+      std::fprintf(stderr,
+                   "  frame %zu (%s): %zu circle(s), %zu carried, logP %.1f\n",
+                   frame.index, frame.label.c_str(), frame.circles,
+                   frame.carried, frame.logPosterior);
+    };
+  }
+
+  engine::RunReport report;
+  try {
+    report = stream::SequenceRunner().run(spec, cli.resources, hooks);
+  } catch (const engine::EngineError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  const auto* seq = std::get_if<stream::StreamReport>(&report.extras);
+  analysis::Table table({"frame", "label", "seconds", "iters", "accept",
+                         "circles", "carried", "born", "ended", "logP"});
+  if (seq != nullptr) {
+    for (const stream::FrameResult& frame : seq->perFrame) {
+      table.addRow(
+          {analysis::Table::integer(static_cast<long long>(frame.index)),
+           frame.label, analysis::Table::num(frame.wallSeconds, 3),
+           analysis::Table::integer(
+               static_cast<long long>(frame.iterations)),
+           analysis::Table::num(frame.acceptanceRate, 3),
+           analysis::Table::integer(static_cast<long long>(frame.circles)),
+           analysis::Table::integer(static_cast<long long>(frame.carried)),
+           analysis::Table::integer(static_cast<long long>(frame.tracksBorn)),
+           analysis::Table::integer(
+               static_cast<long long>(frame.tracksEnded)),
+           analysis::Table::num(frame.logPosterior, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\n");
+  printExtras(report);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -434,6 +574,14 @@ int main(int argc, char** argv) {
   if (cli.list) {
     printRegistry(registry);
     return 0;
+  }
+  if (!cli.sequence.empty()) {
+    if (!cli.batchPath.empty() || !cli.shardTiles.empty()) {
+      std::fprintf(stderr,
+                   "--sequence cannot be combined with --batch or --shard\n");
+      return 2;
+    }
+    return runSequence(cli);
   }
   if (!cli.batchPath.empty()) {
     if (!cli.shardTiles.empty()) {

@@ -339,12 +339,15 @@ int main(int argc, char** argv) {
 
   const serve::ServerStats stats = server.stats();
   std::printf("served %llu job(s): %llu done, %llu failed, %llu cancelled; "
-              "cache %llu hit(s) / %llu miss(es)\n",
+              "cache %llu hit(s) / %llu miss(es), %llu interned frame(s), "
+              "%llu oneshot bypass(es)\n",
               static_cast<unsigned long long>(stats.jobs.submitted),
               static_cast<unsigned long long>(stats.jobs.done),
               static_cast<unsigned long long>(stats.jobs.failed),
               static_cast<unsigned long long>(stats.jobs.cancelled),
               static_cast<unsigned long long>(stats.cache.hits),
-              static_cast<unsigned long long>(stats.cache.misses));
+              static_cast<unsigned long long>(stats.cache.misses),
+              static_cast<unsigned long long>(stats.cache.interned),
+              static_cast<unsigned long long>(stats.cache.oneshotBypasses));
   return 0;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "img/pnm_io.hpp"
+#include "img/synth.hpp"
 #include "serve/socket.hpp"
 
 using namespace mcmcpar;
@@ -43,12 +44,21 @@ void printUsage() {
       "                      the server never touches the filesystem\n"
       "  --oneshot           with --upload: bypass the server's image cache\n"
       "                      (one-off inputs should not evict warm entries)\n"
+      "  --sequence N        generate N synthetic drifting frames locally,\n"
+      "                      push each as a float32 UPLOAD frame (cam.0 ..\n"
+      "                      cam.N-1) and submit the job line as a streaming\n"
+      "                      '@sequence=N @image=inline' job; the job tokens\n"
+      "                      are just '<strategy> [options...]' (N <= 64,\n"
+      "                      the per-connection upload cap)\n"
+      "  --seq-size W        sequence: square frame size (default: 160)\n"
+      "  --seq-cells N       sequence: circles per frame (default: 6)\n"
+      "  --seed N            sequence: scene seed (default: 1)\n"
       "single commands (instead of a job line):\n"
       "  --wait ID           wait for an already-submitted job and print its\n"
       "                      result; exits 0 only when it ends 'done', so\n"
       "                      scripts can gate on jobs queued with --no-wait\n"
-      "  --status ID / --result ID / --cancel ID / --stats / --ping /\n"
-      "  --shutdown          print the server's raw reply\n"
+      "  --status ID / --result ID / --report ID / --cancel ID / --stats /\n"
+      "  --ping / --shutdown print the server's raw reply\n"
       "\nA job line is '<image.pgm|synth> <strategy> [@directive=value ...]"
       " [key=value ...]'\n(docs/PROTOCOL.md).\n");
 }
@@ -100,6 +110,10 @@ int main(int argc, char** argv) {
   bool progress = false;
   bool upload = false;
   bool oneshot = false;
+  std::uint64_t sequenceFrames = 0;  // --sequence N (0 = not a sequence)
+  int seqSize = 160;
+  int seqCells = 6;
+  std::uint64_t seed = 1;
   double timeoutSeconds = 300.0;
   std::optional<std::string> command;   // raw single-command request
   std::optional<std::uint64_t> waitId;  // --wait ID
@@ -133,6 +147,29 @@ int main(int argc, char** argv) {
       upload = true;
     } else if (arg == "--oneshot") {
       oneshot = true;
+    } else if (arg == "--sequence") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "--sequence: expected a frame count, got '%s'\n",
+                     v);
+        return 2;
+      }
+      sequenceFrames = n;
+    } else if (arg == "--seq-size") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      seqSize = static_cast<int>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--seq-cells") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      seqCells = static_cast<int>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--timeout") {
       const char* v = value();
       if (v == nullptr) return 2;
@@ -147,7 +184,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       waitId = id;
-    } else if (arg == "--status" || arg == "--result" || arg == "--cancel") {
+    } else if (arg == "--status" || arg == "--result" || arg == "--report" ||
+               arg == "--cancel") {
       const char* v = value();
       if (v == nullptr) return 2;
       std::string verb = arg.substr(2);
@@ -185,6 +223,25 @@ int main(int argc, char** argv) {
                  "PGM path\n");
     return 2;
   }
+  if (sequenceFrames > 0) {
+    if (upload) {
+      std::fprintf(stderr,
+                   "--sequence generates and uploads its own frames; drop "
+                   "--upload\n");
+      return 2;
+    }
+    // The server caps per-connection uploads; more frames than that would
+    // silently evict frame 0 before SUBMIT could gather it.
+    if (sequenceFrames > 64) {
+      std::fprintf(stderr, "--sequence: at most 64 inline frames\n");
+      return 2;
+    }
+    if (jobTokens.empty()) {
+      std::fprintf(stderr,
+                   "--sequence needs job tokens: <strategy> [options...]\n");
+      return 2;
+    }
+  }
 
   // Read the image before dialling the server: a bad path should not cost a
   // connection, and PnmError is a usage error (exit 2), not a job failure.
@@ -218,6 +275,26 @@ int main(int argc, char** argv) {
                    pixels.height(), hash.c_str(),
                    oneshot ? " [oneshot]" : "");
       jobTokens[0] = frameId;
+      jobTokens.push_back("@image=inline");
+    }
+
+    if (sequenceFrames > 0) {
+      // Generate the drifting frames client-side and push each one as an
+      // exact float32 frame — the server sees only pixels, never a path.
+      img::DriftSpec drift;
+      drift.scene = img::cellScene(seqSize, seqSize, seqCells, 9.0, seed);
+      drift.frames = static_cast<int>(sequenceFrames);
+      const std::vector<img::Scene> scenes =
+          img::generateDriftingSequence(drift);
+      for (std::size_t k = 0; k < scenes.size(); ++k) {
+        const std::string frameId = "cam." + std::to_string(k);
+        (void)client.upload(frameId, scenes[k].image, oneshot);
+      }
+      std::fprintf(stderr, "uploaded %zu drifting frames (%dx%d) as cam.*\n",
+                   scenes.size(), seqSize, seqSize);
+      jobTokens.insert(jobTokens.begin(), "cam");
+      jobTokens.push_back("@sequence=" +
+                          std::to_string(sequenceFrames));
       jobTokens.push_back("@image=inline");
     }
 
