@@ -9,6 +9,7 @@
 #include "img/disc_raster.hpp"
 #include "img/synth.hpp"
 #include "mcmc/sampler.hpp"
+#include "model/likelihood_kernels.hpp"
 #include "model/posterior.hpp"
 #include "rng/distributions.hpp"
 #include "rng/stream.hpp"
@@ -78,6 +79,115 @@ void BM_DiscIteration(benchmark::State& state) {
                           static_cast<std::int64_t>(3.14159 * r * r));
 }
 BENCHMARK(BM_DiscIteration)->Arg(5)->Arg(10)->Arg(20);
+
+// --- CI regression gate pairs ----------------------------------------------
+// Each *PerPixel512 benchmark reproduces the pre-span hot path (per-pixel
+// callback, one branch and one serial accumulate per pixel); the matching
+// *Span512 benchmark runs today's row-span kernel on the identical 512x512
+// workload. tools/check_bench_micro.py gates CI on the in-run speedup ratio
+// of each pair, which is machine-independent, instead of absolute times.
+
+struct GateWorkload {
+  img::ImageF gain{512, 512};
+  img::Image<std::uint16_t> cov{512, 512, 0};
+  std::vector<model::Circle> probes;
+};
+
+const GateWorkload& gateWorkload() {
+  static const GateWorkload w = [] {
+    GateWorkload out;
+    rng::Stream s(29);
+    for (float& v : out.gain.pixels()) {
+      v = static_cast<float>(s.uniform(-4.0, 4.0));
+    }
+    // Half the raster pre-covered so the cov==0 branch is exercised both ways.
+    for (int i = 0; i < 40; ++i) {
+      img::forEachDiscSpan(s.uniform(0, 512), s.uniform(0, 512),
+                           s.uniform(15, 40), 512, 512,
+                           [&](int y, int x0, int x1) {
+                             std::uint16_t* row = out.cov.row(y);
+                             for (int x = x0; x < x1; ++x) ++row[x];
+                           });
+    }
+    for (int i = 0; i < 64; ++i) {
+      out.probes.push_back(model::Circle{s.uniform(20, 492),
+                                         s.uniform(20, 492), 32.0});
+    }
+    return out;
+  }();
+  return w;
+}
+
+std::int64_t gateDiscPixels(const GateWorkload& w) {
+  std::int64_t pixels = 0;
+  for (const model::Circle& c : w.probes) {
+    pixels += static_cast<std::int64_t>(
+        img::discPixelCount(c.x, c.y, c.r, 512, 512));
+  }
+  return pixels;
+}
+
+void BM_GainAccumPerPixel512(benchmark::State& state) {
+  const GateWorkload& w = gateWorkload();
+  double sum = 0.0;
+  for (auto _ : state) {
+    for (const model::Circle& c : w.probes) {
+      img::forEachDiscPixel(c.x, c.y, c.r, 512, 512, [&](int x, int y) {
+        sum += w.cov(x, y) == 0 ? static_cast<double>(w.gain(x, y)) : 0.0;
+      });
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * gateDiscPixels(w));
+}
+BENCHMARK(BM_GainAccumPerPixel512);
+
+void BM_GainAccumSpan512(benchmark::State& state) {
+  const GateWorkload& w = gateWorkload();
+  double sum = 0.0;
+  for (auto _ : state) {
+    for (const model::Circle& c : w.probes) {
+      img::forEachDiscSpan(c.x, c.y, c.r, 512, 512,
+                           [&](int y, int x0, int x1) {
+                             sum += model::kernels::spanDeltaAdd(
+                                 w.gain.row(y) + x0, w.cov.row(y) + x0,
+                                 static_cast<std::size_t>(x1 - x0));
+                           });
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * gateDiscPixels(w));
+}
+BENCHMARK(BM_GainAccumSpan512);
+
+void BM_ResyncPerPixel512(benchmark::State& state) {
+  const GateWorkload& w = gateWorkload();
+  for (auto _ : state) {
+    double total = 0.0;
+    for (int y = 0; y < 512; ++y) {
+      for (int x = 0; x < 512; ++x) {
+        total += w.cov(x, y) > 0 ? static_cast<double>(w.gain(x, y)) : 0.0;
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 512);
+}
+BENCHMARK(BM_ResyncPerPixel512);
+
+void BM_ResyncSpan512(benchmark::State& state) {
+  const GateWorkload& w = gateWorkload();
+  for (auto _ : state) {
+    model::kernels::KahanSum total;
+    for (int y = 0; y < 512; ++y) {
+      total.add(model::kernels::spanSumCovered(w.gain.row(y), w.cov.row(y),
+                                               512));
+    }
+    benchmark::DoNotOptimize(total.value());
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 512);
+}
+BENCHMARK(BM_ResyncSpan512);
 
 void BM_LikelihoodDeltaAdd(benchmark::State& state) {
   model::ModelState s = microState(256, 30, 11);

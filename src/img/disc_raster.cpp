@@ -7,30 +7,25 @@ namespace mcmcpar::img {
 std::vector<Span> discSpans(double cx, double cy, double r, int width,
                             int height) {
   std::vector<Span> spans;
-  if (r <= 0.0) return spans;
-  spans.reserve(static_cast<std::size_t>(std::max(0.0, 2.0 * r + 2.0)));
-  const int yLo = std::max(0, static_cast<int>(std::floor(cy - r - 0.5)));
-  const int yHi =
-      std::min(height - 1, static_cast<int>(std::ceil(cy + r - 0.5)));
-  for (int y = yLo; y <= yHi; ++y) {
-    const double dy = (static_cast<double>(y) + 0.5) - cy;
-    const double disc = r * r - dy * dy;
-    if (disc < 0.0) continue;
-    const double half = std::sqrt(disc);
-    int x0 = static_cast<int>(std::ceil(cx - half - 0.5));
-    int x1 = static_cast<int>(std::floor(cx + half - 0.5));
-    x0 = std::max(x0, 0);
-    x1 = std::min(x1, width - 1);
-    if (x0 <= x1) spans.push_back(Span{y, x0, x1 + 1});
-  }
+  if (!(r > 0.0) || width <= 0 || height <= 0) return spans;
+  // One span per intersected row, so the clipped row count is an exact upper
+  // bound (the previous 2r+2 estimate over-allocated unboundedly for giant
+  // radii on small rasters).
+  const RowRange rows = discRowRange(cy, r, height);
+  if (rows.y0 > rows.y1) return spans;
+  spans.reserve(static_cast<std::size_t>(rows.y1 - rows.y0 + 1));
+  forEachDiscSpan(cx, cy, r, width, height, [&spans](int y, int x0, int x1) {
+    spans.push_back(Span{y, x0, x1});
+  });
   return spans;
 }
 
 std::size_t discPixelCount(double cx, double cy, double r, int width,
                            int height) noexcept {
   std::size_t count = 0;
-  forEachDiscPixel(cx, cy, r, width, height,
-                   [&count](int, int) noexcept { ++count; });
+  forEachDiscSpan(cx, cy, r, width, height, [&count](int, int x0, int x1) {
+    count += static_cast<std::size_t>(x1 - x0);
+  });
   return count;
 }
 

@@ -35,6 +35,12 @@ struct LikelihoodParams {
 /// via `adjustCoveredGain`. This split lets the in-place parallel executor
 /// accumulate deltas thread-locally (coverage writes are disjoint by the
 /// partition legality rules; the scalar total would otherwise be a race).
+///
+/// Hot path: every method walks the disc as contiguous row spans
+/// (img::forEachDiscSpan) and sums each span with the vectorised kernels in
+/// model/likelihood_kernels.hpp. The kernels' fixed-lane accumulation makes
+/// every delta bit-reproducible across backends (scalar/omp-simd/AVX2) and
+/// machines — see the determinism policy in that header.
 class PixelLikelihood {
  public:
   PixelLikelihood() = default;
@@ -84,6 +90,9 @@ class PixelLikelihood {
   double applyAdd(const Circle& c) noexcept;
 
   /// Decrement coverage under c; returns the covered-gain delta (<= 0 terms).
+  /// Removing a circle that is not applied is a caller bug: debug builds
+  /// assert, release builds clamp the count at zero instead of wrapping the
+  /// uint16 to 65535 (which would silently corrupt every subsequent delta).
   double applyRemove(const Circle& c) noexcept;
 
   /// Fold a delta into the running covered-gain total.

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "img/disc_raster.hpp"
 #include "img/filters.hpp"
@@ -259,6 +261,136 @@ TEST(DiscRaster, ClipsAtBorders) {
 TEST(DiscRaster, ZeroRadiusIsEmpty) {
   EXPECT_EQ(discPixelCount(5, 5, 0.0, 10, 10), 0u);
   EXPECT_TRUE(discSpans(5, 5, -1.0, 10, 10).empty());
+}
+
+TEST(DiscRaster, SpanAndPixelEnumerationsAgreeExhaustively) {
+  // Exhaustive sweep over interior, edge-clipped, fully-outside and
+  // giant-radius discs: forEachDiscSpan, forEachDiscPixel and discSpans must
+  // enumerate exactly the pixelInDisc set (proves the tightened floor-based
+  // row bound dropped no pixels).
+  const int W = 24, H = 19;
+  const double centres[] = {-6.0, -0.5, 0.0, 3.7, 11.25, 12.5, 18.9, 30.5};
+  const double radii[] = {0.4, 1.0, 2.5, 3.75, 6.0, 9.5, 14.0, 500.0};
+  for (double cx : centres) {
+    for (double cy : centres) {
+      for (double r : radii) {
+        std::vector<char> bySpan(W * H, 0), byPixel(W * H, 0), byList(W * H, 0);
+        forEachDiscSpan(cx, cy, r, W, H, [&](int y, int x0, int x1) {
+          ASSERT_LT(x0, x1);
+          ASSERT_GE(x0, 0);
+          ASSERT_LE(x1, W);
+          ASSERT_GE(y, 0);
+          ASSERT_LT(y, H);
+          for (int x = x0; x < x1; ++x) {
+            bySpan[static_cast<std::size_t>(y * W + x)] = 1;
+          }
+        });
+        forEachDiscPixel(cx, cy, r, W, H, [&](int x, int y) {
+          byPixel[static_cast<std::size_t>(y * W + x)] = 1;
+        });
+        for (const Span& sp : discSpans(cx, cy, r, W, H)) {
+          for (int x = sp.x0; x < sp.x1; ++x) {
+            byList[static_cast<std::size_t>(sp.y * W + x)] = 1;
+          }
+        }
+        for (int y = 0; y < H; ++y) {
+          for (int x = 0; x < W; ++x) {
+            const std::size_t i = static_cast<std::size_t>(y * W + x);
+            const bool member = pixelInDisc(x, y, cx, cy, r);
+            ASSERT_EQ(static_cast<bool>(bySpan[i]), member)
+                << "span set: cx=" << cx << " cy=" << cy << " r=" << r << " ("
+                << x << "," << y << ")";
+            ASSERT_EQ(bySpan[i], byPixel[i]);
+            ASSERT_EQ(bySpan[i], byList[i]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DiscRaster, RowBoundsAreTight) {
+  // The floor-based bounds: discRowRange matches the analytic tight range
+  // ceil(cy-r-0.5) .. floor(cy+r-0.5), every row in it satisfies
+  // |y+0.5-cy| <= r (i.e. CAN contain disc pixels — the old ceil-based
+  // bound visited a row beyond that), and no enumerated pixel row falls
+  // outside it.
+  const double cases[][3] = {{16.5, 16.5, 7.0},  {15.3, 17.8, 6.4},
+                             {16.0, 16.0, 5.5},  {14.25, 18.75, 9.1},
+                             {16.5, 16.5, 0.75}, {17.1, 15.2, 3.0}};
+  for (const auto& c : cases) {
+    const double cx = c[0], cy = c[1], r = c[2];
+    const RowRange rows = discRowRange(cy, r, 64);
+    EXPECT_EQ(rows.y0, static_cast<int>(std::ceil(cy - r - 0.5)));
+    EXPECT_EQ(rows.y1, static_cast<int>(std::floor(cy + r - 0.5)));
+    for (int y = rows.y0; y <= rows.y1; ++y) {
+      const double dy = (y + 0.5) - cy;
+      EXPECT_LE(dy * dy, r * r)
+          << "row " << y << " cannot contain disc pixels";
+    }
+    // The previous ceil-based upper bound visited one extra impossible row
+    // whenever cy+r-0.5 was not an exact integer.
+    const int oldHi = static_cast<int>(std::ceil(cy + r - 0.5));
+    if (oldHi != rows.y1) {
+      const double dy = (oldHi + 0.5) - cy;
+      EXPECT_GT(dy * dy, r * r) << "cx=" << cx << " cy=" << cy << " r=" << r;
+    }
+    int firstRow = 1 << 30, lastRow = -(1 << 30);
+    forEachDiscSpan(cx, cy, r, 64, 64, [&](int y, int x0, int x1) {
+      EXPECT_LT(x0, x1);  // only non-empty rows are visited
+      firstRow = std::min(firstRow, y);
+      lastRow = std::max(lastRow, y);
+    });
+    EXPECT_GE(firstRow, rows.y0);
+    EXPECT_LE(lastRow, rows.y1);
+    // No pixel was dropped: brute force over the membership rule agrees on
+    // the extreme non-empty rows.
+    int bruteFirst = 1 << 30, bruteLast = -(1 << 30);
+    for (int y = 0; y < 64; ++y) {
+      for (int x = 0; x < 64; ++x) {
+        if (pixelInDisc(x, y, cx, cy, r)) {
+          bruteFirst = std::min(bruteFirst, y);
+          bruteLast = std::max(bruteLast, y);
+        }
+      }
+    }
+    EXPECT_EQ(firstRow, bruteFirst) << "cx=" << cx << " cy=" << cy << " r=" << r;
+    EXPECT_EQ(lastRow, bruteLast) << "cx=" << cx << " cy=" << cy << " r=" << r;
+  }
+}
+
+TEST(DiscRaster, SpansReservationClampedForGiantRadii) {
+  // A giant disc on a small raster must not over-allocate: one span per
+  // clipped row is the exact bound (the old 2r+2 reserve requested ~2e9
+  // entries here).
+  const std::vector<Span> spans = discSpans(8.0, 8.0, 1e9, 16, 16);
+  EXPECT_EQ(spans.size(), 16u);
+  EXPECT_LE(spans.capacity(), 16u);
+  for (const Span& sp : spans) {
+    EXPECT_EQ(sp.x0, 0);
+    EXPECT_EQ(sp.x1, 16);
+  }
+}
+
+TEST(DiscRaster, DiscRowSpanMatchesEnumeratedSpans) {
+  // discRowSpan is the per-row primitive deltaReplace subtracts with; it
+  // must reproduce forEachDiscSpan's spans row for row and report empty rows
+  // outside the disc.
+  const double cx = 9.7, cy = 11.2, r = 6.3;
+  std::vector<RowSpan> enumerated(32, RowSpan{0, 0});
+  forEachDiscSpan(cx, cy, r, 32, 32, [&](int y, int x0, int x1) {
+    enumerated[static_cast<std::size_t>(y)] = RowSpan{x0, x1};
+  });
+  for (int y = 0; y < 32; ++y) {
+    const RowSpan s = discRowSpan(cx, cy, r, y, 32);
+    if (s.x0 < s.x1) {
+      EXPECT_EQ(s.x0, enumerated[static_cast<std::size_t>(y)].x0);
+      EXPECT_EQ(s.x1, enumerated[static_cast<std::size_t>(y)].x1);
+    } else {
+      EXPECT_EQ(enumerated[static_cast<std::size_t>(y)].x0,
+                enumerated[static_cast<std::size_t>(y)].x1);
+    }
+  }
 }
 
 TEST(DiscRaster, RenderSoftDiscClampsToOne) {

@@ -213,6 +213,97 @@ TEST(PixelLikelihood, AbsorbCropRoundTripsAgainstDirectOps) {
   }
 }
 
+TEST(PixelLikelihood, ApplyRemoveOnUncoveredPixelsClampsInsteadOfWrapping) {
+  // Regression: removing a circle that was never applied used to wrap the
+  // uint16 coverage to 65535 in Release builds (the assert compiled out),
+  // silently corrupting every subsequent delta. The guard is now real:
+  // debug builds assert, release builds clamp at zero.
+  const img::ImageF im = randomImage(32, 32, 41);
+  PixelLikelihood lik(im, testParams());
+  const Circle never{16, 16, 5};
+#if defined(NDEBUG)
+  const double delta = lik.applyRemove(never);
+  EXPECT_EQ(delta, 0.0);  // nothing was covered, nothing became bare
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      ASSERT_EQ(lik.coverageAt(x, y), 0) << x << "," << y;  // no 65535 wrap
+    }
+  }
+  // Subsequent deltas are uncorrupted: add/remove still round-trips and
+  // matches the from-scratch reference.
+  const Circle c{14, 17, 6};
+  const double add = lik.applyAdd(c);
+  lik.resynchronise();
+  const std::array<Circle, 1> applied{c};
+  EXPECT_EQ(lik.coveredGain(), lik.referenceCoveredGain(applied));
+  EXPECT_EQ(lik.applyRemove(c), -add);
+#else
+  EXPECT_DEATH(lik.applyRemove(never), "applyRemove on an uncovered pixel");
+#endif
+}
+
+TEST(PixelLikelihood, ConstTermMatchesLongDoubleReferenceOnLargeImage) {
+  // 2048^2 pixels into one total of magnitude ~6.2e6. Measured on this
+  // workload: the compensated constructor sum lands ~1.2e-8 from the
+  // long-double reference, a naive double accumulator ~5.7e-7. The bound
+  // sits ~12x above the former and ~4x below the latter, so reverting to
+  // naive summation fails here.
+  const int N = 2048;
+  rng::Stream s(43);
+  img::ImageF im(N, N);
+  for (float& v : im.pixels()) v = static_cast<float>(s.uniform());
+  const LikelihoodParams params = testParams();
+  const PixelLikelihood lik(im, params);
+
+  long double reference = 0.0L;
+  for (float v : im.pixels()) {
+    reference += static_cast<long double>(
+        rng::logNormalPdf(static_cast<double>(v), params.bgMean, params.sigma));
+  }
+  EXPECT_NEAR(static_cast<double>(static_cast<long double>(lik.logLikelihood()) -
+                                  reference),
+              0.0, 1.5e-7);
+}
+
+TEST(PixelLikelihood, ResynchroniseMatchesLongDoubleReferenceOnLargeImage) {
+  const int N = 2048;
+  rng::Stream s(47);
+  img::ImageF im(N, N);
+  for (float& v : im.pixels()) v = static_cast<float>(s.uniform());
+  PixelLikelihood lik(im, testParams());
+  // Cover roughly half the raster with a handful of giant discs.
+  std::vector<Circle> circles;
+  for (int i = 0; i < 12; ++i) {
+    circles.push_back(
+        Circle{s.uniform(0, N), s.uniform(0, N), s.uniform(150, 450)});
+  }
+  for (const Circle& c : circles) lik.adjustCoveredGain(lik.applyAdd(c));
+  lik.resynchronise();
+
+  long double reference = 0.0L;
+  for (int y = 0; y < N; ++y) {
+    for (int x = 0; x < N; ++x) {
+      if (lik.coverageAt(x, y) > 0) {
+        // Exactly the constructor's gain expression (the /0.125 is an exact
+        // power-of-two scaling, identical to its *8.0), rounded to float as
+        // stored, then accumulated in long double.
+        const double g =
+            ((im(x, y) - 0.1) * (im(x, y) - 0.1) -
+             (im(x, y) - 0.8) * (im(x, y) - 0.8)) /
+            (2.0 * 0.25 * 0.25);
+        reference += static_cast<long double>(static_cast<float>(g));
+      }
+    }
+  }
+  // ~2.1M covered pixels sum to ~1.2e6 with condition number ~5. Measured:
+  // the lane-chunked span kernels + per-row Kahan fold land ~1.1e-10 from
+  // the long-double reference; the bound leaves ~100x slack while staying
+  // ~9 decimal digits tighter than the total itself.
+  EXPECT_NEAR(
+      static_cast<double>(static_cast<long double>(lik.coveredGain()) - reference),
+      0.0, 1e-8);
+}
+
 TEST(PixelLikelihood, OriginOffsetKeepsGlobalCoordinates) {
   // A likelihood built directly over a crop with an origin must agree with
   // deltas of a full-image likelihood for circles inside the crop.

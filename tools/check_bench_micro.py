@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CI regression gate over bench_micro's google-benchmark JSON output.
+
+Reads the committed baseline (tools/bench_micro_baseline.json), which names
+pairs of benchmarks (a per-pixel reference path and the span-kernel path run
+in the SAME process on the SAME workload) and the minimum in-run speedup each
+pair must demonstrate. Comparing a ratio measured within one run makes the
+gate machine-independent: absolute times shift with the runner, the ratio
+between two loops over identical data does not (beyond noise, which the
+baseline's margins absorb).
+
+Usage: check_bench_micro.py BENCH_micro.json [baseline.json]
+Exit status 0 when every pair meets its minimum speedup, 1 otherwise.
+"""
+
+import json
+import os
+import sys
+
+
+def load_times(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        times[bench["name"]] = float(bench["real_time"])
+    return times
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    results_path = argv[1]
+    baseline_path = (
+        argv[2]
+        if len(argv) == 3
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "bench_micro_baseline.json")
+    )
+
+    times = load_times(results_path)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+
+    failures = []
+    for pair in baseline["pairs"]:
+        ref, cand = pair["reference"], pair["candidate"]
+        minimum = float(pair["min_speedup"])
+        missing = [name for name in (ref, cand) if name not in times]
+        if missing:
+            failures.append(f"{ref} vs {cand}: missing result(s) {missing}")
+            continue
+        speedup = times[ref] / times[cand]
+        status = "ok" if speedup >= minimum else "FAIL"
+        print(f"[{status}] {cand}: {speedup:.2f}x over {ref} "
+              f"(minimum {minimum:.2f}x)")
+        if speedup < minimum:
+            failures.append(
+                f"{cand} is only {speedup:.2f}x faster than {ref}, "
+                f"required {minimum:.2f}x")
+
+    if failures:
+        print("\nbench_micro regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("bench_micro regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
