@@ -46,6 +46,18 @@ double predictClusterSeconds(const PredictionInput& in) noexcept {
   return globalTerm + localTerm;
 }
 
+const CostCalibration& defaultCostCalibration() noexcept {
+  static const CostCalibration calibration;
+  return calibration;
+}
+
+double predictCostSeconds(std::uint64_t iterations, double activity,
+                          const CostCalibration& calibration) noexcept {
+  const double a = std::clamp(activity, 0.0, 1.0);
+  return static_cast<double>(iterations) * calibration.secondsPerIteration *
+         (1.0 + calibration.densityWeight * a);
+}
+
 double fig1RelativeRuntime(double qGlobal, unsigned processes) noexcept {
   // tauG == tauL cancels out of the ratio.
   const double s = static_cast<double>(std::max(processes, 1u));

@@ -36,6 +36,36 @@ struct PredictionInput {
 /// Speculative speedup factor (1 - p^n) / (1 - p) (>= 1).
 [[nodiscard]] double speculativeSpeedup(double rejection, unsigned lanes) noexcept;
 
+/// Calibrated constants of the scheduling cost model: the §IX predictor
+/// reduced to what admission and tiling decisions need — a per-iteration
+/// time constant and the relative surcharge of content-dense regions.
+///
+/// `secondsPerIteration` is fitted from bench_micro-style measurements of
+/// the serial strategy on a 512x512 scene (Release, reference hardware) and
+/// committed here; tests/test_scheduling.cpp holds the predicted/measured
+/// ratio inside a band so silent drift after kernel changes is caught. The
+/// absolute value varies across machines and build types, but every
+/// consumer (budget split, deficit-round-robin, hedge triggers) only
+/// compares predictions against each other or against observed medians, so
+/// the decisions survive a mis-scaled constant.
+struct CostCalibration {
+  double secondsPerIteration = 4e-5;  ///< tau of the §VI model (tauG==tauL)
+  /// Relative extra cost per unit of content activity: a region at full
+  /// activity (1.0) predicts (1 + densityWeight)x the work of an empty one
+  /// of the same area — birth moves land there, discs overlap, spans grow.
+  double densityWeight = 4.0;
+};
+
+/// The committed calibration (see CostCalibration).
+[[nodiscard]] const CostCalibration& defaultCostCalibration() noexcept;
+
+/// Predicted wall seconds for `iterations` chain iterations over content of
+/// mean activity `activity` (clamped to [0, 1]; pass 0 when unknown):
+///   iterations * secondsPerIteration * (1 + densityWeight * activity).
+[[nodiscard]] double predictCostSeconds(
+    std::uint64_t iterations, double activity,
+    const CostCalibration& calibration = defaultCostCalibration()) noexcept;
+
 /// One point of the Fig. 1 family: predicted runtime as a fraction of the
 /// sequential runtime for the given qg and process count (tauG == tauL).
 [[nodiscard]] double fig1RelativeRuntime(double qGlobal, unsigned processes) noexcept;

@@ -266,7 +266,17 @@ ManifestEntry parseManifestLine(const std::string& line) {
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
     if (key == "@iters") {
-      entry.iterations = directiveU64(key, value);
+      const std::uint64_t iters = directiveU64(key, value);
+      // Reject the degenerate and the absurd at parse time: @iters=0 would
+      // "succeed" with an empty model, and values beyond kMaxJobIterations
+      // overflow downstream budget arithmetic (frames x budget, tile
+      // splits) long after admission.
+      if (iters == 0 || iters > kMaxJobIterations) {
+        throw EngineError("directive '@iters': expected a value in [1, " +
+                          std::to_string(kMaxJobIterations) + "], got '" +
+                          value + "'");
+      }
+      entry.iterations = iters;
     } else if (key == "@seed") {
       entry.seed = directiveU64(key, value);
     } else if (key == "@trace") {
@@ -302,12 +312,16 @@ ManifestEntry parseManifestLine(const std::string& line) {
     } else if (key == "@oneshot") {
       entry.oneshot = directiveU64(key, value) != 0;
     } else if (key == "@shard") {
-      int gx = 0;
-      int gy = 0;
-      try {
-        shard::parseTileCount(value, gx, gy);
-      } catch (const std::invalid_argument& e) {
-        throw EngineError(std::string("directive '@shard': ") + e.what());
+      // "auto" flows through to the sharded strategy's adaptive grid; a
+      // fixed KxL is validated right here like the tiles= option would.
+      if (value != "auto") {
+        int gx = 0;
+        int gy = 0;
+        try {
+          shard::parseTileCount(value, gx, gy);
+        } catch (const std::invalid_argument& e) {
+          throw EngineError(std::string("directive '@shard': ") + e.what());
+        }
       }
       shardTiles = value;
     } else if (key == "@halo") {
@@ -322,12 +336,37 @@ ManifestEntry parseManifestLine(const std::string& line) {
       entry.warmStart = directiveU64(key, value) != 0;
     } else if (key == "@track") {
       entry.track = directiveU64(key, value) != 0;
+    } else if (key == "@client") {
+      std::string name = value;
+      const std::size_t star = name.find('*');
+      if (star != std::string::npos) {
+        const std::string weightText = name.substr(star + 1);
+        name = name.substr(0, star);
+        const std::uint64_t weight = directiveU64(key, weightText);
+        if (weight == 0 || weight > 1000) {
+          throw EngineError(
+              "directive '@client': weight must be in [1, 1000], got '" +
+              weightText + "'");
+        }
+        entry.clientWeight = static_cast<unsigned>(weight);
+      }
+      if (name.empty() || name.size() > 64 ||
+          name.find_first_not_of(
+              "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+              "abcdefghijklmnopqrstuvwxyz0123456789._-") !=
+              std::string::npos) {
+        throw EngineError(
+            "directive '@client': expected NAME[*W] with NAME of 1-64 "
+            "chars from [A-Za-z0-9._-], got '" +
+            value + "'");
+      }
+      entry.client = name;
     } else {
       throw EngineError("unknown job directive '" + key +
                         "' (expected @iters, @seed, @trace, @label, "
                         "@radius, @radius-std, @radius-min, @radius-max, "
                         "@count, @image, @oneshot, @shard, @halo, "
-                        "@sequence, @warm-start or @track)");
+                        "@sequence, @warm-start, @track or @client)");
     }
   }
   // Validate option tokens through the same parser --opt uses, so a stray

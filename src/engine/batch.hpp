@@ -147,8 +147,9 @@ class BatchRunner {
 ///   <image.pgm | synth> <strategy> [@directive=value ...] [key=value ...]
 /// `@`-prefixed tokens are job-level directives (@iters, @seed, @trace,
 /// @label, @radius, @radius-std/min/max, @count, @image, @oneshot, @shard,
-/// @halo); bare key=value tokens go to the strategy. Blank lines and lines
-/// starting with '#' are skipped by the manifest reader.
+/// @halo, @sequence, @warm-start, @track, @client); bare key=value tokens
+/// go to the strategy. Blank lines and lines starting with '#' are skipped
+/// by the manifest reader.
 ///
 /// `@shard=KxL [@halo=N]` is grammar-level sugar making the job a shard
 /// coordinator: the parser rewrites the entry to the "sharded" strategy
@@ -205,7 +206,22 @@ struct ManifestEntry {
   /// @track=0|1 (sequence only; default on): assign stable object ids
   /// across frames and report per-track lifetimes.
   std::optional<bool> track;
+
+  /// @client=NAME[*W]: the weighted-fair admission bucket this job bills
+  /// against on the serving side (docs/PROTOCOL.md). NAME is 1-64 chars of
+  /// [A-Za-z0-9._-]; the optional *W (1-1000) sets the client's scheduling
+  /// weight. Jobs without the directive share the "default" bucket, which
+  /// keeps a single-client server plain FIFO.
+  std::string client;
+  std::optional<unsigned> clientWeight;
 };
+
+/// Upper bound accepted for @iters. Beyond this the budget arithmetic
+/// (budget x frames, workload-proportional tile splits) risks overflow,
+/// and no legitimate job approaches it — reject at parse time with a line
+/// diagnostic instead of misbehaving hours into a run. @iters=0 is equally
+/// rejected: a zero-iteration job would "succeed" with an empty model.
+inline constexpr std::uint64_t kMaxJobIterations = 10'000'000'000ULL;
 
 /// Parse one job line. Throws EngineError on fewer than two fields, unknown
 /// or malformed `@` directives, and malformed option tokens — option tokens

@@ -1,0 +1,119 @@
+#include "serve/fair_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mcmcpar::serve {
+
+namespace {
+/// Floor for job costs: a zero predicted cost must still consume a sliver
+/// of bandwidth or a client could starve others with free jobs.
+constexpr double kMinCostSeconds = 1e-9;
+}  // namespace
+
+DeficitScheduler::DeficitScheduler(double quantumSeconds)
+    : quantum_(std::max(quantumSeconds, kMinCostSeconds)) {}
+
+void DeficitScheduler::setWeight(const std::string& client, unsigned weight) {
+  weights_[client] = std::clamp(weight, 1u, 1000u);
+}
+
+unsigned DeficitScheduler::weight(const std::string& client) const {
+  const auto it = weights_.find(client);
+  return it == weights_.end() ? 1u : it->second;
+}
+
+void DeficitScheduler::enqueue(const std::string& client, std::uint64_t id,
+                               double costSeconds) {
+  Active& active = active_[client];
+  if (active.queue.empty()) {
+    // Joining (or rejoining) the round: back of the visit order, no
+    // banked credit.
+    active.deficit = 0.0;
+    round_.push_back(client);
+  }
+  active.queue.push_back(Entry{id, std::max(costSeconds, kMinCostSeconds)});
+  ++size_;
+}
+
+bool DeficitScheduler::remove(const std::string& client, std::uint64_t id) {
+  const auto it = active_.find(client);
+  if (it == active_.end()) return false;
+  std::deque<Entry>& queue = it->second.queue;
+  const auto entry =
+      std::find_if(queue.begin(), queue.end(),
+                   [&](const Entry& e) { return e.id == id; });
+  if (entry == queue.end()) return false;
+  queue.erase(entry);
+  --size_;
+  if (queue.empty()) {
+    round_.erase(std::find(round_.begin(), round_.end(), client));
+    active_.erase(it);
+  }
+  return true;
+}
+
+std::optional<DispatchedJob> DeficitScheduler::dispatchNext() {
+  if (round_.empty()) return std::nullopt;
+  // Fast-forward: how many whole rounds until each client's head job fits
+  // its deficit? The minimum (ties to the earliest client in round order)
+  // wins; crediting everyone that many rounds reproduces the classic DRR
+  // schedule without spinning the empty rounds.
+  std::size_t winnerPos = 0;
+  double winnerRounds = std::numeric_limits<double>::infinity();
+  for (std::size_t pos = 0; pos < round_.size(); ++pos) {
+    const Active& active = active_.at(round_[pos]);
+    const double head = active.queue.front().cost;
+    if (active.deficit >= head) {
+      winnerPos = pos;
+      winnerRounds = 0.0;
+      break;  // first already-eligible client in round order serves now
+    }
+    const double perRound =
+        quantum_ * static_cast<double>(weight(round_[pos]));
+    const double rounds = std::ceil((head - active.deficit) / perRound);
+    if (rounds < winnerRounds) {
+      winnerRounds = rounds;
+      winnerPos = pos;
+    }
+  }
+  if (winnerRounds > 0.0) {
+    for (const std::string& client : round_) {
+      Active& active = active_.at(client);
+      active.deficit +=
+          winnerRounds * quantum_ * static_cast<double>(weight(client));
+    }
+  }
+  const std::string client = round_[winnerPos];
+  Active& active = active_.at(client);
+  const Entry entry = active.queue.front();
+  active.queue.pop_front();
+  active.deficit -= entry.cost;
+  --size_;
+  round_.erase(round_.begin() + static_cast<std::ptrdiff_t>(winnerPos));
+  if (active.queue.empty()) {
+    active_.erase(client);  // leaving the round forfeits leftover deficit
+  } else {
+    round_.push_back(client);
+  }
+  return DispatchedJob{entry.id, client, entry.cost};
+}
+
+std::vector<SchedulerClientView> DeficitScheduler::snapshot() const {
+  std::vector<SchedulerClientView> views;
+  views.reserve(round_.size());
+  for (const std::string& client : round_) {
+    const Active& active = active_.at(client);
+    SchedulerClientView view;
+    view.client = client;
+    view.weight = weight(client);
+    view.queued = active.queue.size();
+    view.deficit = active.deficit;
+    for (const Entry& entry : active.queue) view.costQueued += entry.cost;
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+}  // namespace mcmcpar::serve

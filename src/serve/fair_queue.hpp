@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// Cost-aware weighted-fair admission for the serving layer: a deficit
+/// round-robin (DRR) scheduler over per-client queues, where each job's
+/// currency is its predicted cost in seconds (core/runtime_predictor)
+/// instead of a packet length. Pure data structure — no clocks, no
+/// threads, no locks — so tests/test_scheduling.cpp can assert exact
+/// dispatch orders and deficit balances from scripted costs; serve::JobQueue
+/// wraps it under its own mutex.
+namespace mcmcpar::serve {
+
+/// What dispatchNext() hands back: which job runs next and the deficit
+/// charge it carried.
+struct DispatchedJob {
+  std::uint64_t id = 0;
+  std::string client;
+  double costSeconds = 0.0;
+};
+
+/// One client's public state, for STATS and tests.
+struct SchedulerClientView {
+  std::string client;
+  unsigned weight = 1;
+  std::size_t queued = 0;
+  double deficit = 0.0;       ///< unspent dispatch credit, in seconds
+  double costQueued = 0.0;    ///< predicted seconds waiting in the queue
+};
+
+/// Weighted deficit-round-robin over named per-client FIFO queues.
+///
+/// Classic DRR, fast-forwarded: instead of spinning empty rounds until
+/// some head-of-line job fits its client's deficit, dispatchNext()
+/// computes for every active client how many whole rounds it needs before
+/// its head job fits (`ceil((headCost - deficit) / (quantum * weight))`),
+/// credits every active client that many rounds at once, and serves the
+/// client needing fewest rounds (ties broken by round order). The result
+/// is byte-for-byte the classic schedule at O(clients) per dispatch with
+/// no busy loop. After a dispatch the winner rotates to the back of the
+/// round; a client whose queue empties leaves the round and forfeits its
+/// remaining deficit (standard DRR, keeps idle clients from banking
+/// unbounded credit).
+class DeficitScheduler {
+ public:
+  explicit DeficitScheduler(double quantumSeconds = 0.25);
+
+  /// Set a client's scheduling weight (share of service), clamped to
+  /// [1, 1000]. Applies to queued and future jobs alike; persists after
+  /// the client's queue drains.
+  void setWeight(const std::string& client, unsigned weight);
+  [[nodiscard]] unsigned weight(const std::string& client) const;
+
+  /// Append a job to `client`'s FIFO with its predicted cost in seconds
+  /// (floored at a tiny positive charge so zero-cost jobs still consume
+  /// bandwidth). A newly active client joins the back of the round with
+  /// zero deficit.
+  void enqueue(const std::string& client, std::uint64_t id,
+               double costSeconds);
+
+  /// Remove a queued job (cancellation). Returns false when the job is
+  /// not queued under that client.
+  bool remove(const std::string& client, std::uint64_t id);
+
+  /// Pop the next job per the DRR schedule; nullopt when nothing queued.
+  [[nodiscard]] std::optional<DispatchedJob> dispatchNext();
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Active clients in round order (tests and STATS).
+  [[nodiscard]] std::vector<SchedulerClientView> snapshot() const;
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    double cost = 0.0;
+  };
+  struct Active {
+    double deficit = 0.0;
+    std::deque<Entry> queue;
+  };
+
+  double quantum_;
+  std::map<std::string, Active> active_;
+  std::vector<std::string> round_;  ///< active clients, DRR visit order
+  std::map<std::string, unsigned> weights_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mcmcpar::serve

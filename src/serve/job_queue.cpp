@@ -1,5 +1,6 @@
 #include "serve/job_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "engine/options.hpp"
@@ -30,7 +31,7 @@ bool isTerminal(JobState state) noexcept {
 JobQueue::JobQueue(std::size_t retainLimit, std::size_t maxQueued)
     : retainLimit_(retainLimit), maxQueued_(maxQueued) {}
 
-std::uint64_t JobQueue::submit(JobSpec spec) {
+std::uint64_t JobQueue::submit(JobSpec spec, double predictedCostSeconds) {
   std::uint64_t id = 0;
   {
     const std::scoped_lock lock(mutex_);
@@ -45,10 +46,21 @@ std::uint64_t JobQueue::submit(JobSpec spec) {
     }
     id = nextId_++;
     Record record;
-    record.spec = std::move(spec);
+    record.client = spec.client.empty() ? "default" : spec.client;
+    record.predictedCostSeconds = std::max(predictedCostSeconds, 0.0);
     record.admitted = std::chrono::steady_clock::now();
+    if (spec.clientWeight) {
+      scheduler_.setWeight(record.client, *spec.clientWeight);
+    }
+    scheduler_.enqueue(record.client, id, record.predictedCostSeconds);
+    ClientStats& stats = clients_[record.client];
+    stats.client = record.client;
+    stats.weight = scheduler_.weight(record.client);
+    ++stats.submitted;
+    ++stats.queued;
+    stats.costQueued += record.predictedCostSeconds;
+    record.spec = std::move(spec);
     records_.emplace(id, std::move(record));
-    pending_.push_back(id);
     ++counts_.submitted;
     ++counts_.queued;
   }
@@ -60,18 +72,27 @@ std::optional<std::uint64_t> JobQueue::waitNext(
     std::chrono::milliseconds timeout) {
   std::unique_lock lock(mutex_);
   jobReady_.wait_for(lock, timeout,
-                     [this] { return !pending_.empty() || closed_; });
-  while (!pending_.empty()) {
-    const std::uint64_t id = pending_.front();
-    pending_.pop_front();
-    auto& record = records_.at(id);
-    if (record.state != JobState::Queued) continue;  // cancelled while queued
+                     [this] { return !scheduler_.empty() || closed_; });
+  while (true) {
+    const std::optional<DispatchedJob> next = scheduler_.dispatchNext();
+    if (!next) return std::nullopt;
+    auto& record = records_.at(next->id);
+    if (record.state != JobState::Queued) continue;  // defensive
     record.state = JobState::Running;
+    record.queueSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      record.admitted)
+            .count();
     --counts_.queued;
     ++counts_.running;
-    return id;
+    ClientStats& stats = clients_[record.client];
+    if (stats.queued > 0) --stats.queued;
+    stats.costQueued =
+        std::max(0.0, stats.costQueued - record.predictedCostSeconds);
+    ++stats.served;
+    stats.costServed += record.predictedCostSeconds;
+    return next->id;
   }
-  return std::nullopt;
 }
 
 CancelOutcome JobQueue::cancel(std::uint64_t id) {
@@ -82,7 +103,13 @@ CancelOutcome JobQueue::cancel(std::uint64_t id) {
   record.cancelRequested = true;
   if (isTerminal(record.state)) return CancelOutcome::AlreadyTerminal;
   if (record.state == JobState::Running) return CancelOutcome::RunningFlagged;
-  // Queued: terminal right away, with an empty cancelled report.
+  // Queued: terminal right away, with an empty cancelled report. The job
+  // leaves its client's scheduler bucket so it can never dispatch.
+  (void)scheduler_.remove(record.client, id);
+  ClientStats& stats = clients_[record.client];
+  if (stats.queued > 0) --stats.queued;
+  stats.costQueued =
+      std::max(0.0, stats.costQueued - record.predictedCostSeconds);
   record.state = JobState::Cancelled;
   record.report.strategy = record.spec.strategy;
   record.report.cancelled = true;
@@ -91,6 +118,7 @@ CancelOutcome JobQueue::cancel(std::uint64_t id) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     record.admitted)
           .count();
+  record.queueSeconds = record.latencySeconds;
   --counts_.queued;
   ++counts_.cancelled;
   terminal_.push_back(id);
@@ -190,6 +218,14 @@ std::optional<JobStatus> JobQueue::status(std::uint64_t id) const {
   status.progressTotal = record.progressTotal;
   status.latencySeconds = record.latencySeconds;
   status.error = record.error;
+  status.client = record.client;
+  status.predictedCostSeconds = record.predictedCostSeconds;
+  status.queueSeconds =
+      record.state == JobState::Queued
+          ? std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - record.admitted)
+                .count()
+          : record.queueSeconds;
   return status;
 }
 
@@ -221,6 +257,17 @@ std::optional<engine::RunReport> JobQueue::result(std::uint64_t id) const {
 JobCounts JobQueue::counts() const {
   const std::scoped_lock lock(mutex_);
   return counts_;
+}
+
+std::vector<ClientStats> JobQueue::clientStats() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<ClientStats> stats;
+  stats.reserve(clients_.size());
+  for (const auto& [name, entry] : clients_) {
+    stats.push_back(entry);
+    stats.back().weight = scheduler_.weight(name);
+  }
+  return stats;
 }
 
 void JobQueue::close() {

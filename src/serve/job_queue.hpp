@@ -12,6 +12,7 @@
 
 #include "engine/batch.hpp"
 #include "engine/options.hpp"
+#include "serve/fair_queue.hpp"
 
 namespace mcmcpar::serve {
 
@@ -51,6 +52,9 @@ struct JobStatus {
   std::uint64_t progressTotal = 0;
   double latencySeconds = 0.0;  ///< admission -> terminal (0 while active)
   std::string error;            ///< Failed only
+  std::string client;           ///< fairness bucket ("default" by default)
+  double queueSeconds = 0.0;    ///< admission -> dispatch (live while queued)
+  double predictedCostSeconds = 0.0;  ///< cost charged at admission
 };
 
 /// Aggregate queue counters.
@@ -61,6 +65,18 @@ struct JobCounts {
   std::uint64_t done = 0;
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
+};
+
+/// Per-client fairness accounting, persisted across a client's idle
+/// periods (unlike the scheduler's active round). STATS renders these.
+struct ClientStats {
+  std::string client;
+  unsigned weight = 1;
+  std::uint64_t submitted = 0;
+  std::size_t queued = 0;
+  std::uint64_t served = 0;        ///< jobs handed to a worker
+  double costQueued = 0.0;         ///< predicted seconds still waiting
+  double costServed = 0.0;         ///< predicted seconds dispatched
 };
 
 /// One retained FRAME event of a streaming job: enough to replay the
@@ -82,8 +98,10 @@ enum class CancelOutcome {
 };
 
 /// The admission queue of the serving front-end: jobs enter continuously
-/// (no whole-batch barrier), workers pull them FIFO, observers read status
-/// snapshots by id. All methods are thread-safe.
+/// (no whole-batch barrier), workers pull them in weighted-fair order
+/// (DeficitScheduler over per-client buckets; one bucket degenerates to
+/// FIFO), observers read status snapshots by id. All methods are
+/// thread-safe.
 ///
 /// Terminal records are retained for RESULT queries, capped at
 /// `retainLimit` (oldest forgotten first) so a long-running server does not
@@ -100,13 +118,19 @@ class JobQueue {
   JobQueue& operator=(const JobQueue&) = delete;
 
   /// Admit a job; returns its id (ids start at 1 and never repeat).
-  /// Throws engine::EngineError once close() has been called, and
-  /// QueueFullError when the queued backlog is at `maxQueued`.
-  [[nodiscard]] std::uint64_t submit(JobSpec spec);
+  /// `predictedCostSeconds` is the job's fairness currency — the §IX
+  /// runtime prediction charged against its client's deficit at dispatch
+  /// (0 still charges a minimal amount). The client comes from the spec's
+  /// @client directive ("default" when absent). Throws engine::EngineError
+  /// once close() has been called, and QueueFullError when the queued
+  /// backlog is at `maxQueued`.
+  [[nodiscard]] std::uint64_t submit(JobSpec spec,
+                                     double predictedCostSeconds = 0.0);
 
   /// Block until a queued job is available (marking it Running and
   /// returning its id), the timeout elapses (nullopt), or the queue is
-  /// closed *and* empty (nullopt forever after).
+  /// closed *and* empty (nullopt forever after). Jobs are handed out in
+  /// deficit-round-robin order across clients.
   [[nodiscard]] std::optional<std::uint64_t> waitNext(
       std::chrono::milliseconds timeout);
 
@@ -153,6 +177,9 @@ class JobQueue {
 
   [[nodiscard]] JobCounts counts() const;
 
+  /// Every client ever seen, sorted by name (STATS and tests).
+  [[nodiscard]] std::vector<ClientStats> clientStats() const;
+
   /// Stop admitting (submit() throws from now on); waiters drain what is
   /// already queued.
   void close();
@@ -179,6 +206,9 @@ class JobQueue {
     engine::RunReport report;
     std::uint64_t eventSeq = 0;  ///< last event sequence number handed out
     std::vector<FrameMark> frameMarks;  ///< retained FRAME events (bounded)
+    std::string client;                 ///< fairness bucket
+    double queueSeconds = 0.0;          ///< admission -> dispatch
+    double predictedCostSeconds = 0.0;  ///< DRR charge at admission
   };
 
   void pruneLocked();
@@ -187,7 +217,8 @@ class JobQueue {
   std::condition_variable jobReady_;  ///< submit -> waitNext
   std::condition_variable idle_;      ///< finish -> waitIdle
   std::map<std::uint64_t, Record> records_;
-  std::deque<std::uint64_t> pending_;   ///< FIFO of Queued ids
+  DeficitScheduler scheduler_;          ///< Queued ids, weighted-fair order
+  std::map<std::string, ClientStats> clients_;  ///< persists across idling
   std::deque<std::uint64_t> terminal_;  ///< retention order for pruning
   std::size_t retainLimit_;
   std::size_t maxQueued_;

@@ -77,6 +77,10 @@ std::string jobJson(const JobStatus& status,
       << ", \"log_posterior\": " << num(report.logPosterior)           //
       << ", \"threads_used\": " << report.threadsUsed                  //
       << ", \"cancelled\": " << (report.cancelled ? "true" : "false")  //
+      << ", \"client\": \"" << jsonEscape(status.client) << "\""       //
+      << ", \"queue_seconds\": " << num(status.queueSeconds)           //
+      << ", \"predicted_cost_seconds\": "                              //
+      << num(status.predictedCostSeconds)                              //
       << ", \"error\": \"" << jsonEscape(status.error) << "\"}";
   return out.str();
 }
@@ -146,7 +150,19 @@ std::string statsJson(const ServerStats& stats) {
       << ", \"workers\": " << stats.workers                          //
       << ", \"uptime_seconds\": " << num(stats.uptimeSeconds)        //
       << ", \"draining\": " << (stats.draining ? "true" : "false")   //
-      << "}";
+      << ", \"clients\": {";
+  for (std::size_t i = 0; i < stats.clients.size(); ++i) {
+    const ClientStats& client = stats.clients[i];
+    if (i != 0) out << ", ";
+    out << "\"" << jsonEscape(client.client) << "\": {"      //
+        << "\"weight\": " << client.weight                   //
+        << ", \"submitted\": " << client.submitted           //
+        << ", \"queued\": " << client.queued                 //
+        << ", \"served\": " << client.served                 //
+        << ", \"cost_queued\": " << num(client.costQueued)   //
+        << ", \"cost_served\": " << num(client.costServed) << "}";
+  }
+  out << "}}";
   return out.str();
 }
 

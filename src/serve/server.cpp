@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <initializer_list>
+#include <thread>
 #include <utility>
 
+#include "core/runtime_predictor.hpp"
 #include "engine/registry.hpp"
 
 namespace mcmcpar::serve {
@@ -218,12 +220,22 @@ std::uint64_t Server::submit(
   (void)engine::StrategyRegistry::builtin().create(
       admitted.strategy, engine::ExecResources{}, admitted.options);
 
+  // Predicted cost at admission: the §IX runtime model over the job's
+  // iteration budget (times its frame count for sequences) is the currency
+  // the weighted-fair scheduler charges against the client's deficit.
+  // Activity is unknown this side of the density scan, so 0 — fairness
+  // only needs costs comparable across jobs, not absolutely accurate.
+  const double predictedCost =
+      core::predictCostSeconds(budgetFor(options_, admitted).iterations,
+                               0.0) *
+      static_cast<double>(std::max<std::size_t>(frames.size(), 1));
+
   std::uint64_t id = 0;
   {
     // Hold imageMutex_ across admission so a worker that dequeues the job
     // immediately blocks here until its frames are pinned.
     const std::scoped_lock lock(imageMutex_);
-    id = queue_.submit(admitted);
+    id = queue_.submit(admitted, predictedCost);
     jobImages_.emplace(id, std::move(frames));
   }
   emit(JobEvent{JobEvent::Type::Admitted, id, 0, 0});
@@ -265,6 +277,7 @@ ServerStats Server::stats() const {
                             std::chrono::steady_clock::now() - started_)
                             .count();
   stats.draining = queue_.closed();
+  stats.clients = queue_.clientStats();
   return stats;
 }
 
@@ -361,6 +374,15 @@ void Server::workerLoop(const std::stop_token& stop) {
     std::string error;
     if (charged && spec && !frames.empty()) {
       emit(JobEvent{JobEvent::Type::Started, id, 0, 0});
+
+      // --delay-ms test hook: pretend to be a slow endpoint, in small
+      // quanta so a cancel still lands promptly.
+      for (unsigned slept = 0;
+           slept < options_.startDelayMs && !queue_.cancelRequested(id);
+           slept += 25) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min(25u, options_.startDelayMs - slept)));
+      }
 
       if (!spec->sequence.empty()) {
         try {

@@ -65,6 +65,12 @@ struct ServerOptions {
   /// the option string (not parsed structs) so the serve layer stays free
   /// of shard-layer types.
   std::string fleetEndpoints;
+
+  /// Test hook (mcmcpar_serve --delay-ms): every job sleeps this long
+  /// after Started before doing real work, making the server an
+  /// artificially slow endpoint for straggler-hedging tests and smoke
+  /// runs. The sleep polls cancellation, so cancels stay prompt.
+  unsigned startDelayMs = 0;
 };
 
 /// One progress/lifecycle event of a job, streamed to subscribers.
@@ -94,6 +100,7 @@ struct ServerStats {
   unsigned workers = 0;
   double uptimeSeconds = 0.0;
   bool draining = false;
+  std::vector<ClientStats> clients;  ///< weighted-fair admission buckets
 };
 
 /// The persistent serving core: owns one par::PoolBudget, one ImageCache

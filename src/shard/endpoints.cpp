@@ -160,6 +160,14 @@ EndpointPool::EndpointPool(std::vector<Endpoint> endpoints,
   }
 }
 
+bool EndpointPool::hasIdle(std::size_t exclude) const noexcept {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (i == exclude) continue;
+    if (states_[i].alive && states_[i].load == 0) return true;
+  }
+  return false;
+}
+
 std::size_t EndpointPool::aliveCount() const noexcept {
   std::size_t n = 0;
   for (const State& state : states_) n += state.alive ? 1 : 0;

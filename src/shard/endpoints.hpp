@@ -62,7 +62,15 @@ class EndpointPool {
     return states_[i].endpoint;
   }
   [[nodiscard]] bool alive(std::size_t i) const { return states_[i].alive; }
+  [[nodiscard]] unsigned load(std::size_t i) const {
+    return states_[i].load;
+  }
   [[nodiscard]] std::size_t aliveCount() const noexcept;
+
+  /// Is there an alive endpoint with no in-flight load other than index
+  /// `exclude`? The straggler-hedging precondition: a hedge replica must
+  /// ride spare capacity, never displace or double-book primary work.
+  [[nodiscard]] bool hasIdle(std::size_t exclude) const noexcept;
   [[nodiscard]] std::size_t deadCount() const noexcept {
     return size() - aliveCount();
   }

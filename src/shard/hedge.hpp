@@ -1,0 +1,46 @@
+#pragma once
+
+/// The straggler-hedging policy of the shard coordinator, as a pure
+/// function of observable inputs so tests can drive it with a fake clock
+/// and scripted durations (tests/test_scheduling.cpp) — no sleeps, no
+/// wall-clock thresholds. The coordinator (shard/strategy.cpp) gathers the
+/// inputs each poll pass and re-issues the tile on an idle endpoint when
+/// the policy fires; taking whichever replica lands first is safe because
+/// remote tiles are bit-identical and the stitcher is deterministic.
+namespace mcmcpar::shard {
+
+/// What the policy sees about one outstanding tile.
+struct HedgeInputs {
+  double elapsedSeconds = 0.0;    ///< since the tile's current submission
+  double predictedSeconds = 0.0;  ///< calibrated §IX estimate for the tile
+  /// Observed median tile time scaled to this tile's budget (<= 0 until
+  /// the first sibling completes). Preferred over the prediction: it
+  /// reflects this fleet's real speed, not the committed calibration.
+  double observedSeconds = 0.0;
+  double hedgeFactor = 0.0;  ///< hedge-factor option; <= 0 disables
+  bool idleEndpointAvailable = false;  ///< an alive, load-free endpoint
+  bool alreadyHedged = false;          ///< one replica per tile, at most
+};
+
+/// The reference time the factor multiplies: the observed median when any
+/// sibling has completed, the calibrated prediction before that.
+[[nodiscard]] constexpr double hedgeReferenceSeconds(
+    double predictedSeconds, double observedSeconds) noexcept {
+  return observedSeconds > 0.0 ? observedSeconds : predictedSeconds;
+}
+
+/// True when the tile should be re-issued on an idle endpoint: hedging is
+/// enabled, this tile has no replica yet, an idle endpoint exists, and the
+/// tile has been outstanding longer than hedgeFactor x the reference time.
+[[nodiscard]] constexpr bool shouldHedge(const HedgeInputs& in) noexcept {
+  if (in.hedgeFactor <= 0.0 || in.alreadyHedged ||
+      !in.idleEndpointAvailable) {
+    return false;
+  }
+  const double reference =
+      hedgeReferenceSeconds(in.predictedSeconds, in.observedSeconds);
+  if (reference <= 0.0) return false;
+  return in.elapsedSeconds > in.hedgeFactor * reference;
+}
+
+}  // namespace mcmcpar::shard

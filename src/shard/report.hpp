@@ -32,6 +32,7 @@ struct TileRun {
 
   std::string endpoint;   ///< "host:port" that ran it ("" = local backend)
   unsigned attempts = 1;  ///< submissions including requeues after failures
+  bool hedged = false;    ///< this result came from a hedge replica
 };
 
 /// The merged outcome of a sharded run: tile layout, per-tile diagnostics
@@ -41,6 +42,7 @@ struct ShardReport {
   int gridX = 1;
   int gridY = 1;
   int halo = 0;
+  bool adaptive = false;      ///< tiles=auto (gridX is then the tile count)
   std::string backend;        ///< "local" or "socket"
   std::string innerStrategy;  ///< registry key run on each tile
   std::vector<TileRun> tiles;
@@ -53,6 +55,12 @@ struct ShardReport {
   /// coordinator considered dead by the end of the run.
   std::size_t requeues = 0;
   std::size_t endpointsDead = 0;
+
+  /// Straggler hedging (hedge-factor option): replicas issued for slow
+  /// tiles, and how many of those replicas beat their primary. Replicas
+  /// are bit-identical, so a hedge changes only latency, never the result.
+  std::size_t hedgesIssued = 0;
+  std::size_t hedgesWon = 0;
 
   double maxTileSeconds = 0.0;  ///< slowest tile (the parallel wall floor)
   double sumTileSeconds = 0.0;  ///< total tile compute (the serial cost)

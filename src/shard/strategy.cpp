@@ -11,17 +11,21 @@
 #include "shard/strategy.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <iterator>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/runtime_predictor.hpp"
 #include "engine/batch.hpp"
 #include "engine/registry.hpp"
 #include "model/posterior.hpp"
@@ -30,6 +34,7 @@
 #include "partition/prior_estimation.hpp"
 #include "serve/socket.hpp"
 #include "shard/endpoints.hpp"
+#include "shard/hedge.hpp"
 #include "shard/remote.hpp"
 #include "shard/report.hpp"
 #include "shard/stitcher.hpp"
@@ -61,6 +66,7 @@ struct TileOutcome {
   std::optional<std::uint64_t> itersToConverge;
   std::string endpoint;   ///< socket backend: "host:port" that ran it
   unsigned attempts = 0;  ///< socket backend: submissions incl. requeues
+  bool hedged = false;    ///< this result came from a hedge replica
 };
 
 class ShardStrategy final : public engine::Strategy {
@@ -69,10 +75,38 @@ class ShardStrategy final : public engine::Strategy {
                 const engine::ExecResources& resources,
                 const engine::OptionMap& options)
       : name_(std::move(name)), registry_(registry), resources_(resources) {
-    try {
-      parseTileCount(options.str("tiles", "2x2"), gridX_, gridY_);
-    } catch (const std::invalid_argument& e) {
-      throw engine::EngineError("strategy '" + name_ + "': " + e.what());
+    const std::string tiles = options.str("tiles", "2x2");
+    if (tiles == "auto") {
+      // Predictor-driven decomposition: the grid is chosen per image from
+      // its content-density scan instead of a fixed KxL.
+      autoTiles_ = true;
+    } else {
+      try {
+        parseTileCount(tiles, gridX_, gridY_);
+      } catch (const std::invalid_argument& e) {
+        throw engine::EngineError("strategy '" + name_ + "': " + e.what());
+      }
+    }
+    const std::uint64_t maxTiles = options.u64("max-tiles", 0);
+    if (maxTiles > 4096) {
+      throw engine::EngineError("strategy '" + name_ +
+                                "': max-tiles must be <= 4096, got " +
+                                std::to_string(maxTiles));
+    }
+    maxTiles_ = static_cast<int>(maxTiles);
+    const std::uint64_t minTileSize = options.u64("min-tile-size", 32);
+    if (minTileSize == 0 || minTileSize > 1000000) {
+      throw engine::EngineError(
+          "strategy '" + name_ +
+          "': min-tile-size must be in [1, 1000000], got " +
+          std::to_string(minTileSize));
+    }
+    minTileSize_ = static_cast<int>(minTileSize);
+    hedgeFactor_ = options.dbl("hedge-factor", 0.0);
+    if (hedgeFactor_ < 0.0) {
+      throw engine::EngineError("strategy '" + name_ +
+                                "': hedge-factor must be >= 0 (0 disables "
+                                "hedging)");
     }
     // Bound before the int cast so halo=3000000000 is rejected right here
     // at admission with a clear message, not at run time on a worker after
@@ -175,18 +209,33 @@ class ShardStrategy final : public engine::Strategy {
                                 "': run() called before prepare()");
     }
     const img::ImageF& image = *problem_.filtered;
+    // Content-density scan: one cheap pass over coarse blocks feeds the §IX
+    // runtime predictor with per-region activity, which drives adaptive
+    // grids, workload-proportional budgets and the hedging reference.
+    const DensityMap density = scanDensity(image);
     TileGrid grid;
     try {
-      grid = makeTileGrid(image.width(), image.height(), gridX_, gridY_,
-                          halo_);
+      grid = autoTiles_
+                 ? makeAdaptiveTileGrid(
+                       density, resolveAutoMaxTiles(), halo_, minTileSize_,
+                       core::defaultCostCalibration().densityWeight)
+                 : makeTileGrid(image.width(), image.height(), gridX_,
+                                gridY_, halo_);
     } catch (const std::invalid_argument& e) {
       throw engine::EngineError("strategy '" + name_ + "': " + e.what());
     }
 
-    const std::vector<std::uint64_t> budgets = tileBudgets(grid, budget);
+    const std::vector<std::uint64_t> budgets =
+        tileBudgets(grid, budget, density);
+    std::vector<double> predicted;
+    predicted.reserve(grid.tiles.size());
+    for (std::size_t i = 0; i < grid.tiles.size(); ++i) {
+      predicted.push_back(core::predictCostSeconds(
+          budgets[i], regionMeanActivity(density, grid.tiles[i].core)));
+    }
     const par::WallTimer timer;
     const std::vector<TileOutcome> outcomes =
-        socketBackend_ ? runSocket(grid, budgets, budget, hooks)
+        socketBackend_ ? runSocket(grid, budgets, predicted, budget, hooks)
                        : runLocal(grid, budgets, budget, hooks);
 
     std::size_t failures = 0;
@@ -214,22 +263,47 @@ class ShardStrategy final : public engine::Strategy {
     return "tile-" + std::to_string(tile.ix) + "x" + std::to_string(tile.iy);
   }
 
+  /// The tile cap for tiles=auto when max-tiles is not given: aim for a
+  /// couple of tiles per worker (endpoint or core) so the decomposition
+  /// has slack to load-balance, bounded to a sane range.
+  [[nodiscard]] int resolveAutoMaxTiles() const {
+    if (maxTiles_ != 0) return maxTiles_;
+    const unsigned workers =
+        socketBackend_ ? static_cast<unsigned>(endpoints_.size()) * 2u
+                       : par::resolveThreadCount(resources_.threads);
+    return static_cast<int>(std::clamp(workers, 2u, 64u));
+  }
+
   /// Split the whole-image iteration budget across tiles proportional to
-  /// core area (with a floor), so the per-pixel sampling density of the
-  /// unsharded run is preserved; tile-iters=N overrides with a flat count.
+  /// each core's predicted workload — area plus density-weighted content
+  /// (shard/tiling regionWorkload) — so busy regions get the sampling
+  /// effort the §IX predictor says they need (a uniform image degenerates
+  /// to the old area-proportional split). A floor keeps sparse tiles from
+  /// starving; tile-iters=N overrides with a flat count.
   [[nodiscard]] std::vector<std::uint64_t> tileBudgets(
-      const TileGrid& grid, const engine::RunBudget& budget) const {
+      const TileGrid& grid, const engine::RunBudget& budget,
+      const DensityMap& density) const {
     std::vector<std::uint64_t> budgets;
     budgets.reserve(grid.tiles.size());
-    const double imageArea =
-        static_cast<double>(problem_.filtered->pixelCount());
+    if (tileIters_ != 0) {
+      budgets.assign(grid.tiles.size(), tileIters_);
+      return budgets;
+    }
+    const double densityWeight = core::defaultCostCalibration().densityWeight;
+    std::vector<double> work;
+    work.reserve(grid.tiles.size());
+    double totalWork = 0.0;
     for (const TileSpec& tile : grid.tiles) {
-      if (tileIters_ != 0) {
-        budgets.push_back(tileIters_);
-        continue;
-      }
+      const double w =
+          regionWorkload(density, tile.core, densityWeight);
+      work.push_back(w);
+      totalWork += w;
+    }
+    for (std::size_t i = 0; i < grid.tiles.size(); ++i) {
       const double share =
-          static_cast<double>(tile.core.area()) / imageArea;
+          totalWork > 0.0
+              ? work[i] / totalWork
+              : 1.0 / static_cast<double>(grid.tiles.size());
       const auto scaled = static_cast<std::uint64_t>(
           std::llround(static_cast<double>(budget.iterations) * share));
       budgets.push_back(std::max(scaled, minTileIters_));
@@ -362,9 +436,12 @@ class ShardStrategy final : public engine::Strategy {
 
   [[nodiscard]] std::vector<TileOutcome> runSocket(
       const TileGrid& grid, const std::vector<std::uint64_t>& budgets,
-      const engine::RunBudget& budget, const engine::RunHooks& hooks) {
+      const std::vector<double>& predicted, const engine::RunBudget& budget,
+      const engine::RunHooks& hooks) {
     requeues_ = 0;
     endpointsDead_ = 0;
+    hedgesIssued_ = 0;
+    hedgesWon_ = 0;
 
     // Tile crops travel as float32 binary frames inside the protocol — no
     // temp files, no shared filesystem, no 8-bit quantisation: the remote
@@ -383,17 +460,56 @@ class ShardStrategy final : public engine::Strategy {
           formatEndpointList(endpoints_) + ")");
     }
 
+    // One replica of a tile on one endpoint. A tile has a primary flight
+    // and, when the hedging policy fires, at most one hedge flight running
+    // the bit-identical job line; whichever reaches a terminal state first
+    // resolves the tile. Flights are polled with STATUS (no blocking WAIT),
+    // so the coordinator connection stays available for CANCEL.
     struct Flight {
       serve::Client client;
       std::size_t endpoint = 0;  ///< pool index currently running the tile
       std::uint64_t jobId = 0;
-      bool submitted = false;
+      bool active = false;
+      std::chrono::steady_clock::time_point started{};
+    };
+    struct TileState {
+      Flight primary;
+      Flight hedge;
       std::vector<char> tried;  ///< pool indices already tried for the
                                 ///< current placement round
+      bool hedged = false;      ///< a hedge replica was ever issued
+      bool resolved = false;
     };
-    std::vector<TileOutcome> outcomes(grid.tiles.size());
-    std::vector<Flight> flights(grid.tiles.size());
-    for (Flight& flight : flights) flight.tried.assign(pool.size(), 0);
+    const std::size_t n = grid.tiles.size();
+    std::vector<TileOutcome> outcomes(n);
+    std::vector<TileState> tiles(n);
+    for (TileState& tile : tiles) tile.tried.assign(pool.size(), 0);
+
+    const auto elapsedSeconds = [](const Flight& flight) {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - flight.started)
+          .count();
+    };
+
+    // Per-iteration cost observed on resolved, successful tiles; its
+    // median scaled by a tile's budget is the hedging reference once real
+    // measurements exist (shard/hedge.hpp prefers it over the prediction).
+    std::vector<double> observedPerIter;
+    const auto observedMedianSeconds = [&](std::size_t i) -> double {
+      if (observedPerIter.empty() || budgets[i] == 0) return 0.0;
+      std::vector<double> sorted = observedPerIter;
+      std::sort(sorted.begin(), sorted.end());
+      return sorted[sorted.size() / 2] * static_cast<double>(budgets[i]);
+    };
+
+    std::size_t tilesDone = 0;
+    bool doomed = false;
+    const auto markResolved = [&](std::size_t i) {
+      tiles[i].resolved = true;
+      ++tilesDone;
+      hooks.progress(tilesDone, n, "shard");
+      if (!doomed && !outcomes[i].error.empty()) doomed = true;
+    };
 
     // Place tile i on the least-loaded surviving endpoint it has not tried
     // this round: upload the crop one-shot, submit @image=inline on the
@@ -403,11 +519,12 @@ class ShardStrategy final : public engine::Strategy {
     // remains.
     const auto submitTile = [&](std::size_t i) -> bool {
       TileOutcome& outcome = outcomes[i];
-      Flight& flight = flights[i];
-      flight.submitted = false;
+      Flight& flight = tiles[i].primary;
+      flight.active = false;
       while (true) {
         pool.refresh();
-        const std::optional<std::size_t> picked = pool.pick(flight.tried);
+        const std::optional<std::size_t> picked =
+            pool.pick(tiles[i].tried);
         if (!picked) {
           outcome.error =
               "no usable endpoint left (fleet: " +
@@ -416,7 +533,7 @@ class ShardStrategy final : public engine::Strategy {
           return false;
         }
         flight.endpoint = *picked;
-        flight.tried[*picked] = 1;
+        tiles[i].tried[*picked] = 1;
         const Endpoint& endpoint = pool.endpoint(*picked);
         ++outcome.attempts;
         try {
@@ -426,7 +543,8 @@ class ShardStrategy final : public engine::Strategy {
                                      /*oneshot=*/true);
           flight.jobId = flight.client.submit(
               tileJobLine(grid, i, budgets[i], budget));
-          flight.submitted = true;
+          flight.active = true;
+          flight.started = std::chrono::steady_clock::now();
           outcome.endpoint = endpoint.label();
           return true;
         } catch (const std::exception& e) {
@@ -445,122 +563,257 @@ class ShardStrategy final : public engine::Strategy {
       }
     };
 
-    // Any tile failure dooms the whole run (a missing region cannot be
-    // stitched), so the moment one is recorded, cancel every not-yet-reaped
-    // sibling: the reap then returns in one cancel quantum instead of
-    // letting doomed tiles burn their full remote budgets.
-    const auto cancelSiblingsFrom = [&](std::size_t from) {
-      for (std::size_t j = from; j < grid.tiles.size(); ++j) {
-        if (!flights[j].submitted) continue;
-        try {
-          (void)flights[j].client.request(
-              "CANCEL " + std::to_string(flights[j].jobId));
-        } catch (const std::exception&) {
-          // Best effort; the per-tile read timeout still bounds the wait.
-        }
+    // Issue a hedge replica of tile i on an idle endpoint. Strictly
+    // best-effort and non-destructive: the identical job line goes out (so
+    // the result is bit-identical to the primary's), and any failure just
+    // leaves the primary standing — a hedge must never doom a healthy run.
+    const auto submitHedge = [&](std::size_t i) -> bool {
+      TileState& tile = tiles[i];
+      std::vector<char> exclude(pool.size(), 0);
+      for (std::size_t e = 0; e < pool.size(); ++e) {
+        if (e == tile.primary.endpoint || pool.load(e) > 0) exclude[e] = 1;
+      }
+      const std::optional<std::size_t> picked = pool.pick(exclude);
+      if (!picked) return false;
+      Flight& flight = tile.hedge;
+      flight.endpoint = *picked;
+      const Endpoint& endpoint = pool.endpoint(*picked);
+      ++outcomes[i].attempts;
+      try {
+        flight.client.connect(endpoint.host, endpoint.port,
+                              timeoutSeconds_);
+        (void)flight.client.upload(tileLabel(grid.tiles[i]), crops[i],
+                                   /*oneshot=*/true);
+        flight.jobId = flight.client.submit(
+            tileJobLine(grid, i, budgets[i], budget));
+        flight.active = true;
+        flight.started = std::chrono::steady_clock::now();
+        return true;
+      } catch (const std::exception&) {
+        flight.client.close();
+        pool.release(*picked);
+        return false;
       }
     };
 
-    // Fan out: submit every tile before waiting on any, so the fleet runs
-    // them concurrently; one connection per tile keeps WAIT streams apart.
-    // A deterministic rejection dooms the run, so stop submitting on first
-    // fatal error rather than hand the fleet work about to be cancelled.
-    bool doomed = false;
-    for (std::size_t i = 0; i < grid.tiles.size(); ++i) {
+    // Drop a still-active replica whose sibling already resolved the tile:
+    // cancel the remote job on the same (idle-between-polls) connection so
+    // the fleet stops burning its budget, then return the endpoint's load.
+    const auto abandonFlight = [&](Flight& flight) {
+      if (!flight.active) return;
+      try {
+        (void)flight.client.request("CANCEL " +
+                                    std::to_string(flight.jobId));
+      } catch (const std::exception&) {
+        // Best effort; the server reaps the connection either way.
+      }
+      flight.client.close();
+      pool.release(flight.endpoint);
+      flight.active = false;
+    };
+
+    // One STATUS round-trip for an active flight. Terminal states fetch
+    // the report and fill the outcome; a flight outstanding longer than
+    // the run timeout is treated as a transport failure so a wedged server
+    // cannot stall the poll loop forever.
+    enum class Poll { Running, Finished, Failed };
+    const auto pollFlight = [&](std::size_t i, Flight& flight,
+                                std::string& failure) -> Poll {
+      try {
+        if (elapsedSeconds(flight) > timeoutSeconds_) {
+          throw serve::ProtocolError(
+              "tile exceeded the " + std::to_string(timeoutSeconds_) +
+              " s timeout");
+        }
+        const std::string reply = flight.client.request(
+            "STATUS " + std::to_string(flight.jobId));
+        std::istringstream words(reply);
+        std::string ok, idText, state;
+        words >> ok >> idText >> state;
+        if (ok != "OK") throw serve::ProtocolError(reply);
+        if (state != "done" && state != "failed" && state != "cancelled") {
+          return Poll::Running;
+        }
+        const remote::TileReportJson remote =
+            remote::parseReportJson(flight.client.report(flight.jobId));
+        TileOutcome& outcome = outcomes[i];
+        outcome.iterations = remote.iterations;
+        outcome.wallSeconds = remote.wallSeconds;
+        outcome.acceptanceRate = remote.acceptance;
+        outcome.logPosterior = remote.logPosterior;
+        outcome.cancelled = remote.cancelled || remote.state == "cancelled";
+        outcome.error = remote.state == "failed"
+                            ? (remote.error.empty() ? "remote job failed"
+                                                    : remote.error)
+                            : "";
+        outcome.circles = remote.circles;
+        return Poll::Finished;
+      } catch (const std::exception& e) {
+        failure = e.what();
+        return Poll::Failed;
+      }
+    };
+
+    // Tile i finished on `viaHedge ? hedge : primary`: adopt that replica's
+    // result, abandon the other one, and record the observed per-iteration
+    // cost for future hedging references.
+    const auto resolveTile = [&](std::size_t i, bool viaHedge) {
+      TileState& tile = tiles[i];
+      TileOutcome& outcome = outcomes[i];
+      Flight& winner = viaHedge ? tile.hedge : tile.primary;
+      Flight& loser = viaHedge ? tile.primary : tile.hedge;
+      outcome.endpoint = pool.endpoint(winner.endpoint).label();
+      outcome.hedged = viaHedge;
+      if (viaHedge) ++hedgesWon_;
+      if (outcome.error.empty() && !outcome.cancelled && budgets[i] > 0) {
+        observedPerIter.push_back(elapsedSeconds(winner) /
+                                  static_cast<double>(budgets[i]));
+      }
+      winner.client.close();
+      pool.release(winner.endpoint);
+      winner.active = false;
+      abandonFlight(loser);
+      markResolved(i);
+    };
+
+    // A flight failed (transport error, ERR reply or timeout). If its
+    // sibling replica is still running, the tile stays covered and the
+    // failure costs nothing; otherwise requeue the tile on a fresh
+    // placement round — unless the failure is deterministic or the run is
+    // already doomed/cancelled, which resolves the tile with the error.
+    const auto failFlight = [&](std::size_t i, bool isHedge,
+                                const std::string& failure) {
+      TileState& tile = tiles[i];
+      TileOutcome& outcome = outcomes[i];
+      Flight& flight = isHedge ? tile.hedge : tile.primary;
+      const std::size_t endpointIndex = flight.endpoint;
+      flight.client.close();
+      pool.release(endpointIndex);
+      flight.active = false;
+      const remote::FailureKind kind = remote::classifyFailure(failure);
+      if (kind == remote::FailureKind::EndpointDown) {
+        pool.markDead(endpointIndex);
+      }
+      const Flight& other = isHedge ? tile.primary : tile.hedge;
+      if (other.active) return;
+      if (kind == remote::FailureKind::Fatal || doomed ||
+          hooks.cancelled()) {
+        outcome.error = failure;
+        markResolved(i);
+        return;
+      }
+      // The job may still be running on a live-but-unreachable host;
+      // best-effort cancel so the fleet doesn't burn an abandoned budget.
+      // Safe to retry regardless: the Stitcher is deterministic, so the
+      // requeued tile reproduces the same result.
+      try {
+        serve::Client canceller;
+        const Endpoint& endpoint = pool.endpoint(endpointIndex);
+        canceller.connect(endpoint.host, endpoint.port, 5.0);
+        (void)canceller.request("CANCEL " + std::to_string(flight.jobId));
+      } catch (const std::exception&) {
+      }
+      // Fresh placement round: only the endpoint that just failed is
+      // excluded up front (a still-alive host that merely refused an
+      // earlier round deserves another chance).
+      tile.tried.assign(pool.size(), 0);
+      tile.tried[endpointIndex] = 1;
+      ++requeues_;
+      if (!submitTile(i)) markResolved(i);  // outcome.error already set
+    };
+
+    // Fan out: submit every tile before polling any, so the fleet runs
+    // them concurrently; one connection per flight keeps reply streams
+    // apart. A deterministic rejection dooms the run, so stop submitting
+    // on first fatal error rather than hand the fleet work about to be
+    // cancelled.
+    for (std::size_t i = 0; i < n; ++i) {
       if (doomed) {
         outcomes[i].error = "not submitted: an earlier tile already failed";
+        markResolved(i);
         continue;
       }
-      if (!submitTile(i)) {
-        doomed = true;
-        cancelSiblingsFrom(0);
-      }
+      if (!submitTile(i)) markResolved(i);  // sets doomed via the error
     }
 
-    std::size_t tilesDone = 0;
-    for (std::size_t i = 0; i < grid.tiles.size(); ++i) {
-      TileOutcome& outcome = outcomes[i];
-      Flight& flight = flights[i];
-      while (flight.submitted) {
-        // Copy: pool state may change while this tile is in flight.
-        const Endpoint endpoint = pool.endpoint(flight.endpoint);
-        const std::uint64_t jobId = flight.jobId;
-        // Cooperative cancellation: before the blocking WAIT, and from its
-        // event stream (a WAITing connection processes no further commands,
-        // so the mid-wait CANCEL goes over a second connection). This
-        // bounds cancellation/shutdown latency at one remote progress
-        // quantum instead of the tile's full budget.
-        bool cancelSent = false;
-        const auto cancelRemote = [&] {
-          if (cancelSent || !hooks.cancelled()) return;
-          cancelSent = true;
-          try {
-            serve::Client canceller;
-            canceller.connect(endpoint.host, endpoint.port, 10.0);
-            (void)canceller.request("CANCEL " + std::to_string(jobId));
-          } catch (const std::exception&) {
-            // Best effort; the read timeout still bounds the wait.
+    // Poll loop: one STATUS pass over every outstanding flight per tick.
+    // Any tile failure dooms the whole run (a missing region cannot be
+    // stitched), so the moment one is recorded — or the caller cancels —
+    // every outstanding flight gets a CANCEL broadcast; polling continues
+    // until the remotes acknowledge with a terminal state, which bounds
+    // the wind-down at one remote cancel quantum instead of the tiles'
+    // full budgets.
+    bool cancelBroadcast = false;
+    while (tilesDone < n) {
+      if ((doomed || hooks.cancelled()) && !cancelBroadcast) {
+        cancelBroadcast = true;
+        for (TileState& tile : tiles) {
+          if (tile.resolved) continue;
+          for (Flight* flight : {&tile.primary, &tile.hedge}) {
+            if (!flight->active) continue;
+            try {
+              (void)flight->client.request(
+                  "CANCEL " + std::to_string(flight->jobId));
+            } catch (const std::exception&) {
+              // Best effort; the poll timeout still bounds the wait.
+            }
           }
-        };
-        try {
-          cancelRemote();
-          (void)flight.client.wait(
-              jobId, [&](const std::string&) { cancelRemote(); });
-          const remote::TileReportJson remote =
-              remote::parseReportJson(flight.client.report(jobId));
-          outcome.iterations = remote.iterations;
-          outcome.wallSeconds = remote.wallSeconds;
-          outcome.acceptanceRate = remote.acceptance;
-          outcome.logPosterior = remote.logPosterior;
-          outcome.cancelled =
-              remote.cancelled || remote.state == "cancelled";
-          outcome.error = remote.state == "failed"
-                              ? (remote.error.empty() ? "remote job failed"
-                                                      : remote.error)
-                              : "";
-          outcome.circles = remote.circles;
-          pool.release(flight.endpoint);
-          break;
-        } catch (const std::exception& e) {
-          flight.client.close();
-          pool.release(flight.endpoint);
-          const remote::FailureKind kind =
-              remote::classifyFailure(e.what());
-          if (kind == remote::FailureKind::Fatal || doomed ||
-              hooks.cancelled()) {
-            outcome.error = e.what();
-            break;
-          }
-          if (kind == remote::FailureKind::EndpointDown) {
-            pool.markDead(flight.endpoint);
-          }
-          // The job may still be running on a live-but-unreachable host;
-          // best-effort cancel so the fleet doesn't burn an abandoned
-          // budget. Safe to retry regardless: the Stitcher is
-          // deterministic, so the requeued tile reproduces the same result.
-          try {
-            serve::Client canceller;
-            canceller.connect(endpoint.host, endpoint.port, 5.0);
-            (void)canceller.request("CANCEL " + std::to_string(jobId));
-          } catch (const std::exception&) {
-          }
-          // Fresh placement round: only the endpoint that just failed is
-          // excluded up front (a still-alive host that merely refused an
-          // earlier round deserves another chance).
-          flight.tried.assign(pool.size(), 0);
-          flight.tried[flight.endpoint] = 1;
-          ++requeues_;
-          if (!submitTile(i)) break;  // outcome.error already set
         }
       }
-      if (!doomed && !outcome.error.empty()) {
-        // First irrecoverable failure in the reap phase: stop the siblings
-        // we have not reaped yet.
-        doomed = true;
-        cancelSiblingsFrom(i + 1);
+      for (std::size_t i = 0; i < n && tilesDone < n; ++i) {
+        TileState& tile = tiles[i];
+        if (tile.resolved) continue;
+        if (!tile.primary.active && !tile.hedge.active) {
+          // Defensive: requeue paths resolve on failure, so a tile without
+          // flights should not exist — never spin on it if one does.
+          if (outcomes[i].error.empty()) {
+            outcomes[i].error = "tile lost both flights";
+          }
+          markResolved(i);
+          continue;
+        }
+        if (tile.primary.active) {
+          std::string failure;
+          const Poll r = pollFlight(i, tile.primary, failure);
+          if (r == Poll::Finished) {
+            resolveTile(i, /*viaHedge=*/false);
+          } else if (r == Poll::Failed) {
+            failFlight(i, /*isHedge=*/false, failure);
+          }
+        }
+        if (tile.resolved) continue;
+        if (tile.hedge.active) {
+          std::string failure;
+          const Poll r = pollFlight(i, tile.hedge, failure);
+          if (r == Poll::Finished) {
+            resolveTile(i, /*viaHedge=*/true);
+          } else if (r == Poll::Failed) {
+            failFlight(i, /*isHedge=*/true, failure);
+          }
+        }
+        if (tile.resolved) continue;
+        // Straggler hedging: when the slowest-looking tile has been
+        // outstanding longer than hedge-factor x the reference time and an
+        // endpoint sits idle, re-issue it there and take the first result.
+        if (!tile.hedged && tile.primary.active && !doomed &&
+            !hooks.cancelled()) {
+          HedgeInputs inputs;
+          inputs.elapsedSeconds = elapsedSeconds(tile.primary);
+          inputs.predictedSeconds = predicted[i];
+          inputs.observedSeconds = observedMedianSeconds(i);
+          inputs.hedgeFactor = hedgeFactor_;
+          inputs.idleEndpointAvailable =
+              pool.hasIdle(tile.primary.endpoint);
+          inputs.alreadyHedged = tile.hedged;
+          if (shouldHedge(inputs) && submitHedge(i)) {
+            tile.hedged = true;
+            ++hedgesIssued_;
+          }
+        }
       }
-      ++tilesDone;
-      hooks.progress(tilesDone, grid.tiles.size(), "shard");
+      if (tilesDone < n) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
     }
     endpointsDead_ = pool.deadCount();
     return outcomes;
@@ -589,12 +842,15 @@ class ShardStrategy final : public engine::Strategy {
     shardReport.gridX = grid.gridX;
     shardReport.gridY = grid.gridY;
     shardReport.halo = grid.halo;
+    shardReport.adaptive = grid.adaptive;
     shardReport.backend = socketBackend_ ? "socket" : "local";
     shardReport.innerStrategy = innerStrategy_;
     shardReport.haloDropped = stitched.haloDropped;
     shardReport.duplicatesRemoved = stitched.duplicatesRemoved;
     shardReport.requeues = requeues_;
     shardReport.endpointsDead = endpointsDead_;
+    shardReport.hedgesIssued = hedgesIssued_;
+    shardReport.hedgesWon = hedgesWon_;
 
     engine::RunReport report;
     report.strategy = name_;
@@ -616,6 +872,7 @@ class ShardStrategy final : public engine::Strategy {
       tile.diagnostics = outcome.diagnostics;
       tile.endpoint = outcome.endpoint;
       tile.attempts = std::max(outcome.attempts, 1u);
+      tile.hedged = outcome.hedged;
       shardReport.tiles.push_back(std::move(tile));
 
       report.iterations += outcome.iterations;
@@ -669,6 +926,10 @@ class ShardStrategy final : public engine::Strategy {
   engine::ExecResources resources_;
   int gridX_ = 2;
   int gridY_ = 2;
+  bool autoTiles_ = false;  ///< tiles=auto: density-driven adaptive grid
+  int maxTiles_ = 0;        ///< max-tiles option; 0 = derive from workers
+  int minTileSize_ = 32;    ///< min-tile-size option (adaptive grids only)
+  double hedgeFactor_ = 0.0;  ///< hedge-factor option; 0 disables hedging
   int halo_ = 16;
   std::uint64_t tileIters_ = 0;
   std::uint64_t minTileIters_ = 2000;
@@ -680,6 +941,8 @@ class ShardStrategy final : public engine::Strategy {
   double pingInterval_ = 30.0;
   std::size_t requeues_ = 0;       ///< last runSocket's re-submissions
   std::size_t endpointsDead_ = 0;  ///< dead endpoints at end of last run
+  std::size_t hedgesIssued_ = 0;   ///< hedge replicas issued last run
+  std::size_t hedgesWon_ = 0;      ///< hedge replicas that beat primaries
   std::string innerStrategy_;
   std::vector<std::string> innerOptions_;
   engine::Problem problem_;
@@ -695,7 +958,8 @@ void registerShardedStrategy(engine::StrategyRegistry& registry) {
       {"sharded", "§VIII-IX + serving",
        "shard coordinator: tile + halo fan-out, IoU-stitched merge",
        "ShardReport",
-       "tiles=KxL halo=N backend=local|socket endpoints=host:port[*W],... "
+       "tiles=KxL|auto max-tiles=N min-tile-size=N halo=N hedge-factor=X "
+       "backend=local|socket endpoints=host:port[*W],... "
        "endpoints-file=PATH ping-timeout=X ping-interval=X strategy=NAME "
        "inner.K=V tile-iters=N min-tile-iters=N iou=X timeout=X",
        [reg](const engine::ExecResources& res,

@@ -72,9 +72,10 @@ void printUsage() {
       "  --omp               prefer OpenMP executors where available\n"
       "  --width N/--height N/--cells N/--radius X  synthetic scene shape\n"
       "  --image FILE.pgm    run on a PGM image instead of a synthetic scene\n"
-      "  --shard KxL         run through the 'sharded' coordinator: split the\n"
-      "                      image into KxL tiles with --strategy on each\n"
-      "                      tile; shard knobs (halo=N backend=local|socket\n"
+      "  --shard KxL|auto    run through the 'sharded' coordinator: split the\n"
+      "                      image into KxL tiles ('auto' = density-adaptive\n"
+      "                      grid) with --strategy on each tile; shard knobs\n"
+      "                      (halo=N backend=local|socket hedge-factor=X\n"
       "                      endpoints=h:p[*W],... endpoints-file=PATH iou=X)\n"
       "                      and inner.key=value options go through --opt\n"
       "  --sequence N|GLOB   streaming run over an ordered frame sequence:\n"
@@ -270,19 +271,32 @@ void printExtras(const engine::RunReport& report) {
         pipeline->loadBalancedRuntime);
   } else if (const auto* sharded =
                  std::get_if<shard::ShardReport>(&report.extras)) {
+    char gridLabel[32];
+    if (sharded->adaptive) {
+      std::snprintf(gridLabel, sizeof(gridLabel), "auto(%d)",
+                    sharded->gridX);
+    } else {
+      std::snprintf(gridLabel, sizeof(gridLabel), "%dx%d", sharded->gridX,
+                    sharded->gridY);
+    }
     std::printf(
-        "  [%s] %dx%d tiles (halo %d, %s/%s), slowest tile %.3f s of "
+        "  [%s] %s tiles (halo %d, %s/%s), slowest tile %.3f s of "
         "%.3f s total, stitch dropped %zu halo + %zu duplicate(s) in "
         "%.3f s\n",
-        report.strategy.c_str(), sharded->gridX, sharded->gridY,
-        sharded->halo, sharded->backend.c_str(),
-        sharded->innerStrategy.c_str(), sharded->maxTileSeconds,
-        sharded->sumTileSeconds, sharded->haloDropped,
-        sharded->duplicatesRemoved, sharded->mergeSeconds);
+        report.strategy.c_str(), gridLabel, sharded->halo,
+        sharded->backend.c_str(), sharded->innerStrategy.c_str(),
+        sharded->maxTileSeconds, sharded->sumTileSeconds,
+        sharded->haloDropped, sharded->duplicatesRemoved,
+        sharded->mergeSeconds);
     if (sharded->requeues > 0 || sharded->endpointsDead > 0) {
       std::printf("  [%s] %zu requeue(s), %zu dead endpoint(s)\n",
                   report.strategy.c_str(), sharded->requeues,
                   sharded->endpointsDead);
+    }
+    if (sharded->hedgesIssued > 0) {
+      std::printf("  [%s] %zu hedge(s) issued, %zu hedge(s) won\n",
+                  report.strategy.c_str(), sharded->hedgesIssued,
+                  sharded->hedgesWon);
     }
     for (const shard::TileRun& tile : sharded->tiles) {
       std::printf("    %-10s %llu iters, %zu found -> %zu kept, logP %.1f",
@@ -292,6 +306,7 @@ void printExtras(const engine::RunReport& report) {
       if (!tile.endpoint.empty()) {
         std::printf(" @%s", tile.endpoint.c_str());
         if (tile.attempts > 1) std::printf(" (attempt %u)", tile.attempts);
+        if (tile.hedged) std::printf(" (hedged)");
       }
       std::printf("\n");
     }

@@ -75,6 +75,9 @@ void printUsage() {
       "  --max-queued N      bounded admission: reject SUBMITs with\n"
       "                      ERR QUEUE_FULL while N jobs are queued\n"
       "                      (default: 0 = unbounded)\n"
+      "  --delay-ms N        test hook: sleep N ms after each job starts,\n"
+      "                      making this a deliberately slow endpoint for\n"
+      "                      straggler-hedging tests (default: 0)\n"
       "  --cache-mb N        image cache capacity (default: 256)\n"
       "  --drain-timeout X   seconds to let jobs finish on shutdown before\n"
       "                      cancelling them (default: 10)\n"
@@ -176,6 +179,10 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
         return std::nullopt;
       }
       cli.server.maxQueued = u;
+    } else if (std::strcmp(arg, "--delay-ms") == 0) {
+      if ((v = value(i)) == nullptr ||
+          !parseUnsigned(arg, v, cli.server.startDelayMs))
+        return std::nullopt;
     } else if (std::strcmp(arg, "--cache-mb") == 0) {
       if ((v = value(i)) == nullptr || !parseUnsigned(arg, v, u)) {
         return std::nullopt;

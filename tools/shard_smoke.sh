@@ -13,7 +13,10 @@
 #   5. SHARD directive — a served job line carrying @shard becomes a shard
 #      coordinator inside the server itself;
 #   6. bounded admission — a --max-queued server answers ERR QUEUE_FULL
-#      once its backlog is at capacity.
+#      once its backlog is at capacity;
+#   7. straggler hedging — a --delay-ms straggler holds a tile while
+#      hedge-factor re-issues it onto the idle fast endpoint, whose result
+#      wins and matches an unhedged fast-only run bit for bit.
 #
 # usage: shard_smoke.sh <mcmcpar_serve> <mcmcpar_submit> <mcmcpar_run>
 set -euo pipefail
@@ -26,9 +29,11 @@ WORK=$(mktemp -d)
 SERVER_PID=""
 SERVER2_PID=""
 VICTIM_PID=""
+SLOW_PID=""
 SMALL_PID=""
 cleanup() {
-  for PID in "$SERVER_PID" "$SERVER2_PID" "$VICTIM_PID" "$SMALL_PID"; do
+  for PID in "$SERVER_PID" "$SERVER2_PID" "$VICTIM_PID" "$SLOW_PID" \
+             "$SMALL_PID"; do
     [[ -n "$PID" ]] && kill "$PID" 2>/dev/null || true
   done
   rm -rf "$WORK"
@@ -118,6 +123,34 @@ grep -Eq "tile-0x0 .*@127.0.0.1:$PORT" "$WORK/requeue.out" \
   || { echo "tile-0x0 did not finish on the survivor"; exit 1; }
 grep -Eq "tile-1x0 .*@127.0.0.1:$PORT" "$WORK/requeue.out" \
   || { echo "tile-1x0 did not finish on the survivor"; exit 1; }
+
+echo "== straggler hedging: slow primary re-issued onto the fast endpoint =="
+"$SERVE_BIN" --listen 0 --delay-ms 3000 --drain-timeout 20 \
+  > "$WORK/slow.log" 2>&1 &
+SLOW_PID=$!
+SLOW_PORT=$(wait_port "$WORK/slow.log")
+# The straggler is listed first so the single tile's primary lands on it;
+# hedge-factor=0.25 fires long before its 3 s stall ends, the duplicate
+# runs on the idle fast endpoint and its result is taken.
+OUT=$("$RUN_BIN" --shard 1x1 --strategy serial --iterations 8000 \
+  --width 192 --height 192 --cells 10 \
+  --opt halo=12 --opt backend=socket --opt hedge-factor=0.25 \
+  --opt endpoints=127.0.0.1:"$SLOW_PORT",127.0.0.1:"$PORT")
+echo "$OUT"
+echo "$OUT" | grep -Eq '[1-9][0-9]* hedge\(s\) issued, [1-9][0-9]* hedge\(s\) won' \
+  || { echo "report shows no winning hedge"; exit 1; }
+echo "$OUT" | grep -Eq "tile-0x0 .*@127.0.0.1:$PORT .*\(hedged\)" \
+  || { echo "winning tile not attributed to the hedged fast endpoint"; exit 1; }
+HEDGED_ROW=$(echo "$OUT" | awk '$1 == "sharded" {print $5, $6}')
+OUT=$("$RUN_BIN" --shard 1x1 --strategy serial --iterations 8000 \
+  --width 192 --height 192 --cells 10 \
+  --opt halo=12 --opt backend=socket \
+  --opt endpoints=127.0.0.1:"$PORT")
+PLAIN_ROW=$(echo "$OUT" | awk '$1 == "sharded" {print $5, $6}')
+[[ -n "$HEDGED_ROW" && "$HEDGED_ROW" == "$PLAIN_ROW" ]] \
+  || { echo "hedged result ($HEDGED_ROW) != unhedged ($PLAIN_ROW)"; exit 1; }
+kill "$SLOW_PID" 2>/dev/null || true
+SLOW_PID=""
 
 echo "== endpoints-file validation: bad fleet files are rejected at startup =="
 printf '127.0.0.1:7001\n# comment\n127.0.0.1:7001\n' > "$WORK/bad.txt"
