@@ -11,6 +11,7 @@
 #include "mcmc/sampler.hpp"
 #include "model/likelihood_kernels.hpp"
 #include "model/posterior.hpp"
+#include "obs/metrics.hpp"
 #include "rng/distributions.hpp"
 #include "rng/stream.hpp"
 
@@ -159,6 +160,37 @@ void BM_GainAccumSpan512(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * gateDiscPixels(w));
 }
 BENCHMARK(BM_GainAccumSpan512);
+
+// Instrumented twin of BM_GainAccumSpan512: the identical kernel plus the
+// metrics a serving hot path records per probe — one counter add and one
+// histogram observe against pointer-stable handles, the pattern the
+// instrumented layers use. tools/check_bench_micro.py caps the allowed
+// slowdown of this pair so registry overhead cannot creep into the hot path.
+void BM_GainAccumSpan512Obs(benchmark::State& state) {
+  const GateWorkload& w = gateWorkload();
+  static obs::Registry registry;
+  obs::Counter& probeCount = registry.counter(
+      "mcmcpar_bench_probes_total", "Probes accumulated by the obs gate.");
+  obs::Histogram& probeSeconds = registry.histogram(
+      "mcmcpar_bench_probe_seconds", "Synthetic per-probe latency.",
+      obs::latencyBuckets());
+  double sum = 0.0;
+  for (auto _ : state) {
+    for (const model::Circle& c : w.probes) {
+      img::forEachDiscSpan(c.x, c.y, c.r, 512, 512,
+                           [&](int y, int x0, int x1) {
+                             sum += model::kernels::spanDeltaAdd(
+                                 w.gain.row(y) + x0, w.cov.row(y) + x0,
+                                 static_cast<std::size_t>(x1 - x0));
+                           });
+      probeCount.add();
+      probeSeconds.observe(1.5e-4);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * gateDiscPixels(w));
+}
+BENCHMARK(BM_GainAccumSpan512Obs);
 
 void BM_ResyncPerPixel512(benchmark::State& state) {
   const GateWorkload& w = gateWorkload();

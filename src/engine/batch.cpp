@@ -11,6 +11,8 @@
 #include <stdexcept>
 
 #include "engine/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/concurrency.hpp"
 #include "par/thread_pool.hpp"
 #include "par/virtual_clock.hpp"
@@ -158,8 +160,15 @@ BatchResult BatchRunner::run(const std::vector<BatchJob>& jobs,
 
     const par::WallTimer jobTimer;
     try {
+      obs::Span jobSpan("engine", "job:" + jobs[i].strategy);
+      jobSpan.arg("label", jobs[i].label.empty() ? std::to_string(i)
+                                                 : jobs[i].label);
       strategies[i]->prepare(jobs[i].problem);
       report = strategies[i]->run(jobs[i].budget, jobHooks);
+      obs::Registry::global()
+          .counter("mcmcpar_engine_runs_total", "Strategy runs completed.",
+                   {{"strategy", jobs[i].strategy}})
+          .add();
     } catch (const std::exception& e) {  // EngineError and anything else:
       report = RunReport{};              // one bad job must not sink the batch
       report.strategy = jobs[i].strategy;
@@ -221,8 +230,18 @@ RunReport BatchRunner::runOne(const BatchJob& job,
   if (job.seed) jobResources.seed = *job.seed;
   const std::unique_ptr<Strategy> strategy =
       registry_->create(job.strategy, jobResources, job.options);
-  strategy->prepare(job.problem);
-  return strategy->run(job.budget, hooks);
+  obs::Span jobSpan("engine", "job:" + job.strategy);
+  jobSpan.arg("label", job.label);
+  {
+    obs::Span prepareSpan("engine", "prepare:" + job.strategy);
+    strategy->prepare(job.problem);
+  }
+  RunReport report = strategy->run(job.budget, hooks);
+  obs::Registry::global()
+      .counter("mcmcpar_engine_runs_total", "Strategy runs completed.",
+               {{"strategy", job.strategy}})
+      .add();
+  return report;
 }
 
 namespace {

@@ -1,0 +1,459 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "model/likelihood_kernels.hpp"
+
+#ifndef MCMCPAR_VERSION_STRING
+#define MCMCPAR_VERSION_STRING "unknown"
+#endif
+
+namespace mcmcpar::obs {
+
+namespace {
+
+/// Stripe slot for the calling thread: a cheap per-thread index shared by
+/// every striped metric, assigned round-robin on first use.
+std::size_t threadSlot() {
+  static std::atomic<std::size_t> next{0};
+  static thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+bool lowerWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+bool validLabelName(const std::string& name) {
+  if (name.empty() || !(name[0] >= 'a' && name[0] <= 'z')) return false;
+  return std::all_of(name.begin(), name.end(), lowerWordChar);
+}
+
+bool endsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Prometheus sample-value formatting: exact integers stay integral so the
+/// exposition (and its golden tests) are stable; everything else uses %g.
+std::string fmtValue(double value) {
+  if (std::isfinite(value) && value == std::rint(value) &&
+      std::abs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string escapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string renderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += escapeLabelValue(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Labels sortedLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (const auto& [key, value] : labels) {
+    (void)value;
+    if (!validLabelName(key)) {
+      throw std::invalid_argument("obs: invalid label name '" + key + "'");
+    }
+  }
+  return labels;
+}
+
+Labels withLe(const Labels& labels, const std::string& le) {
+  Labels out = labels;
+  out.emplace_back("le", le);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string fmtBound(double bound) { return fmtValue(bound); }
+
+}  // namespace
+
+bool validMetricName(const std::string& name) {
+  static const std::string prefix = "mcmcpar_";
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix))
+    return false;
+  if (!(name[prefix.size()] >= 'a' && name[prefix.size()] <= 'z'))
+    return false;
+  if (!std::all_of(name.begin(), name.end(), lowerWordChar)) return false;
+  if (name.back() == '_') return false;
+  return name.find("__") == std::string::npos;
+}
+
+void atomicAddDouble(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Counter::add(std::uint64_t delta) noexcept {
+  stripes_[threadSlot() % kStripes].value.fetch_add(delta,
+                                                    std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::set(double value) noexcept {
+  value_.store(value, std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) noexcept { atomicAddDouble(value_, delta); }
+
+double Gauge::value() const noexcept {
+  return value_.load(std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("obs: histogram needs at least one bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "obs: histogram bounds must be strictly ascending");
+  }
+  for (Stripe& stripe : stripes_) {
+    stripe.counts =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      stripe.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Stripe& stripe = stripes_[threadSlot() % kStripes];
+  stripe.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  atomicAddDouble(stripe.sum, value);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  for (const Stripe& stripe : stripes_) {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      out.counts[i] += stripe.counts[i].load(std::memory_order_relaxed);
+    }
+    out.sum += stripe.sum.load(std::memory_order_relaxed);
+  }
+  for (const std::uint64_t c : out.counts) out.count += c;
+  return out;
+}
+
+std::vector<double> latencyBuckets() {
+  return {0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+          0.25,   0.5,   1.0,    2.5,   5.0,  10.0,  30.0, 120.0};
+}
+
+void Collection::counter(std::string name, std::string help, Labels labels,
+                         double value) {
+  entries_.push_back(Entry{std::move(name), std::move(help), true,
+                           sortedLabels(std::move(labels)), value});
+}
+
+void Collection::gauge(std::string name, std::string help, Labels labels,
+                       double value) {
+  entries_.push_back(Entry{std::move(name), std::move(help), false,
+                           sortedLabels(std::move(labels)), value});
+}
+
+struct Registry::Series {
+  Labels labels;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct Registry::Family {
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kGauge;
+  std::vector<double> bounds;  // histogram families only
+  std::vector<std::unique_ptr<Series>> series;
+};
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry* instance = [] {
+    auto* registry = new Registry();
+    const auto started = std::chrono::steady_clock::now();
+    registry->gauge("mcmcpar_build_info",
+                    "Build/runtime identity; value is always 1.",
+                    {{"version", MCMCPAR_VERSION_STRING},
+                     {"avx2", model::kernels::avx2Available() ? "1" : "0"},
+                     {"simd", model::kernels::backendName()}})
+        .set(1.0);
+    registry->addCollector([started](Collection& out) {
+      const double uptime =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      out.gauge("mcmcpar_process_uptime_seconds",
+                "Seconds since the metrics registry was initialised.", {},
+                uptime);
+    });
+    return registry;
+  }();
+  return *instance;
+}
+
+Registry::Family& Registry::family(const std::string& name,
+                                   const std::string& help, Kind kind) {
+  if (!validMetricName(name)) {
+    throw std::invalid_argument("obs: invalid metric name '" + name + "'");
+  }
+  if (kind == Kind::kCounter && !endsWith(name, "_total")) {
+    throw std::invalid_argument("obs: counter '" + name +
+                                "' must end in _total");
+  }
+  if (kind != Kind::kCounter && endsWith(name, "_total")) {
+    throw std::invalid_argument("obs: non-counter '" + name +
+                                "' must not end in _total");
+  }
+  if (kind == Kind::kHistogram && !endsWith(name, "_seconds") &&
+      !endsWith(name, "_bytes")) {
+    throw std::invalid_argument("obs: histogram '" + name +
+                                "' must end in a unit suffix (_seconds "
+                                "or _bytes)");
+  }
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    auto fam = std::make_unique<Family>();
+    fam->name = name;
+    fam->help = help;
+    fam->kind = kind;
+    it = families_.emplace(name, std::move(fam)).first;
+  } else if (it->second->kind != kind) {
+    throw std::invalid_argument("obs: metric '" + name +
+                                "' re-registered with a different type");
+  }
+  return *it->second;
+}
+
+Registry::Series& Registry::series(Family& fam, Labels labels) {
+  for (const auto& existing : fam.series) {
+    if (existing->labels == labels) return *existing;
+  }
+  fam.series.push_back(std::make_unique<Series>());
+  fam.series.back()->labels = std::move(labels);
+  return *fam.series.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, help, Kind::kCounter);
+  Series& s = series(fam, sortedLabels(std::move(labels)));
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, help, Kind::kGauge);
+  Series& s = series(fam, sortedLabels(std::move(labels)));
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               std::vector<double> bounds, Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, help, Kind::kHistogram);
+  if (fam.series.empty()) {
+    fam.bounds = bounds;
+  } else if (fam.bounds != bounds) {
+    throw std::invalid_argument("obs: histogram '" + name +
+                                "' re-registered with different buckets");
+  }
+  Series& s = series(fam, sortedLabels(std::move(labels)));
+  if (!s.histogram) s.histogram = std::make_unique<Histogram>(bounds);
+  return *s.histogram;
+}
+
+std::uint64_t Registry::addCollector(std::function<void(Collection&)> fn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t token = nextCollector_++;
+  collectors_.emplace(token, std::move(fn));
+  return token;
+}
+
+void Registry::removeCollector(std::uint64_t token) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  collectors_.erase(token);
+}
+
+std::string Registry::renderPrometheus() const {
+  struct Line {
+    Labels labels;
+    std::string suffix;  // "", "_bucket", "_sum", "_count"
+    double value;
+  };
+  struct Render {
+    std::string help;
+    std::string type;
+    std::vector<Line> lines;
+  };
+  std::map<std::string, Render> out;
+
+  Collection collected;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, fam] : families_) {
+      Render& render = out[name];
+      render.help = fam->help;
+      render.type = fam->kind == Kind::kCounter     ? "counter"
+                    : fam->kind == Kind::kHistogram ? "histogram"
+                                                    : "gauge";
+      for (const auto& s : fam->series) {
+        if (fam->kind == Kind::kCounter) {
+          render.lines.push_back(
+              {s->labels, "", static_cast<double>(s->counter->value())});
+        } else if (fam->kind == Kind::kGauge) {
+          render.lines.push_back({s->labels, "", s->gauge->value()});
+        } else {
+          const Histogram::Snapshot snap = s->histogram->snapshot();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+            cumulative += snap.counts[i];
+            render.lines.push_back({withLe(s->labels, fmtBound(snap.bounds[i])),
+                                    "_bucket",
+                                    static_cast<double>(cumulative)});
+          }
+          render.lines.push_back({withLe(s->labels, "+Inf"), "_bucket",
+                                  static_cast<double>(snap.count)});
+          render.lines.push_back({s->labels, "_sum", snap.sum});
+          render.lines.push_back(
+              {s->labels, "_count", static_cast<double>(snap.count)});
+        }
+      }
+    }
+    for (const auto& [token, collector] : collectors_) {
+      (void)token;
+      collector(collected);
+    }
+  }
+  for (const auto& entry : collected.entries_) {
+    Render& render = out[entry.name];
+    if (render.help.empty()) render.help = entry.help;
+    if (render.type.empty()) render.type = entry.monotone ? "counter" : "gauge";
+    render.lines.push_back({entry.labels, "", entry.value});
+  }
+
+  std::ostringstream text;
+  for (const auto& [name, render] : out) {
+    text << "# HELP " << name << " " << render.help << "\n";
+    text << "# TYPE " << name << " " << render.type << "\n";
+    for (const Line& line : render.lines) {
+      text << name << line.suffix << renderLabels(line.labels) << " "
+           << fmtValue(line.value) << "\n";
+    }
+  }
+  return text.str();
+}
+
+std::vector<Sample> Registry::samples() const {
+  std::vector<Sample> out;
+  Collection collected;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, fam] : families_) {
+      for (const auto& s : fam->series) {
+        if (fam->kind == Kind::kCounter) {
+          out.push_back(
+              {name, s->labels, static_cast<double>(s->counter->value())});
+        } else if (fam->kind == Kind::kGauge) {
+          out.push_back({name, s->labels, s->gauge->value()});
+        } else {
+          const Histogram::Snapshot snap = s->histogram->snapshot();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+            cumulative += snap.counts[i];
+            out.push_back({name + "_bucket",
+                           withLe(s->labels, fmtBound(snap.bounds[i])),
+                           static_cast<double>(cumulative)});
+          }
+          out.push_back({name + "_bucket", withLe(s->labels, "+Inf"),
+                         static_cast<double>(snap.count)});
+          out.push_back({name + "_sum", s->labels, snap.sum});
+          out.push_back(
+              {name + "_count", s->labels, static_cast<double>(snap.count)});
+        }
+      }
+    }
+    for (const auto& [token, collector] : collectors_) {
+      (void)token;
+      collector(collected);
+    }
+  }
+  for (const auto& entry : collected.entries_) {
+    out.push_back({entry.name, entry.labels, entry.value});
+  }
+  return out;
+}
+
+std::optional<double> Registry::value(const std::string& name,
+                                      const Labels& labels) const {
+  const Labels wanted = sortedLabels(labels);
+  for (const Sample& sample : samples()) {
+    if (sample.name == name && sample.labels == wanted) return sample.value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mcmcpar::obs

@@ -1,0 +1,195 @@
+#pragma once
+
+/// Process-wide metrics registry: named counters, gauges and fixed-bucket
+/// histograms with Prometheus text exposition.
+///
+/// Hot-path writes (Counter::add, Histogram::observe) are striped relaxed
+/// atomics — no locks, no allocation — so instrumentation can sit inside
+/// sampler and network loops. Reads (snapshot / renderPrometheus) sum the
+/// stripes; a snapshot taken while writers run is approximately consistent
+/// (each stripe is read atomically, the set of stripes is not frozen).
+///
+/// Registration (Registry::counter/gauge/histogram) is get-or-create keyed
+/// by (name, labels): call sites may re-register freely — e.g. a test that
+/// constructs several Servers — and always receive the same pointer-stable
+/// metric object, so references can be cached across calls.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcmcpar::obs {
+
+/// Label key/value pairs attached to a metric series. Sorted by key at
+/// registration so equal label sets compare equal regardless of call order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Adds `delta` to an atomic double (fetch_add on atomic<double> is C++20
+/// but not universally lowered well; the CAS loop is portable and the
+/// contention on these sums is negligible).
+void atomicAddDouble(std::atomic<double>& target, double delta) noexcept;
+
+/// Monotone counter with cache-line-striped atomics so concurrent writers
+/// on different cores do not bounce one line.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t delta = 1) noexcept;
+  std::uint64_t value() const noexcept;
+
+ private:
+  static constexpr std::size_t kStripes = 8;
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+/// Last-write-wins double gauge (plus add() for up/down tracking such as
+/// active connection counts).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double value) noexcept;
+  void add(double delta) noexcept;
+  double value() const noexcept;
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket bounds are inclusive upper edges
+/// (Prometheus `le`); an implicit +Inf bucket catches the overflow.
+class Histogram {
+ public:
+  struct Snapshot {
+    std::vector<double> bounds;          ///< upper edges, ascending
+    std::vector<std::uint64_t> counts;   ///< per-bucket (bounds.size()+1)
+    std::uint64_t count = 0;             ///< total observations
+    double sum = 0.0;                    ///< sum of observed values
+  };
+
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double value) noexcept;
+  Snapshot snapshot() const;
+
+ private:
+  static constexpr std::size_t kStripes = 4;
+  struct alignas(64) Stripe {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  Stripe stripes_[kStripes];
+};
+
+/// Default bucket edges for operation latencies: 500µs .. 2 minutes.
+std::vector<double> latencyBuckets();
+
+/// One rendered sample, used by snapshots and scrape-time collectors.
+struct Sample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+};
+
+/// Scrape-time sink handed to collectors: values that live elsewhere
+/// (cache stats, queue depths, uptime) are appended here on every scrape
+/// instead of being mirrored into registry objects.
+class Collection {
+ public:
+  void counter(std::string name, std::string help, Labels labels,
+               double value);
+  void gauge(std::string name, std::string help, Labels labels, double value);
+
+ private:
+  friend class Registry;
+  struct Entry {
+    std::string name;
+    std::string help;
+    bool monotone = false;
+    Labels labels;
+    double value = 0.0;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Metrics registry. `Registry::global()` is the process-wide instance the
+/// library instruments; independent instances exist for unit tests.
+class Registry {
+ public:
+  Registry();   // out of line: Family is incomplete here
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry (also carries the mcmcpar_build_info gauge and
+  /// mcmcpar_process_uptime_seconds collector).
+  static Registry& global();
+
+  /// Get-or-create. `name` must match the documented scheme
+  /// (see PROTOCOL.md): ^mcmcpar_[a-z][a-z0-9_]*$, counters end `_total`,
+  /// histograms carry a unit suffix such as `_seconds`. Violations throw
+  /// std::invalid_argument. `help` is taken from the first registration.
+  Counter& counter(const std::string& name, const std::string& help,
+                   Labels labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               Labels labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds, Labels labels = {});
+
+  /// Registers a scrape-time collector; returns a token for removal.
+  std::uint64_t addCollector(std::function<void(Collection&)> fn);
+  void removeCollector(std::uint64_t token);
+
+  /// Full Prometheus text exposition (HELP/TYPE + all series, collectors
+  /// included). Families are emitted in name order; output is stable for
+  /// a fixed registry state.
+  std::string renderPrometheus() const;
+
+  /// Flat sample list (registry metrics + collectors). Histograms expand
+  /// to `<name>_bucket{le=...}` / `<name>_sum` / `<name>_count` samples.
+  std::vector<Sample> samples() const;
+
+  /// Looks up one sample by name (+ optional labels) — the single source
+  /// the serve shutdown summary reads so it can never disagree with a
+  /// METRICS scrape.
+  std::optional<double> value(const std::string& name,
+                              const Labels& labels = {}) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series;
+  struct Family;
+
+  Family& family(const std::string& name, const std::string& help, Kind kind);
+  Series& series(Family& fam, Labels labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Family>> families_;
+  std::map<std::uint64_t, std::function<void(Collection&)>> collectors_;
+  std::uint64_t nextCollector_ = 1;
+};
+
+/// Validates a metric name against the documented naming scheme. Exposed
+/// for tools/check_metrics_names.py parity tests.
+bool validMetricName(const std::string& name);
+
+}  // namespace mcmcpar::obs

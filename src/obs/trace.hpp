@@ -1,0 +1,115 @@
+#pragma once
+
+/// Span tracer emitting Chrome trace-event JSON (chrome://tracing /
+/// Perfetto "traceEvents" format).
+///
+/// Disabled by default: the only cost on an untraced process is one
+/// relaxed atomic load per span. When enabled (`--trace-out` in the CLIs),
+/// each thread appends completed spans to its own buffer under a
+/// per-buffer mutex — threads never contend with each other, only with a
+/// drain in progress. `drainJson()` moves all buffered events out and
+/// renders the JSON document.
+///
+/// Spans on one thread nest naturally (same `tid`, contained intervals).
+/// Work whose lifetime is observed from a polling loop rather than a call
+/// stack — shard tile flights — is recorded retrospectively with
+/// `record(...)` on a synthetic track id so every tile gets its own row
+/// in the timeline.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcmcpar::obs {
+
+/// One key/value argument attached to a span (rendered as JSON strings).
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+class Tracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide tracer used by all library instrumentation.
+  static Tracer& global();
+
+  void setEnabled(bool on) noexcept;
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a completed span. `track < 0` uses the calling thread's row;
+  /// `track >= 0` is an explicit synthetic row (e.g. one per shard tile).
+  void record(std::string category, std::string name, Clock::time_point start,
+              Clock::time_point end, TraceArgs args = {},
+              std::int64_t track = -1);
+
+  /// Drains every thread buffer and renders the Chrome trace JSON
+  /// document. Buffers are left empty; the time origin is preserved so
+  /// successive drains stay on one timeline.
+  std::string drainJson();
+
+  /// Drains to `path`; returns false (with `error` set) on I/O failure.
+  bool writeJson(const std::string& path, std::string* error = nullptr);
+
+  /// Events dropped because a thread buffer hit its cap (drain resets it).
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Event {
+    std::string category;
+    std::string name;
+    double tsMicros = 0.0;
+    double durMicros = 0.0;
+    std::uint64_t tid = 0;
+    TraceArgs args;
+  };
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<Event> events;
+    std::uint64_t tid = 0;
+  };
+  static constexpr std::size_t kMaxEventsPerBuffer = 1u << 20;
+
+  ThreadBuffer& buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  Clock::time_point epoch_;
+  std::mutex registryMutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint64_t nextTid_ = 1;
+};
+
+/// RAII span: records [construction, destruction) on the current thread's
+/// track of the global tracer. A no-op (one atomic load) when tracing is
+/// disabled — cheap enough to leave in hot paths.
+class Span {
+ public:
+  Span(std::string category, std::string name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches an argument shown in the trace viewer's detail pane.
+  void arg(std::string key, std::string value);
+
+ private:
+  bool armed_;
+  Tracer::Clock::time_point start_;
+  std::string category_;
+  std::string name_;
+  TraceArgs args_;
+};
+
+}  // namespace mcmcpar::obs

@@ -22,6 +22,16 @@ struct ImageCacheStats {
   std::size_t entries = 0;
   std::size_t bytes = 0;         ///< resident pixel bytes
   std::size_t capacityBytes = 0;
+
+  /// hits / (hits + misses), 0 with no lookups. The single definition of
+  /// the cache hit-rate — STATS, METRICS and the serve shutdown summary
+  /// all derive from it so the numbers cannot disagree.
+  [[nodiscard]] double hitRate() const noexcept {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
 };
 
 /// A thread-safe LRU cache of decoded images keyed by *content hash*.

@@ -270,6 +270,11 @@ std::vector<ClientStats> JobQueue::clientStats() const {
   return stats;
 }
 
+std::vector<SchedulerClientView> JobQueue::schedulerClients() const {
+  const std::scoped_lock lock(mutex_);
+  return scheduler_.snapshot();
+}
+
 void JobQueue::close() {
   {
     const std::scoped_lock lock(mutex_);

@@ -180,6 +180,10 @@ class JobQueue {
   /// Every client ever seen, sorted by name (STATS and tests).
   [[nodiscard]] std::vector<ClientStats> clientStats() const;
 
+  /// The scheduler's live per-client round (deficit balances) — the
+  /// METRICS collector renders these as gauges.
+  [[nodiscard]] std::vector<SchedulerClientView> schedulerClients() const;
+
   /// Stop admitting (submit() throws from now on); waiters drain what is
   /// already queued.
   void close();

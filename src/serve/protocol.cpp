@@ -140,6 +140,7 @@ std::string statsJson(const ServerStats& stats) {
       << ", \"cancelled\": " << stats.jobs.cancelled                 //
       << ", \"cache_hits\": " << stats.cache.hits                    //
       << ", \"cache_misses\": " << stats.cache.misses                //
+      << ", \"cache_hit_rate\": " << num(stats.cache.hitRate())      //
       << ", \"cache_evictions\": " << stats.cache.evictions          //
       << ", \"cache_oneshot_bypasses\": " << stats.cache.oneshotBypasses  //
       << ", \"cache_interned\": " << stats.cache.interned            //

@@ -8,6 +8,8 @@
 
 #include "core/runtime_predictor.hpp"
 #include "engine/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcmcpar::serve {
 
@@ -54,9 +56,17 @@ Server::Server(ServerOptions options)
     workers_.emplace_back(
         [this](const std::stop_token& stop) { workerLoop(stop); });
   }
+  metricsCollector_ = obs::Registry::global().addCollector(
+      [this](obs::Collection& out) { collectMetrics(out); });
 }
 
-Server::~Server() { shutdown(0.0); }
+Server::~Server() {
+  // Deregister before any teardown: a concurrent METRICS scrape must not
+  // walk a half-destroyed server. removeCollector returns only once no
+  // scrape is inside the callback (both run under the registry mutex).
+  obs::Registry::global().removeCollector(metricsCollector_);
+  shutdown(0.0);
+}
 
 std::shared_ptr<const img::ImageF> Server::resolveImage(
     const std::string& path, bool oneshot) {
@@ -281,6 +291,84 @@ ServerStats Server::stats() const {
   return stats;
 }
 
+void Server::collectMetrics(obs::Collection& out) const {
+  const ServerStats s = stats();
+  const auto jobs = [&](const char* state, std::uint64_t count) {
+    out.counter("mcmcpar_serve_jobs_finished_total",
+                "Jobs reaching a terminal state, by state.",
+                {{"state", state}}, static_cast<double>(count));
+  };
+  out.counter("mcmcpar_serve_jobs_submitted_total", "Jobs admitted.", {},
+              static_cast<double>(s.jobs.submitted));
+  jobs("done", s.jobs.done);
+  jobs("failed", s.jobs.failed);
+  jobs("cancelled", s.jobs.cancelled);
+  out.gauge("mcmcpar_serve_jobs_queued", "Jobs waiting for a worker.", {},
+            static_cast<double>(s.jobs.queued));
+  out.gauge("mcmcpar_serve_jobs_running", "Jobs executing right now.", {},
+            static_cast<double>(s.jobs.running));
+
+  out.counter("mcmcpar_serve_cache_hits_total", "ImageCache lookup hits.",
+              {}, static_cast<double>(s.cache.hits));
+  out.counter("mcmcpar_serve_cache_misses_total",
+              "ImageCache lookups that had to decode.", {},
+              static_cast<double>(s.cache.misses));
+  out.counter("mcmcpar_serve_cache_evictions_total",
+              "LRU entries dropped for capacity.", {},
+              static_cast<double>(s.cache.evictions));
+  out.counter("mcmcpar_serve_cache_oneshot_bypasses_total",
+              "Misses passed through uncached (oneshot).", {},
+              static_cast<double>(s.cache.oneshotBypasses));
+  out.counter("mcmcpar_serve_cache_interned_total",
+              "Uploaded frames inserted by content hash.", {},
+              static_cast<double>(s.cache.interned));
+  out.gauge("mcmcpar_serve_cache_entries", "Resident cache entries.", {},
+            static_cast<double>(s.cache.entries));
+  out.gauge("mcmcpar_serve_cache_bytes", "Resident cache pixel bytes.", {},
+            static_cast<double>(s.cache.bytes));
+  out.gauge("mcmcpar_serve_cache_hit_ratio",
+            "hits / (hits + misses); see ImageCacheStats::hitRate.", {},
+            s.cache.hitRate());
+
+  out.gauge("mcmcpar_serve_thread_budget", "Worker-thread budget.", {},
+            static_cast<double>(s.threadBudget));
+  out.gauge("mcmcpar_serve_budget_available",
+            "Unleased threads in the budget.", {},
+            static_cast<double>(s.budgetAvailable));
+  out.gauge("mcmcpar_serve_workers", "Resident worker threads.", {},
+            static_cast<double>(s.workers));
+  out.gauge("mcmcpar_serve_uptime_seconds",
+            "Seconds since this server was constructed.", {},
+            s.uptimeSeconds);
+  out.gauge("mcmcpar_serve_draining",
+            "1 while the admission queue is closed.", {},
+            s.draining ? 1.0 : 0.0);
+
+  for (const ClientStats& c : s.clients) {
+    const obs::Labels by{{"client", c.client}};
+    out.gauge("mcmcpar_serve_client_weight", "DRR scheduling weight.", by,
+              static_cast<double>(c.weight));
+    out.counter("mcmcpar_serve_client_submitted_total",
+                "Jobs admitted for this client.", by,
+                static_cast<double>(c.submitted));
+    out.counter("mcmcpar_serve_client_served_total",
+                "Jobs handed to a worker for this client.", by,
+                static_cast<double>(c.served));
+    out.gauge("mcmcpar_serve_client_queued",
+              "Jobs of this client still waiting.", by,
+              static_cast<double>(c.queued));
+    out.gauge("mcmcpar_serve_client_cost_queued_seconds",
+              "Predicted seconds of work still waiting.", by, c.costQueued);
+    out.counter("mcmcpar_serve_client_cost_served_seconds_total",
+                "Predicted seconds of work dispatched.", by, c.costServed);
+  }
+  for (const SchedulerClientView& view : queue_.schedulerClients()) {
+    out.gauge("mcmcpar_serve_client_deficit_seconds",
+              "Unspent DRR dispatch credit.", {{"client", view.client}},
+              view.deficit);
+  }
+}
+
 std::uint64_t Server::subscribe(std::function<void(const JobEvent&)> fn) {
   const std::unique_lock lock(listenerMutex_);
   const std::uint64_t token = nextListener_++;
@@ -350,6 +438,22 @@ void Server::workerLoop(const std::stop_token& stop) {
     }
     const std::uint64_t id = *next;
     const std::optional<JobSpec> spec = queue_.spec(id);
+    // The dispatch snapshot carries the fairness bucket and the
+    // admission-to-dispatch wait stamped by waitNext.
+    const std::optional<JobStatus> dispatched = queue_.status(id);
+    if (dispatched) {
+      obs::Registry& registry = obs::Registry::global();
+      registry
+          .counter("mcmcpar_serve_dispatches_total",
+                   "Jobs handed to a worker, by fairness bucket.",
+                   {{"client", dispatched->client}})
+          .add();
+      registry
+          .histogram("mcmcpar_serve_queue_wait_seconds",
+                     "Admission-to-dispatch wait per fairness bucket.",
+                     obs::latencyBuckets(), {{"client", dispatched->client}})
+          .observe(dispatched->queueSeconds);
+    }
     std::vector<stream::Frame> frames;
     {
       const std::scoped_lock lock(imageMutex_);
@@ -373,6 +477,9 @@ void Server::workerLoop(const std::stop_token& stop) {
     engine::RunReport report;
     std::string error;
     if (charged && spec && !frames.empty()) {
+      obs::Span jobSpan("serve", "job:" + spec->strategy);
+      jobSpan.arg("id", std::to_string(id));
+      if (dispatched) jobSpan.arg("client", dispatched->client);
       emit(JobEvent{JobEvent::Type::Started, id, 0, 0});
 
       // --delay-ms test hook: pretend to be a slow endpoint, in small
@@ -436,6 +543,13 @@ void Server::workerLoop(const std::stop_token& stop) {
     }
     if (charged) budget_.release(1);
 
+    if (dispatched && charged) {
+      obs::Registry::global()
+          .histogram("mcmcpar_serve_job_run_seconds",
+                     "Job execution wall time per fairness bucket.",
+                     obs::latencyBuckets(), {{"client", dispatched->client}})
+          .observe(report.wallSeconds);
+    }
     queue_.finish(id, std::move(report), std::move(error));
     {
       const std::scoped_lock lock(imageMutex_);

@@ -17,6 +17,10 @@
 #include "serve/job_queue.hpp"
 #include "stream/sequence.hpp"
 
+namespace mcmcpar::obs {
+class Collection;
+}
+
 namespace mcmcpar::serve {
 
 /// Configuration of a serve::Server instance.
@@ -193,6 +197,10 @@ class Server {
  private:
   void workerLoop(const std::stop_token& stop);
   void emit(JobEvent event);
+  /// Scrape-time collector registered with obs::Registry::global(): renders
+  /// stats() (queue counts, cache, budget, per-client fairness, deficits)
+  /// so METRICS, STATS and the shutdown summary share one source of truth.
+  void collectMetrics(obs::Collection& out) const;
   [[nodiscard]] std::shared_ptr<const img::ImageF> resolveImage(
       const std::string& path, bool oneshot);
   [[nodiscard]] std::vector<stream::Frame> resolveSequenceFrames(
@@ -221,6 +229,7 @@ class Server {
 
   std::mutex shutdownMutex_;  ///< serialises shutdown() callers
   bool stopped_ = false;
+  std::uint64_t metricsCollector_ = 0;  ///< obs registry collector token
   unsigned workerCount_ = 0;  ///< immutable after construction (stats())
   std::vector<std::jthread> workers_;  ///< last member: joins first
 };

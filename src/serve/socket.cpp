@@ -20,6 +20,8 @@
 #include "engine/batch.hpp"
 #include "engine/options.hpp"
 #include "img/pnm_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 
 namespace mcmcpar::serve {
@@ -98,6 +100,35 @@ bool readBody(int fd, std::string& buffer, char* out, std::size_t want,
   }
   return true;
 }
+
+/// The command word metrics are labelled with. Returns a member of the
+/// fixed protocol vocabulary (or "UNKNOWN") rather than the raw token, so
+/// a garbage-spewing client cannot create unbounded label cardinality.
+const char* commandWord(const std::string& line) {
+  static constexpr const char* kCommands[] = {
+      "PING",   "SUBMIT", "UPLOAD",  "STATUS",   "RESULT", "REPORT",
+      "CANCEL", "WAIT",   "STATS",   "METRICS",  "SHUTDOWN"};
+  const std::size_t space = line.find_first_of(" \t");
+  const std::string word =
+      space == std::string::npos ? line : line.substr(0, space);
+  for (const char* known : kCommands) {
+    if (word == known) return known;
+  }
+  return "UNKNOWN";
+}
+
+/// +1 on a gauge for this scope (active connection tracking survives every
+/// exit path of the handler).
+class GaugeScope {
+ public:
+  explicit GaugeScope(obs::Gauge& gauge) : gauge_(gauge) { gauge_.add(1.0); }
+  ~GaugeScope() { gauge_.add(-1.0); }
+  GaugeScope(const GaugeScope&) = delete;
+  GaugeScope& operator=(const GaugeScope&) = delete;
+
+ private:
+  obs::Gauge& gauge_;
+};
 
 /// Parse a strict decimal job id; false on anything else.
 bool parseId(const std::string& text, std::uint64_t& id) {
@@ -191,6 +222,10 @@ void SocketFrontend::acceptLoop() {
 }
 
 void SocketFrontend::handleConnection(int fd) {
+  obs::Registry& registry = obs::Registry::global();
+  const GaugeScope connectionGauge(
+      registry.gauge("mcmcpar_serve_active_connections",
+                     "Socket connections currently open."));
   std::string buffer;
   char chunk[4096];
   bool keepOpen = true;
@@ -216,12 +251,31 @@ void SocketFrontend::handleConnection(int fd) {
     // UPLOAD is the one command followed by a binary body, so it cannot go
     // through the line dispatcher: the body is consumed here, from `buffer`
     // (bytes already received) plus the socket.
+    const char* command = commandWord(line);
+    const auto commandStart = std::chrono::steady_clock::now();
+    obs::Span commandSpan("serve", std::string("cmd:") + command);
     const std::string reply =
         line.rfind("UPLOAD", 0) == 0 &&
                 (line.size() == 6 || line[6] == ' ' || line[6] == '\t')
             ? handleUpload(line, fd, buffer, state, keepOpen)
             : dispatch(line, fd, state, keepOpen);
-    if (!reply.empty() && !sendLine(fd, reply)) break;
+    const bool sent = reply.empty() || sendLine(fd, reply);
+    // Every command is counted and timed — including REPORT and WAIT,
+    // which the pre-registry stats never saw. WAIT's latency spans its
+    // whole event stream by design.
+    registry
+        .counter("mcmcpar_serve_commands_total",
+                 "Socket commands handled, by command word.",
+                 {{"command", command}})
+        .add();
+    registry
+        .histogram("mcmcpar_serve_command_seconds",
+                   "Wall time from parsing a command to its final reply.",
+                   obs::latencyBuckets(), {{"command", command}})
+        .observe(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - commandStart)
+                     .count());
+    if (!sent) break;
   }
   ::close(fd);
 }
@@ -564,6 +618,18 @@ std::string SocketFrontend::dispatch(const std::string& line, int fd,
     return protocol::okLine(protocol::statsJson(server_.stats()));
   }
 
+  if (command == "METRICS") {
+    // Byte-framed like UPLOAD in reverse: `OK <nbytes>` then exactly
+    // nbytes of Prometheus text exposition, so line-oriented clients can
+    // skip the body while scrapers read it verbatim (docs/PROTOCOL.md).
+    const std::string body = obs::Registry::global().renderPrometheus();
+    if (!sendLine(fd, protocol::okLine(std::to_string(body.size()))) ||
+        !sendAll(fd, body)) {
+      keepOpen = false;
+    }
+    return "";
+  }
+
   if (command == "SHUTDOWN") {
     keepOpen = false;
     if (!shutdownFired_.exchange(true) && onShutdown_) onShutdown_();
@@ -699,6 +765,43 @@ std::string Client::uploadFrame(const std::string& id, int width, int height,
     throw ProtocolError("UPLOAD rejected: " + reply);
   }
   return hash;
+}
+
+std::string Client::metrics() {
+  const std::string header = request("METRICS");
+  std::istringstream tokens(header);
+  std::string status, sizeText;
+  tokens >> status >> sizeText;
+  std::uint64_t nbytes = 0;
+  if (status != "OK" || !parseId(sizeText, nbytes)) {
+    throw ProtocolError("METRICS failed: " + header);
+  }
+  std::string body;
+  body.reserve(static_cast<std::size_t>(nbytes));
+  char chunk[4096];
+  while (body.size() < nbytes) {
+    if (!buffer_.empty()) {
+      const std::size_t take = std::min<std::size_t>(
+          static_cast<std::size_t>(nbytes) - body.size(), buffer_.size());
+      body.append(buffer_, 0, take);
+      buffer_.erase(0, take);
+      continue;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      throw ProtocolError("server closed mid-METRICS body");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw ProtocolError("timed out reading the METRICS body");
+      }
+      throw ProtocolError("recv failed: " +
+                          std::string(std::strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  return body;
 }
 
 std::string Client::report(std::uint64_t id) {

@@ -40,6 +40,8 @@ class ProtocolError : public std::runtime_error {
 ///   CANCEL <id>         -> OK <id> cancelled|cancelling|already-terminal
 ///   WAIT <id>           -> EVENT lines until terminal, then OK <id> <state>
 ///   STATS               -> OK <json>
+///   METRICS             -> OK <nbytes>, then <nbytes> raw bytes of
+///                          Prometheus text exposition (obs::Registry)
 ///   PING                -> OK pong
 ///   SHUTDOWN            -> OK draining (and fires the onShutdown callback)
 /// Failures reply `ERR <code> <message>` (QUEUE_FULL when bounded
@@ -159,6 +161,10 @@ class Client {
   /// REPORT a terminal job: the full result JSON including the detected
   /// circle list (`circles_detail`). Throws ProtocolError on an ERR reply.
   [[nodiscard]] std::string report(std::uint64_t id);
+
+  /// METRICS: the server's Prometheus text exposition body (the `OK
+  /// <nbytes>` framing line is consumed). Throws ProtocolError on ERR.
+  [[nodiscard]] std::string metrics();
 
  private:
   std::string uploadFrame(const std::string& id, int width, int height,

@@ -29,6 +29,8 @@
 #include "engine/batch.hpp"
 #include "engine/registry.hpp"
 #include "model/posterior.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/concurrency.hpp"
 #include "par/virtual_clock.hpp"
 #include "partition/prior_estimation.hpp"
@@ -52,6 +54,21 @@ std::string fmtExact(double value) {
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   return buffer;
 }
+
+/// Shard-layer metric handles. Get-or-create on every call is fine here:
+/// these sites fire per tile or per run, never per iteration.
+obs::Counter& shardCounter(const char* name, const char* help) {
+  return obs::Registry::global().counter(name, help);
+}
+
+obs::Histogram& shardSeconds(const char* name, const char* help) {
+  return obs::Registry::global().histogram(name, help, obs::latencyBuckets());
+}
+
+/// Trace rows for tile flights: the coordinator observes them from a poll
+/// loop, not a call stack, so each tile gets its own synthetic timeline row
+/// (fan-out and stitch spans stay on the coordinator's real thread row).
+constexpr std::int64_t kTileTrackBase = 100;
 
 /// One tile's outcome in coordinator-neutral form, before stitching.
 struct TileOutcome {
@@ -234,6 +251,9 @@ class ShardStrategy final : public engine::Strategy {
           budgets[i], regionMeanActivity(density, grid.tiles[i].core)));
     }
     const par::WallTimer timer;
+    obs::Span runSpan("shard", "shard-run");
+    runSpan.arg("backend", socketBackend_ ? "socket" : "local");
+    runSpan.arg("tiles", std::to_string(grid.tiles.size()));
     const std::vector<TileOutcome> outcomes =
         socketBackend_ ? runSocket(grid, budgets, predicted, budget, hooks)
                        : runLocal(grid, budgets, budget, hooks);
@@ -443,6 +463,10 @@ class ShardStrategy final : public engine::Strategy {
     hedgesIssued_ = 0;
     hedgesWon_ = 0;
 
+    obs::Span fanoutSpan("shard", "fanout");
+    fanoutSpan.arg("tiles", std::to_string(grid.tiles.size()));
+    fanoutSpan.arg("endpoints", std::to_string(endpoints_.size()));
+
     // Tile crops travel as float32 binary frames inside the protocol — no
     // temp files, no shared filesystem, no 8-bit quantisation: the remote
     // tile sees the coordinator's pixels bit-for-bit.
@@ -536,6 +560,7 @@ class ShardStrategy final : public engine::Strategy {
         tiles[i].tried[*picked] = 1;
         const Endpoint& endpoint = pool.endpoint(*picked);
         ++outcome.attempts;
+        const auto submitStart = std::chrono::steady_clock::now();
         try {
           flight.client.connect(endpoint.host, endpoint.port,
                                 timeoutSeconds_);
@@ -546,6 +571,12 @@ class ShardStrategy final : public engine::Strategy {
           flight.active = true;
           flight.started = std::chrono::steady_clock::now();
           outcome.endpoint = endpoint.label();
+          shardSeconds("mcmcpar_shard_network_seconds",
+                       "Coordinator-side transfer time (tile upload+submit, "
+                       "report fetch); _sum is the run's network share.")
+              .observe(std::chrono::duration<double>(flight.started -
+                                                     submitStart)
+                           .count());
           return true;
         } catch (const std::exception& e) {
           flight.client.close();
@@ -557,8 +588,15 @@ class ShardStrategy final : public engine::Strategy {
           }
           if (kind == remote::FailureKind::EndpointDown) {
             pool.markDead(*picked);
+            shardCounter("mcmcpar_shard_endpoints_marked_dead_total",
+                         "Endpoints removed from a fan-out after a "
+                         "transport failure.")
+                .add();
           }
           ++requeues_;
+          shardCounter("mcmcpar_shard_requeues_total",
+                       "Tile re-submissions after an endpoint failure.")
+              .add();
         }
       }
     };
@@ -634,8 +672,15 @@ class ShardStrategy final : public engine::Strategy {
         if (state != "done" && state != "failed" && state != "cancelled") {
           return Poll::Running;
         }
+        const auto reportStart = std::chrono::steady_clock::now();
         const remote::TileReportJson remote =
             remote::parseReportJson(flight.client.report(flight.jobId));
+        shardSeconds("mcmcpar_shard_network_seconds",
+                     "Coordinator-side transfer time (tile upload+submit, "
+                     "report fetch); _sum is the run's network share.")
+            .observe(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - reportStart)
+                         .count());
         TileOutcome& outcome = outcomes[i];
         outcome.iterations = remote.iterations;
         outcome.wallSeconds = remote.wallSeconds;
@@ -664,7 +709,49 @@ class ShardStrategy final : public engine::Strategy {
       Flight& loser = viaHedge ? tile.primary : tile.hedge;
       outcome.endpoint = pool.endpoint(winner.endpoint).label();
       outcome.hedged = viaHedge;
-      if (viaHedge) ++hedgesWon_;
+      if (viaHedge) {
+        ++hedgesWon_;
+        shardCounter("mcmcpar_shard_hedges_won_total",
+                     "Hedge replicas that beat their primary.")
+            .add();
+      }
+      const auto resolvedAt = std::chrono::steady_clock::now();
+      const double rtt =
+          std::chrono::duration<double>(resolvedAt - winner.started).count();
+      obs::Registry::global()
+          .histogram("mcmcpar_shard_tile_rtt_seconds",
+                     "Tile submit-to-report round trip per endpoint.",
+                     obs::latencyBuckets(), {{"endpoint", outcome.endpoint}})
+          .observe(rtt);
+      shardSeconds("mcmcpar_shard_sample_seconds",
+                   "Remote sampler wall time per resolved tile; _sum is "
+                   "the run's sampling share.")
+          .observe(outcome.wallSeconds);
+      shardCounter("mcmcpar_shard_tiles_resolved_total",
+                   "Tiles that reached a terminal result.")
+          .add();
+      obs::Tracer& tracer = obs::Tracer::global();
+      if (tracer.enabled()) {
+        const std::int64_t track =
+            kTileTrackBase + static_cast<std::int64_t>(i);
+        const std::string label = tileLabel(grid.tiles[i]);
+        tracer.record("shard",
+                      (viaHedge ? "tile-hedge:" : "tile:") + label,
+                      winner.started, resolvedAt,
+                      {{"endpoint", outcome.endpoint},
+                       {"hedged", viaHedge ? "true" : "false"},
+                       {"job", std::to_string(winner.jobId)}},
+                      track);
+        if (loser.active) {
+          tracer.record("shard",
+                        (viaHedge ? "tile:" : "tile-hedge:") + label,
+                        loser.started, resolvedAt,
+                        {{"endpoint", pool.endpoint(loser.endpoint).label()},
+                         {"hedged", viaHedge ? "false" : "true"},
+                         {"outcome", "abandoned"}},
+                        track);
+        }
+      }
       if (outcome.error.empty() && !outcome.cancelled && budgets[i] > 0) {
         observedPerIter.push_back(elapsedSeconds(winner) /
                                   static_cast<double>(budgets[i]));
@@ -693,6 +780,10 @@ class ShardStrategy final : public engine::Strategy {
       const remote::FailureKind kind = remote::classifyFailure(failure);
       if (kind == remote::FailureKind::EndpointDown) {
         pool.markDead(endpointIndex);
+        shardCounter("mcmcpar_shard_endpoints_marked_dead_total",
+                     "Endpoints removed from a fan-out after a transport "
+                     "failure.")
+            .add();
       }
       const Flight& other = isHedge ? tile.primary : tile.hedge;
       if (other.active) return;
@@ -719,6 +810,9 @@ class ShardStrategy final : public engine::Strategy {
       tile.tried.assign(pool.size(), 0);
       tile.tried[endpointIndex] = 1;
       ++requeues_;
+      shardCounter("mcmcpar_shard_requeues_total",
+                   "Tile re-submissions after an endpoint failure.")
+          .add();
       if (!submitTile(i)) markResolved(i);  // outcome.error already set
     };
 
@@ -808,6 +902,9 @@ class ShardStrategy final : public engine::Strategy {
           if (shouldHedge(inputs) && submitHedge(i)) {
             tile.hedged = true;
             ++hedgesIssued_;
+            shardCounter("mcmcpar_shard_hedges_issued_total",
+                         "Hedge replicas issued for straggling tiles.")
+                .add();
           }
         }
       }
@@ -825,6 +922,8 @@ class ShardStrategy final : public engine::Strategy {
       const TileGrid& grid, const std::vector<TileOutcome>& outcomes,
       const par::WallTimer& timer) const {
     const par::WallTimer mergeTimer;
+    obs::Span stitchSpan("shard", "stitch");
+    stitchSpan.arg("tiles", std::to_string(grid.tiles.size()));
 
     // Translate crop-local detections into full-image coordinates.
     std::vector<std::vector<model::Circle>> perTile(grid.tiles.size());
@@ -907,6 +1006,10 @@ class ShardStrategy final : public engine::Strategy {
                        : par::resolveThreadCount(resources_.threads);
 
     shardReport.mergeSeconds = mergeTimer.seconds();
+    shardSeconds("mcmcpar_shard_stitch_seconds",
+                 "Coordinate translation + IoU stitch + report assembly "
+                 "per run; _sum is the run's recombination share.")
+        .observe(shardReport.mergeSeconds);
     report.wallSeconds = timer.seconds();
     report.extras = std::move(shardReport);
     return report;

@@ -9,6 +9,8 @@
 
 #include "engine/batch.hpp"
 #include "engine/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/virtual_clock.hpp"
 #include "stream/tracker.hpp"
 
@@ -85,9 +87,34 @@ engine::RunReport SequenceRunner::run(const SequenceSpec& spec,
     frameHooks.cancelRequested = hooks.cancelRequested;
 
     const par::WallTimer timer;
-    engine::RunReport frameReport = strategy->run(spec.budget, frameHooks);
+    engine::RunReport frameReport;
+    {
+      obs::Span frameSpan("stream", "frame:" + std::to_string(k));
+      frameSpan.arg("label", frame.label);
+      frameSpan.arg("carried", std::to_string(carriedCount));
+      frameReport = strategy->run(spec.budget, frameHooks);
+    }
     const double seconds = timer.seconds();
     frameSeconds.push_back(seconds);
+    obs::Registry& metrics = obs::Registry::global();
+    metrics
+        .histogram("mcmcpar_stream_frame_seconds",
+                   "Per-frame wall time of sequence runs.",
+                   obs::latencyBuckets())
+        .observe(seconds);
+    metrics
+        .counter("mcmcpar_stream_frames_total", "Sequence frames completed.")
+        .add();
+    if (carriedCount > 0) {
+      metrics
+          .counter("mcmcpar_stream_warm_frames_total",
+                   "Frames warm-started from the previous frame's circles.")
+          .add();
+      metrics
+          .counter("mcmcpar_stream_carried_circles_total",
+                   "Circles carried across frames by warm starts.")
+          .add(static_cast<std::uint64_t>(carriedCount));
+    }
     carried = frameReport.circles;
 
     FrameResult result;

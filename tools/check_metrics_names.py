@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""CI lint of metric names against the scheme PROTOCOL.md declares normative.
+
+Scans C++ sources for string literals passed to the obs::Registry
+registration calls (`.counter("...")`, `.gauge("...")`, `.histogram("...")`
+and the Collection scrape-time variants) and validates each name:
+
+  - matches ^mcmcpar_[a-z][a-z0-9_]*$ (no uppercase, no '__', no trailing '_')
+  - counters end in '_total'
+  - gauges do NOT end in '_total'
+  - histograms end in a base-unit suffix ('_seconds' or '_bytes')
+
+The registry enforces the same rules at runtime (std::invalid_argument);
+this lint catches violations on code paths no test happens to execute.
+
+Usage: check_metrics_names.py [dir ...]   (default: src tools)
+Exit status 0 when every literal conforms AND at least one was found,
+1 otherwise (zero matches would mean the scan regexed itself blind).
+"""
+
+import os
+import re
+import sys
+
+NAME_RE = re.compile(r"^mcmcpar_[a-z][a-z0-9_]*$")
+# A registration call with a literal first argument. Multiline: the literal
+# often sits on the line after `.counter(` under clang-format.
+CALL_RE = re.compile(
+    r"\.\s*(counter|gauge|histogram)\s*\(\s*\"([^\"]+)\"", re.DOTALL)
+UNIT_SUFFIXES = ("_seconds", "_bytes")
+
+
+def check_name(kind, name):
+    """Returns a list of violation strings for one (kind, name) pair."""
+    problems = []
+    if not NAME_RE.match(name):
+        problems.append("does not match ^mcmcpar_[a-z][a-z0-9_]*$")
+    if "__" in name:
+        problems.append("contains '__'")
+    if name.endswith("_"):
+        problems.append("ends in '_'")
+    if kind == "counter" and not name.endswith("_total"):
+        problems.append("counter must end in '_total'")
+    if kind == "gauge" and name.endswith("_total"):
+        problems.append("gauge must not end in '_total'")
+    if kind == "histogram" and not name.endswith(UNIT_SUFFIXES):
+        problems.append(
+            "histogram must carry a unit suffix (%s)" % "/".join(UNIT_SUFFIXES))
+    return problems
+
+
+def scan_file(path):
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    found = []
+    for match in CALL_RE.finditer(text):
+        kind, name = match.group(1), match.group(2)
+        # Only police our own namespace: registration calls share their
+        # spelling with unrelated APIs (e.g. a map named .counter()), and
+        # deliberate-violation literals in tests exercise the runtime gate.
+        if not name.startswith("mcmcpar_"):
+            continue
+        line = text.count("\n", 0, match.start()) + 1
+        found.append((line, kind, name))
+    return found
+
+
+def main(argv):
+    roots = argv[1:] or ["src", "tools"]
+    checked = 0
+    failures = []
+    for root in roots:
+        for dirpath, _, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                if not filename.endswith((".cpp", ".hpp")):
+                    continue
+                path = os.path.join(dirpath, filename)
+                for line, kind, name in scan_file(path):
+                    checked += 1
+                    for problem in check_name(kind, name):
+                        failures.append(
+                            f"{path}:{line}: {kind} '{name}' {problem}")
+
+    if failures:
+        print("metric naming lint FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if checked == 0:
+        print("metric naming lint FAILED: no registration literals found "
+              f"under {roots} — the scan pattern has gone blind",
+              file=sys.stderr)
+        return 1
+    print(f"metric naming lint passed ({checked} literals).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -30,6 +30,7 @@
 #include "engine/registry.hpp"
 #include "img/pnm_io.hpp"
 #include "img/synth.hpp"
+#include "obs/trace.hpp"
 #include "stream/sequence.hpp"
 
 using namespace mcmcpar;
@@ -54,6 +55,7 @@ struct CliOptions {
   double freshFraction = 0.25; // --fresh-fraction: births on warm frames
   unsigned maxJobs = 0;   // --jobs: concurrent-job cap (0 = thread budget)
   double deadline = 0.0;  // --deadline: whole-batch wall limit in seconds
+  std::string traceOut;   // --trace-out: Chrome trace JSON destination
   bool list = false;
   bool progress = false;
   bool help = false;
@@ -93,7 +95,11 @@ void printUsage() {
       "                      [@iters=N @seed=N @trace=N @label=S] [k=v ...]'\n"
       "                      (grammar: docs/PROTOCOL.md)\n"
       "  --jobs N            batch: concurrent-job cap (0 = thread budget)\n"
-      "  --deadline X        batch: wall-clock deadline in seconds\n");
+      "  --deadline X        batch: wall-clock deadline in seconds\n"
+      "  --trace-out FILE    write a Chrome trace-event JSON timeline of the\n"
+      "                      run (open in chrome://tracing or Perfetto);\n"
+      "                      sharded runs show fan-out, per-tile flights,\n"
+      "                      hedges and the stitch as nested spans\n");
 }
 
 /// Strict numeric parsing: the whole token must convert, mirroring the
@@ -214,6 +220,9 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
     } else if (std::strcmp(arg, "--deadline") == 0) {
       if ((v = value(i)) == nullptr) return std::nullopt;
       if (!parseDouble(arg, v, cli.deadline)) return std::nullopt;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      cli.traceOut = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n\n", arg);
       printUsage();
@@ -325,6 +334,30 @@ void printExtras(const engine::RunReport& report) {
     }
   }
 }
+
+/// --trace-out guard: arms the global tracer for the whole run and writes
+/// the collected spans as Chrome trace-event JSON on every exit path.
+class TraceOutput {
+ public:
+  explicit TraceOutput(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) obs::Tracer::global().setEnabled(true);
+  }
+  ~TraceOutput() {
+    if (path_.empty()) return;
+    obs::Tracer::global().setEnabled(false);
+    std::string error;
+    if (obs::Tracer::global().writeJson(path_, &error)) {
+      std::fprintf(stderr, "trace written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "--trace-out: %s\n", error.c_str());
+    }
+  }
+  TraceOutput(const TraceOutput&) = delete;
+  TraceOutput& operator=(const TraceOutput&) = delete;
+
+ private:
+  std::string path_;
+};
 
 /// The circle prior every run shares, sized from the CLI radius knob.
 engine::Problem makeProblem(const img::ImageF& image, const CliOptions& cli) {
@@ -590,6 +623,7 @@ int main(int argc, char** argv) {
     printRegistry(registry);
     return 0;
   }
+  const TraceOutput traceOutput(cli.traceOut);
   if (!cli.sequence.empty()) {
     if (!cli.batchPath.empty() || !cli.shardTiles.empty()) {
       std::fprintf(stderr,

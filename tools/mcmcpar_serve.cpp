@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "engine/options.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/socket.hpp"
@@ -50,6 +52,7 @@ struct CliOptions {
   unsigned pollMillis = 250;           // --poll-ms
   double drainTimeout = 10.0;          // --drain-timeout
   double pingInterval = 30.0;          // --ping-interval
+  std::string traceOut;                // --trace-out
   serve::ServerOptions server;
   bool help = false;
 };
@@ -87,6 +90,8 @@ void printUsage() {
       "  --omp               prefer OpenMP executors where available\n"
       "  --radius X          circle prior radius (default: 9.0)\n"
       "  --width N/--height N/--cells N  the 'synth' scene shape\n"
+      "  --trace-out FILE    write a Chrome trace-event JSON timeline of\n"
+      "                      every command and job handled, on shutdown\n"
       "\nJob line grammar and the socket protocol: docs/PROTOCOL.md\n");
 }
 
@@ -217,6 +222,9 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
         return std::nullopt;
       }
       cli.server.synthCells = static_cast<int>(u);
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      if ((v = value(i)) == nullptr) return std::nullopt;
+      cli.traceOut = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n\n", arg);
       printUsage();
@@ -261,6 +269,8 @@ int main(int argc, char** argv) {
     // out to this fleet (Server::submit injects it as a default).
     serverOptions.fleetEndpoints = shard::formatEndpointList(fleet);
   }
+
+  if (!cli.traceOut.empty()) obs::Tracer::global().setEnabled(true);
 
   serve::Server server(serverOptions);
   const serve::ServerStats startup = server.stats();
@@ -344,17 +354,38 @@ int main(int argc, char** argv) {
   if (watch) watch->stop();    // flush result files for settled manifests
   if (socket) socket->stop();  // WAIT streams got their terminal events
 
-  const serve::ServerStats stats = server.stats();
+  // The summary reads the metrics registry — the same numbers the METRICS
+  // command exposes — so the two can never disagree (the server's collector
+  // is still installed here; it is removed in Server's destructor).
+  const obs::Registry& registry = obs::Registry::global();
+  const auto metric = [&](const char* name, const obs::Labels& labels = {}) {
+    return static_cast<unsigned long long>(
+        registry.value(name, labels).value_or(0.0));
+  };
   std::printf("served %llu job(s): %llu done, %llu failed, %llu cancelled; "
-              "cache %llu hit(s) / %llu miss(es), %llu interned frame(s), "
-              "%llu oneshot bypass(es)\n",
-              static_cast<unsigned long long>(stats.jobs.submitted),
-              static_cast<unsigned long long>(stats.jobs.done),
-              static_cast<unsigned long long>(stats.jobs.failed),
-              static_cast<unsigned long long>(stats.jobs.cancelled),
-              static_cast<unsigned long long>(stats.cache.hits),
-              static_cast<unsigned long long>(stats.cache.misses),
-              static_cast<unsigned long long>(stats.cache.interned),
-              static_cast<unsigned long long>(stats.cache.oneshotBypasses));
+              "cache %llu hit(s) / %llu miss(es) (%.0f%% hit rate), "
+              "%llu interned frame(s), %llu oneshot bypass(es)\n",
+              metric("mcmcpar_serve_jobs_submitted_total"),
+              metric("mcmcpar_serve_jobs_finished_total", {{"state", "done"}}),
+              metric("mcmcpar_serve_jobs_finished_total",
+                     {{"state", "failed"}}),
+              metric("mcmcpar_serve_jobs_finished_total",
+                     {{"state", "cancelled"}}),
+              metric("mcmcpar_serve_cache_hits_total"),
+              metric("mcmcpar_serve_cache_misses_total"),
+              100.0 * registry.value("mcmcpar_serve_cache_hit_ratio")
+                          .value_or(0.0),
+              metric("mcmcpar_serve_cache_interned_total"),
+              metric("mcmcpar_serve_cache_oneshot_bypasses_total"));
+
+  if (!cli.traceOut.empty()) {
+    obs::Tracer::global().setEnabled(false);
+    std::string error;
+    if (obs::Tracer::global().writeJson(cli.traceOut, &error)) {
+      std::printf("trace written to %s\n", cli.traceOut.c_str());
+    } else {
+      std::fprintf(stderr, "--trace-out: %s\n", error.c_str());
+    }
+  }
   return 0;
 }

@@ -59,6 +59,8 @@ void printUsage() {
       "                      scripts can gate on jobs queued with --no-wait\n"
       "  --status ID / --result ID / --report ID / --cancel ID / --stats /\n"
       "  --ping / --shutdown print the server's raw reply\n"
+      "  --metrics           print the server's Prometheus text exposition\n"
+      "                      (the METRICS command; docs/PROTOCOL.md)\n"
       "\nA job line is '<image.pgm|synth> <strategy> [@directive=value ...]"
       " [key=value ...]'\n(docs/PROTOCOL.md).\n");
 }
@@ -193,6 +195,8 @@ int main(int argc, char** argv) {
       command = verb + " " + v;
     } else if (arg == "--stats") {
       command = "STATS";
+    } else if (arg == "--metrics") {
+      command = "METRICS";
     } else if (arg == "--ping") {
       command = "PING";
     } else if (arg == "--shutdown") {
@@ -261,6 +265,12 @@ int main(int argc, char** argv) {
 
     if (waitId) return waitAndReport(client, *waitId, progress);
 
+    if (command == "METRICS") {
+      // METRICS is byte-framed (OK <nbytes> + raw body), not line-framed;
+      // Client::metrics consumes the framing and returns just the body.
+      std::fputs(client.metrics().c_str(), stdout);
+      return 0;
+    }
     if (command) {
       const std::string reply = client.request(*command);
       std::printf("%s\n", reply.c_str());

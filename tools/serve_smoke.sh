@@ -58,6 +58,31 @@ echo "$OUT"
 echo "$OUT" | grep -q '"state": "done"' || { echo "job did not finish"; exit 1; }
 "$SUBMIT_BIN" --port "$PORT" --stats | grep -q '"done"' || exit 1
 
+echo "== METRICS: Prometheus exposition, monotone across scrapes =="
+"$SUBMIT_BIN" --port "$PORT" --metrics > "$WORK/metrics1.txt"
+for family in \
+  mcmcpar_build_info \
+  mcmcpar_serve_commands_total \
+  mcmcpar_serve_command_seconds_bucket \
+  mcmcpar_serve_queue_wait_seconds_count \
+  mcmcpar_serve_job_run_seconds_count \
+  mcmcpar_serve_cache_hits_total \
+  mcmcpar_serve_cache_misses_total \
+  mcmcpar_serve_jobs_submitted_total \
+  mcmcpar_engine_runs_total; do
+  grep -q "^$family" "$WORK/metrics1.txt" \
+    || { echo "METRICS is missing $family:"; cat "$WORK/metrics1.txt"; exit 1; }
+done
+"$SUBMIT_BIN" --port "$PORT" --metrics > "$WORK/metrics2.txt"
+# A scrape renders before its own command counter increments, so scrape 1
+# may not carry the METRICS series yet — that reads as 0.
+SCRAPE1=$(awk '/^mcmcpar_serve_commands_total\{command="METRICS"\}/ {print $2}' "$WORK/metrics1.txt")
+SCRAPE2=$(awk '/^mcmcpar_serve_commands_total\{command="METRICS"\}/ {print $2}' "$WORK/metrics2.txt")
+SCRAPE1=${SCRAPE1:-0}
+[[ -n "$SCRAPE2" && "$SCRAPE2" -gt "$SCRAPE1" ]] \
+  || { echo "METRICS counter not monotone: '$SCRAPE1' -> '$SCRAPE2'"; exit 1; }
+echo "metrics OK: METRICS scrape counter $SCRAPE1 -> $SCRAPE2"
+
 echo "== graceful shutdown =="
 "$SUBMIT_BIN" --port "$PORT" --shutdown | grep -q '^OK draining' || exit 1
 for _ in $(seq 1 100); do

@@ -18,12 +18,16 @@
 #      hedge-factor re-issues it onto the idle fast endpoint, whose result
 #      wins and matches an unhedged fast-only run bit for bit.
 #
-# usage: shard_smoke.sh <mcmcpar_serve> <mcmcpar_submit> <mcmcpar_run>
+# When TRACE_OUT is given, the fan-out run also records a Chrome trace
+# (--trace-out) which is validated and left behind as a CI artifact.
+#
+# usage: shard_smoke.sh <mcmcpar_serve> <mcmcpar_submit> <mcmcpar_run> [trace.json]
 set -euo pipefail
 
 SERVE_BIN=$1
 SUBMIT_BIN=$2
 RUN_BIN=$3
+TRACE_OUT=${4:-}
 
 WORK=$(mktemp -d)
 SERVER_PID=""
@@ -65,10 +69,12 @@ printf '# smoke fleet\n127.0.0.1:%s\n127.0.0.1:%s\n' "$PORT" "$PORT2" \
   > "$WORK/fleet.txt"
 
 echo "== mcmcpar_run --shard, socket backend, inline frames on both endpoints =="
+TRACE_ARGS=()
+[[ -n "$TRACE_OUT" ]] && TRACE_ARGS=(--trace-out "$TRACE_OUT")
 OUT=$("$RUN_BIN" --shard 2x2 --strategy serial --iterations 8000 \
   --width 192 --height 192 --cells 10 \
   --opt halo=12 --opt backend=socket \
-  --opt endpoints-file="$WORK/fleet.txt")
+  --opt endpoints-file="$WORK/fleet.txt" "${TRACE_ARGS[@]+"${TRACE_ARGS[@]}"}")
 echo "$OUT"
 echo "$OUT" | grep -q 'sharded' || { echo "no sharded report row"; exit 1; }
 echo "$OUT" | grep -q '2x2 tiles (halo 12, socket/serial)' \
@@ -79,6 +85,27 @@ echo "$OUT" | grep -q "@127.0.0.1:$PORT" \
   || { echo "no tile ran on endpoint $PORT"; exit 1; }
 echo "$OUT" | grep -q "@127.0.0.1:$PORT2" \
   || { echo "no tile ran on endpoint $PORT2"; exit 1; }
+
+if [[ -n "$TRACE_OUT" ]]; then
+  echo "== --trace-out: fan-out timeline is loadable Chrome-trace JSON =="
+  python3 - "$TRACE_OUT" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as fh:
+    trace = json.load(fh)
+events = trace["traceEvents"]
+names = [e["name"] for e in events]
+for needed in ("shard-run", "fanout", "stitch"):
+    assert any(n.startswith(needed) for n in names), f"no {needed!r} span: {names}"
+tiles = [e for e in events if e["name"].startswith("tile:")]
+assert len(tiles) == 4, f"expected 4 tile flights, got {len(tiles)}: {names}"
+endpoints = {e["args"]["endpoint"] for e in tiles}
+assert len(endpoints) == 2, f"tile flights on {endpoints}, expected both endpoints"
+assert all(e["ph"] == "X" for e in events), "non-complete event in trace"
+print(f"trace OK: {len(events)} events, tiles on {sorted(endpoints)}")
+PY
+fi
 
 echo "== mcmcpar_submit --upload: inline submission of a local PGM =="
 printf 'P5\n32 32\n255\n' > "$WORK/up.pgm"
